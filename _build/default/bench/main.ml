@@ -1,0 +1,507 @@
+(* The experiment harness: regenerates every figure- and theorem-derived
+   experiment of the reproduction (the paper has no numeric tables; see
+   DESIGN.md section 3 and EXPERIMENTS.md for the mapping), then runs
+   bechamel micro-benchmarks of the core algorithms.
+
+   Usage:  dune exec bench/main.exe [-- e1 e5 micro ...]   (default: all) *)
+
+open Repro_model
+open Repro_workload
+module F = Figures
+module Compc = Repro_core.Compc
+module Sim = Repro_runtime.Sim
+module Workloads = Repro_runtime.Workloads
+
+let section id title =
+  Fmt.pr "@.==================================================================@.";
+  Fmt.pr "%s: %s@." (String.uppercase_ascii id) title;
+  Fmt.pr "==================================================================@."
+
+(* ------------------------------------------------------------------ *)
+(* E1: Figure 1 — structure of a general composite system             *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  section "e1" "Figure 1: an order-3 composite configuration";
+  let h = F.figure1 () in
+  Fmt.pr "schedules=%d roots=%d internal=%d leaves=%d order=%d@."
+    (History.n_schedules h)
+    (List.length (History.roots h))
+    (List.length (History.internal_nodes h))
+    (List.length (History.leaves h))
+    (History.order h);
+  List.iter
+    (fun (s : History.schedule) ->
+      let invoked =
+        Repro_order.Ids.Int_set.elements
+          (Repro_order.Rel.succs (History.invocation_graph h) s.History.sid)
+        |> List.map (fun c -> (History.schedule h c).History.sname)
+      in
+      Fmt.pr "  %-3s level %d  invokes: %a@." s.History.sname
+        (History.level h s.History.sid)
+        Fmt.(list ~sep:comma string)
+        invoked)
+    (History.schedules h);
+  Fmt.pr "shape: %a; valid: %b; Comp-C: %b@."
+    Repro_criteria.Shapes.pp
+    (Repro_criteria.Shapes.classify h)
+    (Validate.check h = [])
+    (Compc.is_correct h)
+
+(* ------------------------------------------------------------------ *)
+(* E2: Figure 2 — conflict and observed order                         *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  section "e2" "Figure 2: observed order climbing the execution trees";
+  let f = F.figure2 () in
+  let h = f.F.h2 in
+  let rel = Repro_core.Observed.compute h in
+  let obs = rel.Repro_core.Observed.obs in
+  let pn = History.pp_node h in
+  let row a b =
+    Fmt.pr "  %a <_o %a : %b  CON: %b@." pn a pn b
+      (Repro_order.Rel.mem a b obs)
+      (Repro_core.Observed.conflict h rel a b)
+  in
+  row f.F.f2_o13 f.F.f2_o25;
+  row f.F.f2_t11 f.F.f2_t21;
+  row f.F.f2_t1 f.F.f2_t2;
+  Fmt.pr "expected: all three pairs observed and conflicting (paper sec. 3.2)@."
+
+(* ------------------------------------------------------------------ *)
+(* E3/E4: Figures 3 and 4 — the reduction at work                     *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  section "e3" "Figure 3: an incorrect execution (reduction gets stuck)";
+  Compc.explain Fmt.stdout (Compc.check (F.figure3 ()).F.ht);
+  Fmt.pr "expected: one successful step, then no calculation for the roots@."
+
+let e4 () =
+  section "e4" "Figure 4: a correct execution (orders forgotten at a common schedule)";
+  Compc.explain Fmt.stdout (Compc.check (F.figure4 ()).F.ht);
+  Fmt.pr "expected: reduction completes; pulled-up orders were not conflicts@."
+
+(* ------------------------------------------------------------------ *)
+(* E5-E7: Theorems 2-4, empirically                                   *)
+(* ------------------------------------------------------------------ *)
+
+let agreement ~n gen special =
+  let agree = ref 0 and accept = ref 0 and special_accept = ref 0 and invalid = ref 0 in
+  for i = 0 to n - 1 do
+    let h = gen i in
+    if Validate.check h <> [] then incr invalid
+    else begin
+      let s = special h and c = Compc.is_correct h in
+      if s = c then incr agree;
+      if c then incr accept;
+      if s then incr special_accept
+    end
+  done;
+  (!agree, !accept, !special_accept, !invalid)
+
+let pp_agreement name n (agree, accept, special_accept, invalid) =
+  Fmt.pr
+    "  %-24s n=%4d  agree=%4d (%.1f%%)  special-accepts=%d  comp-c-accepts=%d  invalid=%d %s@."
+    name n agree
+    (100.0 *. float_of_int agree /. float_of_int (max 1 (n - invalid)))
+    special_accept accept invalid
+    (if agree = n - invalid then "[OK]" else "[DISAGREEMENT!]")
+
+let e5 () =
+  section "e5" "Theorem 2: SCC <=> Comp-C on stacks (random histories)";
+  List.iter
+    (fun (levels, roots, n) ->
+      let r =
+        agreement ~n
+          (fun i -> Gen.stack (Prng.create ~seed:(1_000_000 + i)) ~levels ~roots)
+          Repro_criteria.Special.scc
+      in
+      pp_agreement (Fmt.str "stack levels=%d roots=%d" levels roots) n r)
+    [ (2, 2, 600); (2, 4, 600); (3, 3, 600); (4, 2, 400); (5, 2, 300) ]
+
+let e6 () =
+  section "e6" "Theorem 3: FCC <=> Comp-C on forks (random histories)";
+  List.iter
+    (fun (branches, roots, n) ->
+      let r =
+        agreement ~n
+          (fun i -> Gen.fork (Prng.create ~seed:(2_000_000 + i)) ~branches ~roots)
+          Repro_criteria.Special.fcc
+      in
+      pp_agreement (Fmt.str "fork branches=%d roots=%d" branches roots) n r)
+    [ (2, 3, 600); (3, 4, 600); (4, 5, 400) ]
+
+let e7 () =
+  section "e7" "Theorem 4: JCC <=> Comp-C on joins (random histories)";
+  List.iter
+    (fun (branches, roots, n) ->
+      let r =
+        agreement ~n
+          (fun i -> Gen.join (Prng.create ~seed:(3_000_000 + i)) ~branches ~roots)
+          Repro_criteria.Special.jcc
+      in
+      pp_agreement (Fmt.str "join branches=%d roots=%d" branches roots) n r)
+    [ (2, 3, 600); (3, 4, 600); (2, 6, 400) ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: the correctness-class hierarchy (sec. 1 and 4 claims)           *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  section "e8" "Containment of correctness classes on random stacks";
+  Fmt.pr "acceptance counts; the paper claims LLSR, MLSR and OPSR are proper@.";
+  Fmt.pr "subsets of SCC = Comp-C (an inversion would falsify that claim), and@.";
+  Fmt.pr "classically LLSR is contained in MLSR.  FlatCSR ignores level@.";
+  Fmt.pr "semantics in both directions and is incomparable:@.";
+  let run ~levels ~roots ~n ~seed0 =
+    let counts = Hashtbl.create 8 in
+    let bump k =
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+    in
+    let inv = Hashtbl.create 8 in
+    let bump_inv k =
+      Hashtbl.replace inv k (1 + Option.value ~default:0 (Hashtbl.find_opt inv k))
+    in
+    for i = 0 to n - 1 do
+      let h = Gen.stack (Prng.create ~seed:(seed0 + i)) ~levels ~roots in
+      let report = Repro_criteria.Classic.accepted_by h in
+      let compc = List.assoc "Comp-C" report in
+      List.iter (fun (name, v) -> if v then bump name) report;
+      List.iter
+        (fun name -> if List.assoc name report && not compc then bump_inv name)
+        [ "FlatCSR"; "LLSR"; "MLSR"; "OPSR" ];
+      if List.assoc "LLSR" report && not (List.assoc "MLSR" report) then
+        bump_inv "LLSR-not-MLSR"
+    done;
+    let get t k = Option.value ~default:0 (Hashtbl.find_opt t k) in
+    let claimed_inversions =
+      get inv "LLSR" + get inv "MLSR" + get inv "OPSR" + get inv "LLSR-not-MLSR"
+    in
+    Fmt.pr
+      "  stack levels=%d roots=%d n=%d:  FlatCSR=%3d  LLSR=%3d  MLSR=%3d  OPSR=%3d  SCC=%3d  Comp-C=%3d@."
+      levels roots n (get counts "FlatCSR") (get counts "LLSR") (get counts "MLSR")
+      (get counts "OPSR") (get counts "SCC") (get counts "Comp-C");
+    Fmt.pr
+      "    inversions: LLSR=%d MLSR=%d OPSR=%d LLSR-beyond-MLSR=%d %s   (FlatCSR=%d, expected: incomparable)@."
+      (get inv "LLSR") (get inv "MLSR") (get inv "OPSR") (get inv "LLSR-not-MLSR")
+      (if claimed_inversions = 0 then "[OK]" else "[VIOLATION!]")
+      (get inv "FlatCSR")
+  in
+  run ~levels:2 ~roots:3 ~n:500 ~seed0:4_000_000;
+  run ~levels:3 ~roots:2 ~n:500 ~seed0:4_500_000;
+  Fmt.pr "@.gap witnesses (hand-built, see the test suite):@.";
+  Fmt.pr "  forgetting-stack:    LLSR, MLSR and FlatCSR reject; SCC = Comp-C accept@.";
+  Fmt.pr "  llsr-mlsr-gap:       LLSR rejects; MLSR and Comp-C accept@.";
+  Fmt.pr "  opsr-gap (flat 3tx): OPSR rejects; SCC = Comp-C accept@."
+
+(* ------------------------------------------------------------------ *)
+(* E9: cost of the reduction                                           *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let e9 () =
+  section "e9" "Checker scalability: CPU time of the full Comp-C decision";
+  Fmt.pr "  %-34s %8s %8s %10s %8s@." "history" "nodes" "leaves" "seconds" "verdict";
+  let row name h =
+    let v, dt = time (fun () -> Compc.check h) in
+    Fmt.pr "  %-34s %8d %8d %10.4f %8s@." name (History.n_nodes h)
+      (List.length (History.leaves h))
+      dt
+      (if Compc.is_correct_verdict v then "accept" else "reject")
+  in
+  (* Dense conflicts: almost surely rejected (failures found early, at a low
+     level); sparse conflicts: mostly accepted -- the reduction must run all
+     the way to the roots, the expensive case. *)
+  List.iter
+    (fun (tag, items_of_roots) ->
+      List.iter
+        (fun roots ->
+          let profile =
+            {
+              Gen.default_profile with
+              Gen.ops_min = 2;
+              ops_max = 2;
+              items = items_of_roots roots;
+            }
+          in
+          row
+            (Fmt.str "stack levels=3 roots=%d (%s)" roots tag)
+            (Gen.stack ~profile (Prng.create ~seed:42) ~levels:3 ~roots))
+        [ 2; 4; 8; 16; 32; 64 ])
+    [ ("dense", (fun _ -> 2)); ("sparse", (fun roots -> 8 * roots)) ];
+  (* Serial clients: always accepted, so the reduction always runs to the
+     top -- the worst case for the checker. *)
+  List.iter
+    (fun roots ->
+      let profile =
+        {
+          Gen.default_profile with
+          Gen.ops_min = 2;
+          ops_max = 2;
+          root_input_prob = 1.0;
+          strong_input_prob = 1.0;
+          intra_prob = 1.0;
+          intra_strong_prob = 1.0;
+        }
+      in
+      row
+        (Fmt.str "stack levels=3 roots=%d (serial)" roots)
+        (Gen.stack ~profile (Prng.create ~seed:42) ~levels:3 ~roots))
+    [ 2; 4; 8; 16; 32; 64 ];
+  let profile = { Gen.default_profile with Gen.ops_min = 2; ops_max = 2 } in
+  List.iter
+    (fun (schedules, roots) ->
+      row
+        (Fmt.str "general schedules=%d roots=%d" schedules roots)
+        (Gen.general ~profile (Prng.create ~seed:42) ~schedules ~roots))
+    [ (4, 8); (6, 16); (8, 32); (8, 64) ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: concurrency-control protocols on the runtime                   *)
+(* ------------------------------------------------------------------ *)
+
+let protocols =
+  [
+    ("serial", Sim.Serial);
+    ("closed", Sim.Locking { closed = true });
+    ("open", Sim.Locking { closed = false });
+    ("certify", Sim.Certify);
+  ]
+
+let e10 () =
+  section "e10" "Protocols x workloads: performance and safety of emitted histories";
+  Fmt.pr "  (10 seeds each; correct%% = share of runs whose emitted history is Comp-C)@.";
+  Fmt.pr "  %-10s %-7s %9s %7s %8s %9s %9s %9s@." "workload" "proto" "committed"
+    "aborts" "given-up" "makespan" "latency" "correct%";
+  List.iter
+    (fun (w : Workloads.workload) ->
+      List.iter
+        (fun (pname, protocol) ->
+          let seeds = List.init 10 (fun i -> 100 + i) in
+          let acc =
+            List.map
+              (fun seed ->
+                let params =
+                  {
+                    Sim.default_params with
+                    Sim.protocol;
+                    clients = 6;
+                    txs_per_client = 6;
+                    seed;
+                    lock_timeout = 10.0;
+                    backoff = 3.0;
+                  }
+                in
+                let st = Sim.run params w.Workloads.topology ~gen:w.Workloads.gen in
+                (st, Compc.is_correct st.Sim.history))
+              seeds
+          in
+          let n = float_of_int (List.length acc) in
+          let favg f = List.fold_left (fun s (st, _) -> s +. f st) 0.0 acc /. n in
+          let correct = List.length (List.filter snd acc) * 100 / List.length acc in
+          Fmt.pr "  %-10s %-7s %9.1f %7.1f %8.1f %9.2f %9.2f %8d%%@."
+            w.Workloads.name pname
+            (favg (fun st -> float_of_int st.Sim.committed))
+            (favg (fun st -> float_of_int st.Sim.aborts))
+            (favg (fun st -> float_of_int st.Sim.given_up))
+            (favg (fun st -> st.Sim.makespan))
+            (favg (fun st -> st.Sim.mean_latency))
+            correct)
+        protocols)
+    (Workloads.all ());
+  Fmt.pr
+    "@.expected shape: serial slowest; open nesting most concurrent; serial,@.\
+     closed nesting and certify always 100%% correct (certify by construction);@.\
+     open nesting loses correctness only on the federated workload@.\
+     (autonomous front-ends: the Figure-3 situation)@."
+
+(* ------------------------------------------------------------------ *)
+(* E11: weak vs strong orders                                          *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  section "e11" "Weak vs strong orders: parallelism within a transaction";
+  Fmt.pr
+    "  (each customer works on private accounts, so the only difference is@.\
+     whether a transaction's services are strongly ordered or left weak)@.";
+  let topo =
+    {
+      Repro_runtime.Template.components =
+        [| ("bank", Conflict.Never); ("store", Conflict.Rw) |];
+    }
+  in
+  let gen sequential rng ~client ~seq =
+    ignore seq;
+    ignore rng;
+    let svc i =
+      (* distinct accounts per service: the comparison isolates ordering,
+         not lock contention *)
+      let a = Fmt.str "c%d-acct%d" client i in
+      Repro_runtime.Template.call ~component:1 ~sequential:true
+        (Label.v ~args:[ a ] "deposit")
+        [
+          Repro_runtime.Template.leaf (Label.read a);
+          Repro_runtime.Template.leaf (Label.write a);
+        ]
+    in
+    {
+      (Repro_runtime.Template.call ~component:0 (Label.v "txn") (List.init 4 svc)) with
+      Repro_runtime.Template.sequential;
+    }
+  in
+  let variant name sequential =
+    let params =
+      {
+        Sim.default_params with
+        Sim.protocol = Sim.Locking { closed = true };
+        clients = 6;
+        txs_per_client = 8;
+        seed = 7;
+        lock_timeout = 20.0;
+      }
+    in
+    let st = Sim.run params topo ~gen:(gen sequential) in
+    Fmt.pr "  %-28s committed=%3d makespan=%8.2f latency=%6.2f comp-c=%b@." name
+      st.Sim.committed st.Sim.makespan st.Sim.mean_latency
+      (Compc.is_correct st.Sim.history)
+  in
+  variant "strong (sequential services)" true;
+  variant "weak (parallel services)" false;
+  Fmt.pr "expected: the weak variant finishes markedly earlier at equal safety@."
+
+(* ------------------------------------------------------------------ *)
+(* E12: ablation of the observed-order interpretation                  *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  section "e12"
+    "Ablation: alternative readings of Def. 10 break the paper's theorems";
+  Fmt.pr
+    "  The OCR-damaged definitions admit several readings of how pulled-up@.\
+     orders meet a schedule's commutativity knowledge (DESIGN.md sec. 4).@.\
+     Each variant below recomputes the observed order and re-runs the@.\
+     reduction; only the final reading reproduces SCC on stacks (Thm 2)@.\
+     and the Figure 3/4 verdicts:@.";
+  let variants =
+    [
+      ("final", Repro_core.Observed.Final);
+      ("no-forgetting", Repro_core.Observed.No_forgetting);
+      ("eager-forgetting", Repro_core.Observed.Eager_forgetting);
+    ]
+  in
+  let decide variant h =
+    let rel = Repro_core.Observed.compute_with variant h in
+    Repro_core.Reduction.is_correct (Repro_core.Reduction.reduce ~rel h)
+  in
+  let fig3 = (F.figure3 ()).F.ht and fig4 = (F.figure4 ()).F.ht in
+  let chain = F.input_order_chain () in
+  Fmt.pr "  %-18s %10s %12s %8s %8s %8s@." "variant" "agree/600" "over-rejects"
+    "fig3" "fig4" "chain";
+  List.iter
+    (fun (name, variant) ->
+      let agree = ref 0 and over_reject = ref 0 and over_accept = ref 0 in
+      for i = 0 to 599 do
+        let h =
+          Gen.stack
+            (Prng.create ~seed:(7_000_000 + i))
+            ~levels:(2 + (i mod 2))
+            ~roots:(2 + (i mod 2))
+        in
+        let scc = Repro_criteria.Special.scc h in
+        let v = decide variant h in
+        if v = scc then incr agree
+        else if scc && not v then incr over_reject
+        else incr over_accept
+      done;
+      let fig3_v = decide variant fig3
+      and fig4_v = decide variant fig4
+      and chain_v = decide variant chain in
+      let verdict_str v = if v then "accept" else "reject" in
+      let breaks = !agree < 600 || fig3_v || not fig4_v || chain_v in
+      Fmt.pr "  %-18s %6d %8d(+%d acc) %8s %8s %8s %s@." name !agree !over_reject
+        !over_accept (verdict_str fig3_v) (verdict_str fig4_v) (verdict_str chain_v)
+        (match name with
+        | "final" -> if breaks then "[VIOLATION!]" else "[OK]"
+        | _ -> if breaks then "[breaks, as expected]" else "[unexpectedly agrees]"))
+    variants;
+  Fmt.pr
+    "  expected: only the final reading rejects fig3 and the input-order chain@.\
+     while accepting fig4@."
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "micro" "Bechamel micro-benchmarks of the core algorithms";
+  let open Bechamel in
+  let open Toolkit in
+  let rel200 =
+    let rng = Prng.create ~seed:9 in
+    let rec build acc n =
+      if n = 0 then acc
+      else build (Repro_order.Rel.add (Prng.int rng 200) (Prng.int rng 200) acc) (n - 1)
+    in
+    Repro_order.Rel.filter (fun a b -> a <> b) (build Repro_order.Rel.empty 400)
+  in
+  let stack3 = Gen.stack (Prng.create ~seed:10) ~levels:3 ~roots:6 in
+  let general6 = Gen.general (Prng.create ~seed:10) ~schedules:6 ~roots:6 in
+  let flat40 = Gen.flat (Prng.create ~seed:10) ~roots:40 in
+  let text = Repro_histlang.Syntax.to_string stack3 in
+  let tests =
+    Test.make_grouped ~name:"repro"
+      [
+        Test.make ~name:"rel.closure-200"
+          (Staged.stage (fun () -> Repro_order.Rel.transitive_closure rel200));
+        Test.make ~name:"observed.stack3"
+          (Staged.stage (fun () -> Repro_core.Observed.compute stack3));
+        Test.make ~name:"compc.stack3" (Staged.stage (fun () -> Compc.check stack3));
+        Test.make ~name:"compc.general6" (Staged.stage (fun () -> Compc.check general6));
+        Test.make ~name:"compc.flat40" (Staged.stage (fun () -> Compc.check flat40));
+        Test.make ~name:"histlang.parse"
+          (Staged.stage (fun () -> Repro_histlang.Syntax.parse text));
+        Test.make ~name:"validate.stack3" (Staged.stage (fun () -> Validate.check stack3));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ t ] -> Fmt.pr "  %-28s %12.0f ns/run@." name t
+      | _ -> Fmt.pr "  %-28s (no estimate)@." name)
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("e12", e12); ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all with
+      | Some f -> f ()
+      | None ->
+        Fmt.epr "unknown experiment %S (known: %a)@." name
+          Fmt.(list ~sep:comma string)
+          (List.map fst all))
+    requested

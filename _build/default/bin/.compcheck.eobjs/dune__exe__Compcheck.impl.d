@@ -1,0 +1,1 @@
+bin/compcheck.ml: Arg Buffer Cmd Cmdliner Fmt History List Manpage Repro_core Repro_criteria Repro_histlang Repro_model String Term Validate

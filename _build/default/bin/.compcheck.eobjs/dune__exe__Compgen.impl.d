@@ -1,0 +1,1 @@
+bin/compgen.ml: Arg Cmd Cmdliner Fmt Gen Prng Repro_histlang Repro_workload Term

@@ -1,0 +1,1 @@
+bin/compsim.ml: Arg Cmd Cmdliner Fmt List Manpage Repro_core Repro_histlang Repro_model Repro_runtime Sim Term Workloads

@@ -1,0 +1,130 @@
+(* compcheck: decide correctness criteria for a composite execution given in
+   the history description language.  Exit code 0 = accepted, 1 = rejected,
+   2 = usage/parse/validation trouble. *)
+open Cmdliner
+open Repro_model
+
+let read_history path =
+  try
+    if path = "-" then begin
+      let buf = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel buf stdin 4096
+         done
+       with End_of_file -> ());
+      Ok (Repro_histlang.Syntax.parse (Buffer.contents buf))
+    end
+    else Ok (Repro_histlang.Syntax.parse_file path)
+  with
+  | Repro_histlang.Syntax.Parse_error e ->
+    Error (Fmt.str "parse error: %a" Repro_histlang.Syntax.pp_error e)
+  | Invalid_argument msg -> Error (Fmt.str "invalid history: %s" msg)
+  | Sys_error msg -> Error msg
+
+let run path criterion explain skip_validation dot =
+  match read_history path with
+  | Error msg ->
+    Fmt.epr "compcheck: %s@." msg;
+    2
+  | Ok h -> (
+    let validation = Validate.check h in
+    if validation <> [] then begin
+      Fmt.epr "history violates the composite-system model (Defs. 3-4):@.";
+      List.iter (fun e -> Fmt.epr "  %a@." (Validate.pp_error h) e) validation;
+      if not skip_validation then exit 2
+    end;
+    (match dot with
+    | Some prefix ->
+      let rel = Repro_core.Observed.compute h in
+      let write name text =
+        let oc = open_out (prefix ^ name) in
+        output_string oc text;
+        close_out oc;
+        Fmt.pr "wrote %s%s@." prefix name
+      in
+      write "-forest.dot"
+        (Repro_histlang.Dot.forest ~obs:rel.Repro_core.Observed.obs h);
+      write "-invocations.dot" (Repro_histlang.Dot.invocation_graph h)
+    | None -> ());
+    let report = Repro_criteria.Classic.accepted_by h in
+    let shape = Repro_criteria.Shapes.classify h in
+    Fmt.pr "configuration: %a, order %d, %d schedules, %d transactions, %d leaves@."
+      Repro_criteria.Shapes.pp shape (History.order h) (History.n_schedules h)
+      (List.length (History.roots h) + List.length (History.internal_nodes h))
+      (List.length (History.leaves h));
+    let criterion =
+      (* case-insensitive convenience: comp-c, scc, ... all work *)
+      let lc = String.lowercase_ascii criterion in
+      match List.find_opt (fun (n, _) -> String.lowercase_ascii n = lc) report with
+      | Some (n, _) -> n
+      | None -> criterion
+    in
+    match criterion with
+    | "all" | "ALL" | "All" ->
+      List.iter (fun (name, verdict) ->
+          Fmt.pr "%-8s %s@." name (if verdict then "accept" else "reject"))
+        report;
+      if explain then Repro_core.Compc.explain Fmt.stdout (Repro_core.Compc.check h);
+      if List.assoc "Comp-C" report then 0 else 1
+    | name -> (
+      match List.assoc_opt name report with
+      | None ->
+        Fmt.epr "compcheck: criterion %S does not apply to this configuration (available: %a)@."
+          name
+          Fmt.(list ~sep:comma string)
+          (List.map fst report);
+        2
+      | Some verdict ->
+        Fmt.pr "%s: %s@." name (if verdict then "accept" else "reject");
+        if explain && name = "Comp-C" then
+          Repro_core.Compc.explain Fmt.stdout (Repro_core.Compc.check h);
+        if verdict then 0 else 1))
+
+let path_arg =
+  let doc = "History file in the description language ('-' for stdin)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let criterion_arg =
+  let doc =
+    "Criterion to decide: $(b,Comp-C) (default), $(b,SCC), $(b,FCC), $(b,JCC), \
+     $(b,LLSR), $(b,OPSR), $(b,FlatCSR), or $(b,all)."
+  in
+  Arg.(value & opt string "Comp-C" & info [ "c"; "criterion" ] ~docv:"NAME" ~doc)
+
+let explain_arg =
+  let doc = "Print the full reduction trace (fronts, witness layouts, verdict)." in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let skip_validation_arg =
+  let doc = "Check criteria even when the history violates the model." in
+  Arg.(value & flag & info [ "force" ] ~doc)
+
+let dot_arg =
+  let doc =
+    "Write Graphviz renderings ($(docv)-forest.dot with the observed order \
+     overlaid, and $(docv)-invocations.dot) of the history."
+  in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PREFIX" ~doc)
+
+let cmd =
+  let doc = "decide composite correctness (Comp-C) and related criteria" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads a composite execution in the history description language and \
+         decides the correctness criteria of Alonso, Fe\xc3\x9fler, Pardon and \
+         Schek, \"Correctness in General Configurations of Transactional \
+         Components\" (PODS 1999): the general criterion Comp-C via \
+         level-by-level reduction, plus the specialised and classical \
+         criteria it subsumes.";
+      `S Manpage.s_examples;
+      `Pre "  compcheck history.ct --criterion all\n  compgen --shape stack | compcheck - --explain";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "compcheck" ~version:"1.0.0" ~doc ~man)
+    Term.(const run $ path_arg $ criterion_arg $ explain_arg $ skip_validation_arg $ dot_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,67 @@
+(* compgen: emit random composite executions in the history description
+   language, for fuzzing and for feeding compcheck. *)
+open Cmdliner
+open Repro_workload
+
+let run shape seed roots levels branches schedules out =
+  let rng = Prng.create ~seed in
+  let history =
+    match shape with
+    | "flat" -> Ok (Gen.flat rng ~roots)
+    | "stack" -> Ok (Gen.stack rng ~levels ~roots)
+    | "fork" -> Ok (Gen.fork rng ~branches ~roots)
+    | "join" -> Ok (Gen.join rng ~branches ~roots:(max roots branches))
+    | "general" -> Ok (Gen.general rng ~schedules ~roots)
+    | other -> Error other
+  in
+  match history with
+  | Error other ->
+    Fmt.epr "compgen: unknown shape %S (flat|stack|fork|join|general)@." other;
+    2
+  | Ok h ->
+    let text = Repro_histlang.Syntax.to_string h in
+    (match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc);
+    0
+
+let shape_arg =
+  let doc = "Configuration shape: flat, stack, fork, join, or general." in
+  Arg.(value & opt string "general" & info [ "s"; "shape" ] ~docv:"SHAPE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (generation is deterministic per seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let roots_arg =
+  let doc = "Number of root transactions." in
+  Arg.(value & opt int 3 & info [ "roots" ] ~docv:"N" ~doc)
+
+let levels_arg =
+  let doc = "Stack depth (stack shape only)." in
+  Arg.(value & opt int 3 & info [ "levels" ] ~docv:"N" ~doc)
+
+let branches_arg =
+  let doc = "Branch count (fork and join shapes)." in
+  Arg.(value & opt int 2 & info [ "branches" ] ~docv:"N" ~doc)
+
+let schedules_arg =
+  let doc = "Schedule count (general shape)." in
+  Arg.(value & opt int 4 & info [ "schedules" ] ~docv:"N" ~doc)
+
+let out_arg =
+  let doc = "Write to $(docv) instead of standard output." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "generate random composite executions" in
+  Cmd.v
+    (Cmd.info "compgen" ~version:"1.0.0" ~doc)
+    Term.(
+      const run $ shape_arg $ seed_arg $ roots_arg $ levels_arg $ branches_arg
+      $ schedules_arg $ out_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/banking_federation.ml: Conflict Fmt History Label List Prng Repro_core Repro_criteria Repro_model Repro_runtime Repro_workload Sim Template Validate

@@ -1,0 +1,1 @@
+examples/figures.ml: Fmt History List Repro_core Repro_model Repro_order Repro_workload

@@ -1,0 +1,1 @@
+examples/layered_dbms.ml: Conflict Fmt History Label List Pagemap Repro_core Repro_criteria Repro_model Repro_runtime Repro_storage Validate

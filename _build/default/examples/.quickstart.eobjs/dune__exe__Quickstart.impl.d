@@ -1,0 +1,1 @@
+examples/quickstart.ml: Conflict Fmt History Label List Repro_core Repro_criteria Repro_histlang Repro_model Validate

@@ -1,0 +1,1 @@
+examples/travel_agency.ml: Conflict Fmt History Label Repro_core Repro_criteria Repro_model Repro_order Validate

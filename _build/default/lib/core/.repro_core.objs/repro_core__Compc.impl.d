@@ -1,0 +1,1 @@
+lib/core/compc.ml: Fmt Front History Int_set List Observed Reduction Repro_model Repro_order

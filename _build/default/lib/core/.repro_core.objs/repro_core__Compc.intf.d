@@ -1,0 +1,1 @@
+lib/core/compc.mli: Format History Observed Reduction Repro_model Repro_order

@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Front History Ids Int_set List Observed Pair Pair_set Reduction Rel Repro_model Repro_order

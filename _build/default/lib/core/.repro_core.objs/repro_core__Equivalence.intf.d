@@ -1,0 +1,1 @@
+lib/core/equivalence.mli: Front History Ids Int_set Observed Pair_set Rel Repro_model Repro_order

@@ -1,0 +1,1 @@
+lib/core/front.ml: Array Fmt Fun History Ids Int_set List Observed Rel Repro_model Repro_order

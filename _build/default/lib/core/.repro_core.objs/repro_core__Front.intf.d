@@ -1,0 +1,1 @@
+lib/core/front.mli: Format History Ids Int_set Observed Rel Repro_model Repro_order

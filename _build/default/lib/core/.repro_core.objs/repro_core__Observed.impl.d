@@ -1,0 +1,1 @@
+lib/core/observed.ml: History Ids Int_set List Rel Repro_model Repro_order

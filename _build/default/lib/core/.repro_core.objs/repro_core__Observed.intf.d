@@ -1,0 +1,1 @@
+lib/core/observed.mli: History Ids Rel Repro_model Repro_order

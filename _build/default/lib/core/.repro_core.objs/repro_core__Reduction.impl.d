@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Fmt Front Hashtbl History Ids Int_set List Observed Option Rel Repro_model Repro_order Result

@@ -1,0 +1,1 @@
+lib/core/reduction.mli: Format Front History Ids Observed Repro_model Repro_order

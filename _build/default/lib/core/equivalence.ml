@@ -1,0 +1,80 @@
+open Repro_model
+open Repro_order
+open Ids
+
+type front_spec = {
+  fs_members : Int_set.t;
+  fs_input : Rel.t;
+  fs_con : Pair_set.t;
+}
+
+let con_pairs h rel (f : Front.t) =
+  Observed.conflict_pairs h rel f.Front.members
+  |> List.map Pair.normalise
+  |> Pair_set.of_list
+
+let of_front h rel (f : Front.t) =
+  { fs_members = f.Front.members; fs_input = f.Front.inp; fs_con = con_pairs h rel f }
+
+let is_serial fs = Rel.total_on fs.fs_members fs.fs_input
+
+let level_front h i =
+  let cert = Reduction.reduce h in
+  let reached =
+    match cert.Reduction.outcome with
+    | Ok _ -> true
+    | Error
+        ( Reduction.Front_not_cc { index; _ }
+        | Reduction.No_calculation { level = index; _ }
+        | Reduction.Intra_contradiction { level = index; _ } ) ->
+      index > i
+  in
+  if not reached then None
+  else if i = 0 then Some cert.Reduction.initial
+  else
+    List.find_map
+      (fun (s : Reduction.step) ->
+        if s.Reduction.level = i then Some s.Reduction.front else None)
+      cert.Reduction.steps
+
+let level_equivalent h i fs =
+  match level_front h i with
+  | None -> false
+  | Some f ->
+    let rel = Observed.compute h in
+    Int_set.equal f.Front.members fs.fs_members
+    && Rel.equal f.Front.inp fs.fs_input
+    && Pair_set.equal (con_pairs h rel f) fs.fs_con
+
+let level_contained h i fs =
+  match level_front h i with
+  | None -> false
+  | Some f ->
+    let rel = Observed.compute h in
+    Int_set.equal f.Front.members fs.fs_members
+    && Pair_set.equal (con_pairs h rel f) fs.fs_con
+    && Rel.subset (Front.constraint_graph f) fs.fs_input
+
+let comp_c_via_containment h =
+  let n = History.order h in
+  match level_front h n with
+  | None -> false
+  | Some f -> (
+    let rel = Observed.compute h in
+    (* Theorem 1 (if): topologically sort the front's constraints into a
+       total order — the serial front — then verify Defs. 17 and 19. *)
+    match Rel.topo_sort ~nodes:f.Front.members (Front.constraint_graph f) with
+    | None -> false
+    | Some order ->
+      let rec chain acc = function
+        | a :: (b :: _ as rest) -> chain (Rel.add a b acc) rest
+        | _ -> acc
+      in
+      let serial =
+        {
+          fs_members = f.Front.members;
+          fs_input = Rel.transitive_closure (chain Rel.empty order);
+          fs_con = con_pairs h rel f;
+        }
+      in
+      is_serial serial && level_contained h n serial)

@@ -1,0 +1,49 @@
+(** Serial fronts, level-equivalence and level-containment (Defs. 17–20),
+    made executable.
+
+    {!Reduction} decides Comp-C through Theorem 1 ("a level-N front
+    exists"); this module implements the {e definitional} route: Def. 20
+    declares a composite execution correct iff it is level-N-contained
+    (Def. 19) in a {e serial} front (Def. 17).  Theorem 1's (if) direction
+    is constructive — topologically sorting a level-N front's constraints
+    yields the serial front — and {!comp_c_via_containment} follows that
+    construction and then {e verifies} every clause of Defs. 17–19 against
+    it, giving an independent consistency check of the whole definitional
+    stack (exercised on random histories by the test suite). *)
+
+open Repro_model
+open Repro_order
+open Ids
+
+type front_spec = {
+  fs_members : Int_set.t;  (** The [O] of the front. *)
+  fs_input : Rel.t;  (** The front's input order [→]; total for serial fronts. *)
+  fs_con : Pair_set.t;  (** Normalised generalized-conflict pairs. *)
+}
+(** An abstract front, as Defs. 17–19 quantify over: independent of how (or
+    whether) some composite execution produced it. *)
+
+val of_front : History.t -> Observed.relations -> Front.t -> front_spec
+
+val is_serial : front_spec -> bool
+(** Def. 17: the input order totally orders the members. *)
+
+val level_front : History.t -> int -> Front.t option
+(** The history's level-[i] front per Def. 16 — [Some] iff the reduction
+    reaches level [i] (every step up to [i] finds its calculations and every
+    front on the way is conflict consistent). *)
+
+val level_equivalent : History.t -> int -> front_spec -> bool
+(** Def. 18: the history has a level-[i] front identical to the given one
+    (same members, same input order, same conflict pairs). *)
+
+val level_contained : History.t -> int -> front_spec -> bool
+(** Def. 19: the history is level-[i]-equivalent to some front [F*] whose
+    members and conflicts match the given front, and whose constraints
+    ([→ ∪ <_o]) are contained in the given front's input order. *)
+
+val comp_c_via_containment : History.t -> bool
+(** Def. 20 via Theorem 1's construction: build the serial front from the
+    level-N front's topological order (when the reduction reaches level N)
+    and verify {!is_serial} and {!level_contained}.  Agrees with
+    {!Compc.is_correct} on every history (tested). *)

@@ -1,0 +1,63 @@
+open Repro_order
+open Repro_model
+open Ids
+
+type t = { index : int; members : Int_set.t; obs : Rel.t; inp : Rel.t }
+
+let members_at h i =
+  (* A node sits on the level-i front iff it is "done" at level i (leaf, or
+     transaction of a schedule of level <= i) and its parent is not (parent
+     is a root kept by propagation, or a transaction of a schedule of level
+     > i, or the node is itself a root). *)
+  let done_at n = History.level_of_node h n <= i in
+  Array.to_list (Array.init (History.n_nodes h) Fun.id)
+  |> List.filter (fun n ->
+         done_at n
+         &&
+         match History.parent h n with
+         | None -> true
+         | Some p -> not (done_at p))
+  |> Int_set.of_list
+
+let make h (rel : Observed.relations) i =
+  let members = members_at h i in
+  let keep n = Int_set.mem n members in
+  {
+    index = i;
+    members;
+    obs = Rel.restrict ~keep rel.Observed.obs;
+    inp = Rel.restrict ~keep rel.Observed.inp;
+  }
+
+let initial h rel = make h rel 0
+
+let constraint_graph f = Rel.union f.obs f.inp
+
+let layout_constraints h rel f =
+  (* Def. 16 step 1: only commuting pairs not ordered by the input orders
+     may be reordered when isolating transactions, so the binding
+     constraints are the input orders plus the observed pairs that are
+     generalized conflicts (Def. 11); observed orders between commuting
+     operations of a common schedule do not pin the layout down. *)
+  Rel.union f.inp (Rel.filter (fun a b -> Observed.conflict h rel a b) f.obs)
+
+let cc_cycle f = Rel.find_cycle (constraint_graph f)
+
+let is_cc f = cc_cycle f = None
+
+let is_serial h f =
+  let strong =
+    List.fold_left
+      (fun acc (s : History.schedule) -> Rel.union acc s.History.strong_in)
+      Rel.empty (History.schedules h)
+  in
+  Rel.total_on f.members (Rel.transitive_closure strong)
+
+let conflict_pairs h rel f = Observed.conflict_pairs h rel f.members
+
+let pp h ppf f =
+  let pn = History.pp_node h in
+  Fmt.pf ppf "@[<v 2>level %d front:@ members: %a@ <_o: %a@ ->: %a@]" f.index
+    Fmt.(list ~sep:comma pn)
+    (Int_set.elements f.members)
+    Rel.pp f.obs Rel.pp f.inp

@@ -1,0 +1,81 @@
+(** Observed order and generalized conflicts (Defs. 10–11).
+
+    The observed order [<_o] is how the theory relates transactions that
+    share no schedule: interference among low-level operations is propagated
+    {e upwards} along the execution trees.  The generative rules (Def. 10),
+    as implemented:
+
+    + {e base}: between two operations of a common schedule, that schedule
+      is authoritative - the observed order is its weak output order.
+      Def. 10 rule 1 states this for leaves; the Figure-4 narrative ("the
+      orders obtained in the previous step are forgotten" when the common
+      schedule sees no conflict) extends it to internal operations.
+      Well-behaved schedules emit {e minimal} outputs, so these pairs are
+      exactly the conflicting pairs, the intra-transaction orders, the
+      input-order obligations, and their transitive combinations;
+    + {e rule 2}: a pair of conflicting operations of a common schedule
+      climbs to the parents (the schedule's serialization decision);
+    + {e rule 3}: a cross-schedule observed pair climbs to the parents
+      unconditionally;
+    + a climbed pair is {e kept} only when the parents do not themselves
+      share a schedule: if they do, that schedule's own output order is
+      already in the base and anything else is forgotten (this is what lets
+      commutativity knowledge erase lower-level interference);
+    + transitivity.
+
+    Propagation and transitivity feed each other, so the relation is their
+    least fixpoint over the base.  [parent] is Def. 5's: a root is its own
+    parent, which lets pairs keep climbing on the non-root side.
+
+    The generalized conflict relation CON (Def. 11) is derived: operations
+    of a common schedule conflict iff that schedule's own predicate says so;
+    operations of different schedules conflict iff they are observed-related
+    (interaction at a lower level is pessimistically treated as a
+    conflict). *)
+
+open Repro_order
+open Repro_model
+
+type relations = {
+  obs : Rel.t;  (** The observed order [<_o], transitively closed, over all node ids. *)
+  inp : Rel.t;
+      (** The union of all schedules' weak input orders [→] — the input-order
+          component of every computational front (Def. 12). *)
+  inp_strong : Rel.t;  (** The union of all strong input orders [⇒]. *)
+  base_obs : Rel.t;
+      (** The base pairs (union of weak output orders) before propagation
+          and closure; useful for explanation output. *)
+}
+
+val compute : History.t -> relations
+(** Least fixpoint of the Def. 10 rules over the whole history. *)
+
+(** {1 Ablation support}
+
+    The published definitions admit more than one reading of how pulled-up
+    pairs interact with a common schedule's commutativity knowledge; the
+    reading implemented by {!compute} is the one under which the paper's
+    Theorems 2-4 and figure narratives hold (validated empirically, see
+    DESIGN.md section 4 and experiment E12).  The rejected readings remain
+    available so the ablation experiment can quantify how each one breaks:
+
+    - {!No_forgetting}: every observed pair climbs to the parents, even
+      between commuting operations of a common schedule — low-level orders
+      are never forgotten, so the criterion over-rejects (it collapses
+      towards LLSR and disagrees with SCC on stacks);
+    - {!Eager_forgetting}: climbed pairs landing between operations of a
+      common schedule are dropped from the observed order entirely — fronts
+      lose the pulled serialization orders, so the criterion over-accepts
+      (it misses input-order violations that SCC catches). *)
+
+type variant = Final | No_forgetting | Eager_forgetting
+
+val compute_with : variant -> History.t -> relations
+(** [compute_with Final] is {!compute}. *)
+
+val conflict : History.t -> relations -> Ids.id -> Ids.id -> bool
+(** The generalized conflict relation CON of Def. 11 (symmetric). *)
+
+val conflict_pairs : History.t -> relations -> Ids.Int_set.t -> (Ids.id * Ids.id) list
+(** All generalized-conflict pairs within a node set, normalised with the
+    smaller id first; used to display fronts. *)

@@ -1,0 +1,135 @@
+open Repro_order
+open Repro_model
+open Ids
+
+type failure =
+  | Front_not_cc of { index : int; cycle : id list }
+  | No_calculation of { level : int; cluster_cycle : id list }
+  | Intra_contradiction of { level : int; tx : id; cycle : id list }
+
+type step = { level : int; front : Front.t; layout : id list }
+
+type certificate = {
+  initial : Front.t;
+  steps : step list;
+  outcome : (id list, failure) result;
+}
+
+let pp_failure h ppf f =
+  let pn = History.pp_node h in
+  let pp_cycle = Fmt.(list ~sep:(any " -> ") pn) in
+  match f with
+  | Front_not_cc { index; cycle } ->
+    Fmt.pf ppf "level %d front is not conflict consistent: cycle %a" index
+      pp_cycle cycle
+  | No_calculation { level; cluster_cycle } ->
+    Fmt.pf ppf
+      "no calculation at step %d: transactions cannot be isolated, cluster cycle %a"
+      level pp_cycle cluster_cycle
+  | Intra_contradiction { level; tx; cycle } ->
+    Fmt.pf ppf
+      "at step %d the intra-transaction order of %a contradicts the observed order: cycle %a"
+      level pn tx pp_cycle cycle
+
+(* One reduction step: isolate every level-[lvl] transaction inside the
+   previous front [prev] and produce the level-[lvl] front. *)
+let reduce_step h rel lvl (prev : Front.t) =
+  let level_txs =
+    History.schedules_at_level h lvl
+    |> List.concat_map (fun s ->
+           Int_set.elements (History.schedule h s).History.transactions)
+  in
+  (* Cluster map: operations of a level-[lvl] transaction map to the
+     transaction; every other front member stands for itself.  Transaction
+     ids never collide with previous-front member ids, so cluster ids are
+     unambiguous. *)
+  let cluster = Hashtbl.create 64 in
+  List.iter
+    (fun t -> List.iter (fun c -> Hashtbl.replace cluster c t) (History.children h t))
+    level_txs;
+  let cls n = match Hashtbl.find_opt cluster n with Some t -> t | None -> n in
+  let constraints = Front.layout_constraints h rel prev in
+  (* Intra-cluster feasibility (Def. 14): within one transaction, the
+     observed/input orders joined with the transaction's weak
+     intra-transaction order must be acyclic. *)
+  let intra_failure =
+    List.find_map
+      (fun t ->
+        let ops = Int_set.of_list (History.children h t) in
+        let local =
+          Rel.union
+            (Rel.restrict ~keep:(fun n -> Int_set.mem n ops) constraints)
+            (History.node h t).History.intra_weak
+        in
+        match Rel.find_cycle local with
+        | Some cycle -> Some (Intra_contradiction { level = lvl; tx = t; cycle })
+        | None -> None)
+      level_txs
+  in
+  match intra_failure with
+  | Some f -> Error f
+  | None -> (
+    let quotient = Rel.quotient cls constraints in
+    let cluster_universe = Int_set.of_list (List.map cls (Int_set.elements prev.Front.members)) in
+    match Rel.topo_sort ~nodes:cluster_universe quotient with
+    | None ->
+      let cycle =
+        match Rel.find_cycle quotient with Some c -> c | None -> assert false
+      in
+      Error (No_calculation { level = lvl; cluster_cycle = cycle })
+    | Some cluster_order ->
+      (* Expand the cluster order into the witness layout F**: clusters in
+         quotient-topological order, each cluster laid out consistently with
+         its internal constraints. *)
+      let tx_set = Int_set.of_list level_txs in
+      let layout =
+        List.concat_map
+          (fun c ->
+            if Int_set.mem c tx_set then begin
+              let ops = Int_set.of_list (History.children h c) in
+              let local =
+                Rel.union
+                  (Rel.restrict ~keep:(fun n -> Int_set.mem n ops) constraints)
+                  (History.node h c).History.intra_weak
+              in
+              (* Acyclic: the intra-cluster check above succeeded. *)
+              Option.get (Rel.topo_sort ~nodes:ops local)
+            end
+            else [ c ])
+          cluster_order
+      in
+      let front = Front.make h rel lvl in
+      Ok { level = lvl; front; layout })
+
+let reduce ?rel h =
+  let rel = match rel with Some r -> r | None -> Observed.compute h in
+  let initial = Front.initial h rel in
+  let order = History.order h in
+  let check_cc (front : Front.t) =
+    match Front.cc_cycle front with
+    | Some cycle -> Some (Front_not_cc { index = front.Front.index; cycle })
+    | None -> None
+  in
+  match check_cc initial with
+  | Some f -> { initial; steps = []; outcome = Error f }
+  | None ->
+    let rec go lvl steps prev =
+      if lvl > order then begin
+        let final = prev in
+        match
+          Rel.topo_sort ~nodes:final.Front.members (Front.constraint_graph final)
+        with
+        | Some serial -> { initial; steps = List.rev steps; outcome = Ok serial }
+        | None -> assert false (* final front passed its CC check *)
+      end
+      else
+        match reduce_step h rel lvl prev with
+        | Error f -> { initial; steps = List.rev steps; outcome = Error f }
+        | Ok step -> (
+          match check_cc step.front with
+          | Some f -> { initial; steps = List.rev (step :: steps); outcome = Error f }
+          | None -> go (lvl + 1) (step :: steps) step.front)
+    in
+    go 1 [] initial
+
+let is_correct c = Result.is_ok c.outcome

@@ -1,0 +1,1 @@
+lib/criteria/classic.ml: Hashtbl History Int_set List Rel Repro_core Repro_model Repro_order Ser Shapes Special

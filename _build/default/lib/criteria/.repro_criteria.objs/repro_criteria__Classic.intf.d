@@ -1,0 +1,1 @@
+lib/criteria/classic.mli: History Repro_model

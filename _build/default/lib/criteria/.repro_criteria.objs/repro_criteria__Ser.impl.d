@@ -1,0 +1,1 @@
+lib/criteria/ser.ml: Hashtbl History Ids Int_set List Rel Repro_model Repro_order

@@ -1,0 +1,1 @@
+lib/criteria/ser.mli: History Rel Repro_model Repro_order

@@ -1,0 +1,1 @@
+lib/criteria/shapes.ml: Fmt History Ids Int_set List Repro_model Repro_order

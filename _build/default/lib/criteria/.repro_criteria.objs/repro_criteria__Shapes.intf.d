@@ -1,0 +1,1 @@
+lib/criteria/shapes.mli: Format History Repro_model

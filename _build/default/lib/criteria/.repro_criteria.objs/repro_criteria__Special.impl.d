@@ -1,0 +1,1 @@
+lib/criteria/special.ml: History List Rel Repro_model Repro_order Ser Shapes

@@ -1,0 +1,1 @@
+lib/criteria/special.mli: History Rel Repro_model Repro_order

@@ -1,0 +1,153 @@
+open Repro_order
+open Repro_model
+
+let root_of h n =
+  let rec climb n = match History.parent h n with None -> n | Some p -> climb p in
+  climb n
+
+let flat_csr h =
+  let pulled =
+    List.fold_left
+      (fun acc (s : History.schedule) ->
+        Rel.fold
+          (fun o o' acc ->
+            if
+              History.is_leaf h o && History.is_leaf h o'
+              && History.conflicts h s.History.sid o o'
+            then begin
+              let r = root_of h o and r' = root_of h o' in
+              if r <> r' then Rel.add r r' acc else acc
+            end
+            else acc)
+          s.History.weak_out acc)
+      Rel.empty (History.schedules h)
+  in
+  let root_inputs =
+    List.fold_left
+      (fun acc r ->
+        match History.sched_of_tx h r with
+        | Some s ->
+          Rel.union acc
+            (Rel.restrict
+               ~keep:(fun n -> History.is_root h n)
+               (History.schedule h s).History.weak_in)
+        | None -> acc)
+      Rel.empty (History.roots h)
+  in
+  Rel.is_acyclic (Rel.union pulled root_inputs)
+
+let llsr h =
+  match Shapes.classify h with
+  | Shapes.Stack chain ->
+    (* Bottom-up; [pull] accumulates every ordering established at lower
+       levels, lifted to the current level's transactions. *)
+    let bottom_up = List.rev chain in
+    let rec go pull = function
+      | [] -> true
+      | sid :: rest ->
+        let s = History.schedule h sid in
+        let level_rel =
+          Rel.union (Ser.serialization_order h sid) (Rel.union s.History.weak_in pull)
+        in
+        if not (Rel.is_acyclic level_rel) then false
+        else begin
+          let lifted =
+            Rel.fold
+              (fun t t' acc ->
+                let p = History.parent_tx h t and p' = History.parent_tx h t' in
+                if p <> p' && p <> t then Rel.add p p' acc else acc)
+              level_rel Rel.empty
+          in
+          go lifted rest
+        end
+    in
+    go Rel.empty bottom_up
+  | _ -> invalid_arg "Classic.llsr: not a stack"
+
+let mlsr h =
+  match Shapes.classify h with
+  | Shapes.Stack chain ->
+    List.for_all (fun sid -> Ser.cc h sid) chain
+    &&
+    let root_of_tx t =
+      let rec climb n = match History.parent h n with None -> n | Some p -> climb p in
+      climb t
+    in
+    let lifted =
+      List.fold_left
+        (fun acc sid ->
+          Rel.fold
+            (fun t t' acc ->
+              let r = root_of_tx t and r' = root_of_tx t' in
+              if r <> r' then Rel.add r r' acc else acc)
+            (Ser.serialization_order h sid) acc)
+        Rel.empty chain
+    in
+    let root_inputs =
+      match chain with
+      | top :: _ ->
+        Rel.restrict ~keep:(History.is_root h) (History.schedule h top).History.weak_in
+      | [] -> Rel.empty
+    in
+    Rel.is_acyclic (Rel.union lifted root_inputs)
+  | _ -> invalid_arg "Classic.mlsr: not a stack"
+
+let opsr h =
+  match Shapes.classify h with
+  | Shapes.Stack chain ->
+    (* Real time is the bottom schedule's leaf log; a transaction's span is
+       the interval covered by its descendant leaves. *)
+    let bottom = List.nth chain (List.length chain - 1) in
+    let log = (History.schedule h bottom).History.log in
+    let pos = Hashtbl.create 64 in
+    List.iteri (fun i o -> Hashtbl.replace pos o i) log;
+    let span t =
+      let open Repro_order.Ids in
+      Int_set.fold
+        (fun n acc ->
+          match Hashtbl.find_opt pos n with
+          | None -> acc
+          | Some i -> (
+            match acc with
+            | None -> Some (i, i)
+            | Some (lo, hi) -> Some (min lo i, max hi i)))
+        (History.descendants h t) None
+    in
+    log <> []
+    && List.for_all
+         (fun sid ->
+           let s = History.schedule h sid in
+           let txs = Repro_order.Ids.Int_set.elements s.History.transactions in
+           let precedes =
+             List.fold_left
+               (fun acc t ->
+                 List.fold_left
+                   (fun acc t' ->
+                     if t = t' then acc
+                     else
+                       match (span t, span t') with
+                       | Some (_, hi), Some (lo, _) when hi < lo -> Rel.add t t' acc
+                       | _ -> acc)
+                   acc txs)
+               Rel.empty txs
+           in
+           Rel.is_acyclic
+             (Rel.union (Ser.serialization_order h sid)
+                (Rel.union s.History.weak_in precedes)))
+         chain
+  | _ -> invalid_arg "Classic.opsr: not a stack"
+
+let accepted_by h =
+  let shape = Shapes.classify h in
+  let base = [ ("FlatCSR", flat_csr h) ] in
+  let base =
+    match shape with
+    | Shapes.Stack _ -> base @ [ ("LLSR", llsr h); ("MLSR", mlsr h); ("OPSR", opsr h) ]
+    | _ -> base
+  in
+  let base =
+    match Special.check_matching h with
+    | Some (name, verdict) -> base @ [ (name, verdict) ]
+    | None -> base
+  in
+  base @ [ ("Comp-C", Repro_core.Compc.is_correct h) ]

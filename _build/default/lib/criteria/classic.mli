@@ -1,0 +1,53 @@
+(** Classical multilevel correctness criteria, for the containment
+    comparisons of Sections 1 and 4.
+
+    The paper positions Comp-C against three earlier notions and claims all
+    are proper subsets of SCC (hence of Comp-C): level-by-level
+    serializability (LLSR, [We91]), multilevel serializability, and
+    order-preserving serializability (OPSR, [BBG89]).  These implementations
+    target stack configurations — the setting in which the classical notions
+    are defined — and are exercised by experiment E8.
+
+    Operational definitions used here (bottom schedule first):
+
+    - {b Flat CSR}: forget all intermediate semantics; pull every leaf-level
+      conflict straight up to the roots and require acyclicity together with
+      the root input orders.  The classical page-level serializability a
+      monolithic scheduler would enforce.
+    - {b LLSR}: level by level, the serialization order of each schedule
+      joined with {e every} conflict pulled up from the level below (no
+      commutativity-based forgetting — the "conflicts at one level must
+      also conflict at all lower levels" regime) and the schedule's weak
+      input order must be acyclic.
+    - {b MLSR} (multilevel serializability, [Wei91]): every schedule is
+      conflict consistent {e and} one serial order of the roots is
+      compatible with every level's serialization order lifted to the
+      roots (acyclicity of the union of the lifted orders with the root
+      input orders).  Sits strictly between LLSR and SCC: unlike LLSR it
+      collapses intra-root interference on the way up, unlike SCC it
+      cannot forget a lower level's cross-root orders.
+    - {b OPSR}: each schedule must be conflict consistent {e and} order
+      preserving: its serialization order must also respect the real-time
+      non-overlap order of its transactions, where a transaction's span is
+      the interval its descendant leaves occupy in the bottom schedule's
+      execution log (the classical [BBG89] notion). *)
+
+open Repro_model
+
+val flat_csr : History.t -> bool
+
+val llsr : History.t -> bool
+(** Raises [Invalid_argument] when the history is not a stack. *)
+
+val mlsr : History.t -> bool
+(** Raises [Invalid_argument] when the history is not a stack. *)
+
+val opsr : History.t -> bool
+(** Raises [Invalid_argument] when the history is not a stack, and is
+    [false] when the bottom schedule has no execution log (real time is
+    unknown). *)
+
+val accepted_by : History.t -> (string * bool) list
+(** All applicable criteria with their verdicts (for reports): flat CSR;
+    LLSR, MLSR and OPSR on stacks; SCC/FCC/JCC when the shape matches; and
+    Comp-C. *)

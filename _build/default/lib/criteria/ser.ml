@@ -1,0 +1,52 @@
+open Repro_order
+open Repro_model
+open Ids
+
+let serialization_order h sid =
+  let s = History.schedule h sid in
+  Rel.fold
+    (fun o o' acc ->
+      if History.conflicts h sid o o' then begin
+        let t = History.parent_tx h o and t' = History.parent_tx h o' in
+        if t <> t' then Rel.add t t' acc else acc
+      end
+      else acc)
+    s.History.weak_out Rel.empty
+
+let constraint_graph h sid =
+  let s = History.schedule h sid in
+  Rel.union (serialization_order h sid) s.History.weak_in
+
+let cc_witness h sid = Rel.find_cycle (constraint_graph h sid)
+
+let cc h sid = cc_witness h sid = None
+
+let precedes h sid =
+  let s = History.schedule h sid in
+  match s.History.log with
+  | [] -> Rel.empty
+  | log ->
+    (* First and last log position of each transaction's operations. *)
+    let first = Hashtbl.create 16 and last = Hashtbl.create 16 in
+    List.iteri
+      (fun i o ->
+        let t = History.parent_tx h o in
+        if not (Hashtbl.mem first t) then Hashtbl.replace first t i;
+        Hashtbl.replace last t i)
+      log;
+    let txs = Int_set.elements s.History.transactions in
+    List.fold_left
+      (fun acc t ->
+        List.fold_left
+          (fun acc t' ->
+            if t <> t' then
+              match (Hashtbl.find_opt last t, Hashtbl.find_opt first t') with
+              | Some e, Some b when e < b -> Rel.add t t' acc
+              | _ -> acc
+            else acc)
+          acc txs)
+      Rel.empty txs
+
+let serial_witness h sid =
+  let s = History.schedule h sid in
+  Rel.topo_sort ~nodes:s.History.transactions (constraint_graph h sid)

@@ -1,0 +1,32 @@
+(** Per-schedule serialization machinery shared by all correctness criteria.
+
+    Classical concurrency theory derives, from a schedule's output, the
+    {e serialization order} it induces on its transactions: [t] before [t']
+    whenever some operation of [t] precedes a conflicting operation of [t'].
+    Conflict consistency of a single schedule — the building block of SCC,
+    FCC and JCC ([ABFS97], [AFPS99]) — is acyclicity of that order joined
+    with the schedule's weak input order; the paper's Def. 13 restates the
+    same property on fronts. *)
+
+open Repro_order
+open Repro_model
+
+val serialization_order : History.t -> History.sched_id -> Rel.t
+(** [(t, t')] iff some operation of [t] is weak-output-ordered before a
+    conflicting operation of [t'] (both transactions of the schedule). *)
+
+val cc : History.t -> History.sched_id -> bool
+(** Conflict consistency of one schedule: [serialization_order ∪ weak_in]
+    acyclic. *)
+
+val cc_witness : History.t -> History.sched_id -> Repro_order.Ids.id list option
+(** A cycle witnessing non-CC, or [None] when the schedule is CC. *)
+
+val precedes : History.t -> History.sched_id -> Rel.t
+(** Non-overlap order from the schedule's execution log: [(t, t')] iff every
+    logged operation of [t] precedes every logged operation of [t'].  Empty
+    when the schedule has no log.  Used by order-preserving criteria. *)
+
+val serial_witness : History.t -> History.sched_id -> Repro_order.Ids.id list option
+(** A serial transaction order compatible with the serialization order and
+    the weak input order, or [None] when not CC. *)

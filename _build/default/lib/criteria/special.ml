@@ -1,0 +1,52 @@
+open Repro_order
+open Repro_model
+
+let all_schedules_cc h =
+  List.for_all (fun (s : History.schedule) -> Ser.cc h s.History.sid) (History.schedules h)
+
+let scc h =
+  if not (Shapes.is_stack h) then invalid_arg "Special.scc: not a stack";
+  all_schedules_cc h
+
+let fcc h =
+  if not (Shapes.is_fork h) then invalid_arg "Special.fcc: not a fork";
+  all_schedules_cc h
+
+let ghost_graph h ~branches ~bottom =
+  let ser = Ser.serialization_order h bottom in
+  let branch_of t =
+    match History.sched_of_op h t with
+    | Some s when List.mem s branches -> Some s
+    | _ -> None
+  in
+  Rel.fold
+    (fun t t' acc ->
+      match (branch_of t, branch_of t') with
+      | Some b, Some b' when b <> b' ->
+        let p = History.parent_tx h t and p' = History.parent_tx h t' in
+        if p <> p' then Rel.add p p' acc else acc
+      | _ -> acc)
+    ser Rel.empty
+
+let jcc h =
+  match Shapes.classify h with
+  | Shapes.Join { branches; bottom } ->
+    Ser.cc h bottom
+    &&
+    let ghost = ghost_graph h ~branches ~bottom in
+    let upper =
+      List.fold_left
+        (fun acc b ->
+          let s = History.schedule h b in
+          Rel.union acc (Rel.union (Ser.serialization_order h b) s.History.weak_in))
+        ghost branches
+    in
+    Rel.is_acyclic upper
+  | _ -> invalid_arg "Special.jcc: not a join"
+
+let check_matching h =
+  match Shapes.classify h with
+  | Shapes.Stack _ -> Some ("SCC", all_schedules_cc h)
+  | Shapes.Fork _ -> Some ("FCC", all_schedules_cc h)
+  | Shapes.Join _ -> Some ("JCC", jcc h)
+  | Shapes.Flat | Shapes.General -> None

@@ -1,0 +1,43 @@
+(** The specialised correctness criteria that predate the general theory:
+    stack conflict consistency (SCC, Def. 22), fork conflict consistency
+    (FCC, Def. 24) and join conflict consistency (JCC, Def. 27 with the
+    ghost graph of Def. 26).
+
+    Theorems 2–4 prove each equivalent to Comp-C on its configuration; the
+    test suite and experiment E5–E7 validate those equivalences empirically
+    against {!Repro_core.Compc}. *)
+
+open Repro_order
+open Repro_model
+
+val all_schedules_cc : History.t -> bool
+(** Every schedule of the history is conflict consistent ({!Ser.cc}).  This
+    {e is} SCC on stacks and FCC on forks (branch relations live on disjoint
+    transaction sets, so their union is acyclic iff each is). *)
+
+val scc : History.t -> bool
+(** Stack conflict consistency.  Raises [Invalid_argument] when the history
+    is not a stack ({!Shapes.is_stack}). *)
+
+val fcc : History.t -> bool
+(** Fork conflict consistency.  Raises [Invalid_argument] when the history
+    is not a fork. *)
+
+val ghost_graph : History.t -> branches:History.sched_id list -> bottom:History.sched_id -> Rel.t
+(** Def. 26 (join ghost graph): [T 𝒢 T'] for transactions of {e different}
+    branch schedules whenever children [t] of [T] and [t'] of [T'] are both
+    transactions of the shared bottom schedule and the bottom schedule
+    serializes [t] before [t'].  (The published definition's order relation
+    on the bottom schedule is garbled by OCR; the appendix's identity
+    [<_o = 𝒢 ∪ ⋃ ser] fixes the intended reading as the bottom schedule's
+    serialization order.) *)
+
+val jcc : History.t -> bool
+(** Join conflict consistency: the bottom schedule is CC and the union of
+    the ghost graph with every branch's serialization order and weak input
+    order is acyclic.  Raises [Invalid_argument] when the history is not a
+    join. *)
+
+val check_matching : History.t -> (string * bool) option
+(** Dispatch on the configuration: [Some ("SCC", scc h)] for stacks, and
+    likewise for forks and joins; [None] for other shapes. *)

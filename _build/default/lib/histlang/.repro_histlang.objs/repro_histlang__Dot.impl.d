@@ -1,0 +1,1 @@
+lib/histlang/dot.ml: Array Buffer Fmt History List Repro_model Repro_order String

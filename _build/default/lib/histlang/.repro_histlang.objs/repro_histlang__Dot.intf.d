@@ -1,0 +1,1 @@
+lib/histlang/dot.mli: History Repro_model Repro_order

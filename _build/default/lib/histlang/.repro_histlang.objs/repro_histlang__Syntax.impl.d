@@ -1,0 +1,1 @@
+lib/histlang/syntax.ml: Conflict Fmt Hashtbl History Label List Repro_model Repro_order String

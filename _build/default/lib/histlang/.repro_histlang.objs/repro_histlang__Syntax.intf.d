@@ -1,0 +1,1 @@
+lib/histlang/syntax.mli: Format Repro_model

@@ -1,0 +1,74 @@
+open Repro_model
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let node_label h i = escape (Fmt.str "%a" (History.pp_node h) i)
+
+(* Stable pastel fill per schedule. *)
+let fill sid =
+  let palette =
+    [| "#cfe2ff"; "#d1e7dd"; "#fff3cd"; "#f8d7da"; "#e2d9f3"; "#d2f4ea"; "#ffe5d0" |]
+  in
+  palette.(sid mod Array.length palette)
+
+let forest ?obs h =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  pf "digraph forest {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  for i = 0 to History.n_nodes h - 1 do
+    let shape, style =
+      if History.is_leaf h i then ("box", "filled")
+      else if History.is_root h i then ("doubleoctagon", "filled")
+      else ("ellipse", "filled")
+    in
+    let color =
+      match History.sched_of_tx h i with Some s -> fill s | None -> "#f5f5f5"
+    in
+    let sched_note =
+      match History.sched_of_tx h i with
+      | Some s -> Fmt.str "\\n@%s" (escape (History.schedule h s).History.sname)
+      | None -> ""
+    in
+    pf "  n%d [label=\"%s%s\", shape=%s, style=%s, fillcolor=\"%s\"];\n" i
+      (node_label h i) sched_note shape style color
+  done;
+  for i = 0 to History.n_nodes h - 1 do
+    List.iter (fun c -> pf "  n%d -> n%d;\n" i c) (History.children h i)
+  done;
+  (match obs with
+  | None -> ()
+  | Some r ->
+    (* Render the transitive reduction: the closure would bury the trees in
+       implied edges. *)
+    Repro_order.Rel.iter
+      (fun a b ->
+        pf "  n%d -> n%d [style=dashed, color=\"#c0392b\", constraint=false];\n" a b)
+      (Repro_order.Rel.transitive_reduction r));
+  pf "}\n";
+  Buffer.contents buf
+
+let invocation_graph h =
+  let buf = Buffer.create 256 in
+  let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  pf "digraph invocations {\n  rankdir=TB;\n  node [fontname=\"Helvetica\", shape=component, style=filled];\n";
+  List.iter
+    (fun (s : History.schedule) ->
+      pf "  s%d [label=\"%s\\nlevel %d\", fillcolor=\"%s\"];\n" s.History.sid
+        (escape s.History.sname)
+        (History.level h s.History.sid)
+        (fill s.History.sid))
+    (History.schedules h);
+  Repro_order.Rel.iter
+    (fun a b -> pf "  s%d -> s%d;\n" a b)
+    (History.invocation_graph h);
+  pf "}\n";
+  Buffer.contents buf

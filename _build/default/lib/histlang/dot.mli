@@ -1,0 +1,20 @@
+(** Graphviz (DOT) export of composite executions.
+
+    Two views:
+
+    - {!forest}: the computational forest — execution-tree edges solid,
+      nodes clustered by the schedule they are transactions of, leaves as
+      boxes; optionally overlaid with the observed order (dashed red
+      edges), which makes reduction failures visually obvious;
+    - {!invocation_graph}: the schedules and their invocation edges with
+      levels (Defs. 7–9).
+
+    Render with e.g. [dot -Tsvg]. *)
+
+open Repro_model
+
+val forest : ?obs:Repro_order.Rel.t -> History.t -> string
+(** [forest ?obs h] is a DOT digraph of the execution trees; when [obs] is
+    given, its pairs are drawn as dashed constraint edges. *)
+
+val invocation_graph : History.t -> string

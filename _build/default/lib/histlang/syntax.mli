@@ -1,0 +1,62 @@
+(** A textual description language for composite executions, so the checker
+    works as a standalone tool on files.
+
+    Grammar (['#'] starts a comment; newlines are insignificant):
+
+    {v
+    history  := item*
+    item     := "schedule" NAME "conflict" spec
+              | "root" NAME "@" NAME label
+              | "tx"   NAME "@" NAME "parent" NAME label
+              | "leaf" NAME "parent" NAME label
+              | "order"  NAME ":" NAME "<" NAME      # weak output pair
+              | "order!" NAME ":" NAME "<" NAME      # strong output pair
+              | "intra"  ":" NAME "<" NAME           # weak intra-transaction
+              | "intra!" ":" NAME "<" NAME           # strong intra-transaction
+              | "input"  ":" NAME "<" NAME           # weak root input order
+              | "input!" ":" NAME "<" NAME           # strong root input order
+              | "log" NAME ":" NAME*                 # execution log of a schedule
+    spec     := "rw" | "never" | "always" | "same-item"
+              | "table" "(" [NAME "/" NAME ("," NAME "/" NAME)*] ")"
+              | "explicit" "(" [NAME "/" NAME ("," NAME "/" NAME)*] ")"
+    label    := NAME [ "(" [ARG ("," ARG)*] ")" ]
+    v}
+
+    Node and schedule [NAME]s are arbitrary identifiers
+    ([A-Za-z0-9_.'-]+); a node must be declared before it is referenced.
+    In an [explicit] conflict specification the names refer to nodes, which
+    therefore must be declared before the schedule — in printed output the
+    specification is emitted after all nodes instead.
+
+    Example:
+
+    {v
+    schedule S conflict rw
+    root T1 @ S T1
+    root T2 @ S T2
+    leaf a parent T1 r(x)
+    leaf b parent T2 w(x)
+    log S: a b
+    v} *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> Repro_model.History.t
+(** Parse a history description.  Raises {!Parse_error} on syntax or
+    reference errors, [Invalid_argument] when the builder rejects the
+    structure (see {!Repro_model.History.Builder.seal}). *)
+
+val parse_file : string -> Repro_model.History.t
+
+val print : Format.formatter -> Repro_model.History.t -> unit
+(** Print a history in the language.  Node names are [n<id>]; the output
+    includes every schedule (with its conflict specification), node, intra
+    order, root input order, log, and the full weak/strong output orders, so
+    [parse (print h)] reconstructs an equivalent history (same verdicts,
+    same relations). *)
+
+val to_string : Repro_model.History.t -> string

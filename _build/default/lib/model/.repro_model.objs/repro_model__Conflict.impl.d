@@ -1,0 +1,1 @@
+lib/model/conflict.ml: Fmt Ids Label List Repro_order String

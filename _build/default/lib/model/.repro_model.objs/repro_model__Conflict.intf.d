@@ -1,0 +1,1 @@
+lib/model/conflict.mli: Format Label Repro_order

@@ -1,0 +1,1 @@
+lib/model/history.ml: Array Conflict Fmt Hashtbl Ids Int_set Label List Rel Repro_order

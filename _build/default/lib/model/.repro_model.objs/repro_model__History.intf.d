@@ -1,0 +1,1 @@
+lib/model/history.mli: Conflict Format Ids Int_set Label Rel Repro_order

@@ -1,0 +1,1 @@
+lib/model/label.ml: Fmt List String

@@ -1,0 +1,1 @@
+lib/model/label.mli: Format

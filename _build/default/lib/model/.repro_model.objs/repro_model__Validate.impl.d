@@ -1,0 +1,1 @@
+lib/model/validate.ml: Array Fmt Hashtbl History Ids Int_set List Rel Repro_order

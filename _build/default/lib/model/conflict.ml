@@ -1,0 +1,93 @@
+open Repro_order
+
+type spec =
+  | Never
+  | Always
+  | Rw
+  | Same_item
+  | Table of (string * string) list
+  | Explicit of (Ids.id * Ids.id) list
+
+(* Access classes of the read/write model; [Other] behaves like a writer so
+   that unknown operation names are treated pessimistically. *)
+type access = Reader | Writer | Bumper | Other
+
+let access_of_name = function
+  | "r" | "read" -> Reader
+  | "w" | "write" -> Writer
+  | "inc" | "dec" -> Bumper
+  | _ -> Other
+
+let rw_labels (a : Label.t) (b : Label.t) =
+  match (Label.item a, Label.item b) with
+  | Some ia, Some ib when String.equal ia ib -> (
+    match (access_of_name a.name, access_of_name b.name) with
+    | Reader, Reader -> false
+    | Bumper, Bumper -> false
+    | _ -> true)
+  | _ -> false
+
+let share_arg (a : Label.t) (b : Label.t) =
+  match (a.args, b.args) with
+  | [], _ | _, [] -> true (* argument-free operations conflict on name alone *)
+  | args_a, args_b -> List.exists (fun x -> List.mem x args_b) args_a
+
+let table_conflict pairs (a : Label.t) (b : Label.t) =
+  let listed =
+    List.exists
+      (fun (x, y) ->
+        (String.equal x a.name && String.equal y b.name)
+        || (String.equal x b.name && String.equal y a.name))
+      pairs
+  in
+  listed && share_arg a b
+
+let eval_labels spec a b =
+  match spec with
+  | Never -> false
+  | Always -> true
+  | Rw -> rw_labels a b
+  | Same_item -> (
+    match (Label.item a, Label.item b) with
+    | Some ia, Some ib -> String.equal ia ib
+    | _ -> false)
+  | Table pairs -> table_conflict pairs a b
+  | Explicit _ -> true
+
+let eval spec ~get_label a b =
+  if a = b then false
+  else
+    match spec with
+    | Never -> false
+    | Always -> true
+    | Rw -> rw_labels (get_label a) (get_label b)
+    | Same_item -> (
+      match (Label.item (get_label a), Label.item (get_label b)) with
+      | Some ia, Some ib -> String.equal ia ib
+      | _ -> false)
+    | Table pairs -> table_conflict pairs (get_label a) (get_label b)
+    | Explicit pairs ->
+      List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) pairs
+
+let pp ppf = function
+  | Never -> Fmt.string ppf "never"
+  | Always -> Fmt.string ppf "always"
+  | Rw -> Fmt.string ppf "rw"
+  | Same_item -> Fmt.string ppf "same-item"
+  | Table pairs ->
+    Fmt.pf ppf "table{%a}"
+      Fmt.(list ~sep:(any ";@ ") (pair ~sep:(any "/") string string))
+      pairs
+  | Explicit pairs ->
+    Fmt.pf ppf "explicit{%a}"
+      Fmt.(list ~sep:(any ";@ ") (pair ~sep:(any ",") int int))
+      pairs
+
+let equal s1 s2 =
+  match (s1, s2) with
+  | Never, Never | Always, Always | Rw, Rw | Same_item, Same_item -> true
+  | Table p1, Table p2 ->
+    List.equal (fun (a, b) (c, d) -> String.equal a c && String.equal b d) p1 p2
+  | Explicit p1, Explicit p2 ->
+    List.equal (fun (a, b) (c, d) -> a = c && b = d) p1 p2
+  | (Never | Always | Rw | Same_item | Table _ | Explicit _), _ -> false

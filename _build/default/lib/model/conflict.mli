@@ -1,0 +1,57 @@
+(** Conflict specifications.
+
+    Each schedule of a composite system owns a conflict predicate [CON_S]
+    over its operations (Def. 3).  Two operations conflict when they do not
+    commute — when their relative execution order matters for the net effect.
+    The paper treats [CON_S] as an abstract symmetric predicate; we represent
+    it as a declarative {!spec} value so that histories can be printed,
+    parsed, and generated, and compile it to a predicate on labelled nodes.
+
+    A specification only ever decides conflicts between {e distinct}
+    operations of {e different} transactions of the same schedule; intra-
+    transaction ordering is governed by the transaction's own orders
+    (Def. 2), and the theory never consults [CON_S] on a pair of operations
+    of the same transaction. *)
+
+type spec =
+  | Never  (** Everything commutes; the schedule never sees a conflict. *)
+  | Always  (** Every pair of operations (of different transactions) conflicts. *)
+  | Rw
+      (** The classical read/write model on the first argument: two
+          operations conflict iff they touch the same item and at least one
+          of them is a writer, where ["r"] reads; ["w"] writes; ["inc"] and
+          ["dec"] commute with each other but conflict with reads and
+          writes.  Unknown names are treated as writers of their item. *)
+  | Same_item
+      (** Operations conflict iff they share their first argument,
+          whatever their names — a coarse semantic model. *)
+  | Table of (string * string) list
+      (** [Table pairs] declares the {e conflicting} name pairs; the list is
+          interpreted symmetrically.  A pair conflicts iff its name pair is
+          listed {e and} the operations share at least one argument (if both
+          have arguments; operations without arguments conflict on name
+          alone).  Everything not listed commutes. *)
+  | Explicit of (Repro_order.Ids.id * Repro_order.Ids.id) list
+      (** Exact conflicting node pairs, interpreted symmetrically.  Used by
+          reconstructed paper figures and by generators that draw random
+          conflicts. *)
+
+val eval : spec -> get_label:(Repro_order.Ids.id -> Label.t) -> Repro_order.Ids.id -> Repro_order.Ids.id -> bool
+(** [eval spec ~get_label a b] decides whether operations [a] and [b]
+    conflict under [spec].  Symmetric; [eval spec ~get_label a a] is
+    [false]. *)
+
+val eval_labels : spec -> Label.t -> Label.t -> bool
+(** Conflict decision on raw labels, for lock tables and other uses where no
+    node identity exists.  Identical to {!eval} except that [Explicit] —
+    which needs node identities — is treated pessimistically as [Always],
+    and no same-transaction exemption applies.  Reflexive pairs follow the
+    spec (two equal write labels conflict). *)
+
+val rw_labels : Label.t -> Label.t -> bool
+(** The raw read/write commutativity test on labels used by {!Rw}, exposed
+    for the storage substrate and lock tables. *)
+
+val pp : Format.formatter -> spec -> unit
+
+val equal : spec -> spec -> bool

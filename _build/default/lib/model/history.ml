@@ -1,0 +1,498 @@
+open Repro_order
+open Ids
+
+type sched_id = int
+
+type node = {
+  id : id;
+  label : Label.t;
+  parent : id option;
+  children : id list;
+  sched : sched_id option;
+  intra_weak : Rel.t;
+  intra_strong : Rel.t;
+}
+
+type schedule = {
+  sid : sched_id;
+  sname : string;
+  conflict : Conflict.spec;
+  transactions : Int_set.t;
+  weak_in : Rel.t;
+  strong_in : Rel.t;
+  weak_out : Rel.t;
+  strong_out : Rel.t;
+  log : id list;
+}
+
+type t = {
+  nodes : node array;
+  scheds : schedule array;
+  levels : int array; (* per schedule, Def. 9 *)
+  ig : Rel.t; (* invocation graph over schedule ids *)
+}
+
+let node h i = h.nodes.(i)
+
+let schedule h s = h.scheds.(s)
+
+let n_nodes h = Array.length h.nodes
+
+let n_schedules h = Array.length h.scheds
+
+let schedules h = Array.to_list h.scheds
+
+let label h i = h.nodes.(i).label
+
+let parent h i = h.nodes.(i).parent
+
+let parent_tx h i = match h.nodes.(i).parent with Some p -> p | None -> i
+
+let children h i = h.nodes.(i).children
+
+let is_leaf h i = h.nodes.(i).sched = None
+
+let is_root h i = h.nodes.(i).parent = None
+
+let roots h =
+  Array.to_list h.nodes
+  |> List.filter_map (fun n -> if n.parent = None then Some n.id else None)
+
+let leaves h =
+  Array.to_list h.nodes
+  |> List.filter_map (fun n -> if n.sched = None then Some n.id else None)
+
+let internal_nodes h =
+  Array.to_list h.nodes
+  |> List.filter_map (fun n ->
+         if n.sched <> None && n.parent <> None then Some n.id else None)
+
+let sched_of_tx h i = h.nodes.(i).sched
+
+let sched_of_op h i =
+  match h.nodes.(i).parent with None -> None | Some p -> h.nodes.(p).sched
+
+let common_op_schedule h a b =
+  match (sched_of_op h a, sched_of_op h b) with
+  | Some sa, Some sb when sa = sb -> Some sa
+  | _ -> None
+
+let ops_of_schedule h s =
+  Int_set.fold
+    (fun t acc -> List.rev_append (List.rev h.nodes.(t).children) acc)
+    h.scheds.(s).transactions []
+  |> List.rev
+
+let conflicts h s a b =
+  if parent h a = parent h b then false
+  else Conflict.eval h.scheds.(s).conflict ~get_label:(label h) a b
+
+let descendants h i =
+  let rec go acc = function
+    | [] -> acc
+    | x :: rest -> go (Int_set.add x acc) (List.rev_append h.nodes.(x).children rest)
+  in
+  go Int_set.empty h.nodes.(i).children
+
+let composite_transaction h r =
+  if not (is_root h r) then invalid_arg "History.composite_transaction: not a root";
+  Int_set.add r (descendants h r)
+
+let invocation_graph h = h.ig
+
+let level h s = h.levels.(s)
+
+let order h = Array.fold_left max 0 h.levels
+
+let level_of_node h i =
+  match h.nodes.(i).sched with None -> 0 | Some s -> h.levels.(s)
+
+let schedules_at_level h l =
+  Array.to_list h.scheds
+  |> List.filter_map (fun s -> if h.levels.(s.sid) = l then Some s.sid else None)
+
+let pp_node h ppf i = Fmt.pf ppf "%a#%d" Label.pp h.nodes.(i).label i
+
+let pp ppf h =
+  let pp_rel_named name ppf r =
+    if not (Rel.is_empty r) then Fmt.pf ppf "@ %s: %a" name Rel.pp r
+  in
+  Array.iter
+    (fun s ->
+      Fmt.pf ppf "@[<v 2>schedule %s (level %d, conflict %a)%a%a%a%a@ txs: %a@]@."
+        s.sname h.levels.(s.sid) Conflict.pp s.conflict
+        (pp_rel_named "weak-in") s.weak_in (pp_rel_named "strong-in") s.strong_in
+        (pp_rel_named "weak-out") s.weak_out (pp_rel_named "strong-out")
+        s.strong_out Ids.pp_set s.transactions)
+    h.scheds;
+  let rec pp_tree ppf i =
+    let n = h.nodes.(i) in
+    match n.children with
+    | [] -> pp_node h ppf i
+    | cs ->
+      Fmt.pf ppf "@[<v 2>%a@ %a@]" (pp_node h) i
+        (Fmt.list ~sep:Fmt.cut pp_tree) cs
+  in
+  List.iter (fun r -> Fmt.pf ppf "%a@." pp_tree r) (roots h)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Builder = struct
+  type bnode = {
+    bid : id;
+    blabel : Label.t;
+    bparent : id option;
+    mutable bchildren : id list; (* reversed *)
+    bsched : sched_id option;
+    mutable bintra_weak : Rel.t;
+    mutable bintra_strong : Rel.t;
+  }
+
+  type bsched = {
+    bsid : sched_id;
+    bsname : string;
+    bconflict : Conflict.spec;
+    mutable btxs : Int_set.t;
+    mutable bweak_in : Rel.t;
+    mutable bstrong_in : Rel.t;
+    mutable bweak_out : Rel.t;
+    mutable bstrong_out : Rel.t;
+    mutable blog : id list;
+  }
+
+  type t = {
+    bnodes : (id, bnode) Hashtbl.t;
+    bscheds : (sched_id, bsched) Hashtbl.t;
+    mutable next_node : int;
+    mutable next_sched : int;
+  }
+
+  let create () =
+    { bnodes = Hashtbl.create 64; bscheds = Hashtbl.create 8; next_node = 0; next_sched = 0 }
+
+  let get_node b i =
+    match Hashtbl.find_opt b.bnodes i with
+    | Some n -> n
+    | None -> invalid_arg (Fmt.str "History.Builder: unknown node %d" i)
+
+  let get_sched b s =
+    match Hashtbl.find_opt b.bscheds s with
+    | Some s -> s
+    | None -> invalid_arg (Fmt.str "History.Builder: unknown schedule %d" s)
+
+  let schedule b ?(conflict = Conflict.Rw) sname =
+    let bsid = b.next_sched in
+    b.next_sched <- bsid + 1;
+    Hashtbl.replace b.bscheds bsid
+      {
+        bsid;
+        bsname = sname;
+        bconflict = conflict;
+        btxs = Int_set.empty;
+        bweak_in = Rel.empty;
+        bstrong_in = Rel.empty;
+        bweak_out = Rel.empty;
+        bstrong_out = Rel.empty;
+        blog = [];
+      };
+    bsid
+
+  let fresh_node b blabel bparent bsched =
+    let bid = b.next_node in
+    b.next_node <- bid + 1;
+    let n =
+      {
+        bid;
+        blabel;
+        bparent;
+        bchildren = [];
+        bsched;
+        bintra_weak = Rel.empty;
+        bintra_strong = Rel.empty;
+      }
+    in
+    Hashtbl.replace b.bnodes bid n;
+    (match bparent with
+    | Some p ->
+      let pn = get_node b p in
+      pn.bchildren <- bid :: pn.bchildren
+    | None -> ());
+    (match bsched with
+    | Some s ->
+      let sc = get_sched b s in
+      sc.btxs <- Int_set.add bid sc.btxs
+    | None -> ());
+    bid
+
+  let root b ~sched lbl =
+    ignore (get_sched b sched);
+    fresh_node b lbl None (Some sched)
+
+  let tx b ~parent ~sched lbl =
+    ignore (get_sched b sched);
+    let pn = get_node b parent in
+    if pn.bsched = None then invalid_arg "History.Builder.tx: parent is a leaf";
+    fresh_node b lbl (Some parent) (Some sched)
+
+  let leaf b ~parent lbl =
+    let pn = get_node b parent in
+    if pn.bsched = None then invalid_arg "History.Builder.leaf: parent is a leaf";
+    fresh_node b lbl (Some parent) None
+
+  (* The schedule of which node [i] is an operation. *)
+  let op_sched b i =
+    match (get_node b i).bparent with
+    | None -> None
+    | Some p -> (get_node b p).bsched
+
+  let common_sched_exn b what a b' =
+    match (op_sched b a, op_sched b b') with
+    | Some sa, Some sb when sa = sb -> get_sched b sa
+    | _ ->
+      invalid_arg
+        (Fmt.str "History.Builder.%s: %d and %d are not operations of one schedule"
+           what a b')
+
+  let distinct what a b' =
+    if a = b' then
+      invalid_arg (Fmt.str "History.Builder.%s: %d ordered against itself" what a)
+
+  let weak_out b ~a ~b:b' =
+    distinct "weak_out" a b';
+    let s = common_sched_exn b "weak_out" a b' in
+    s.bweak_out <- Rel.add a b' s.bweak_out
+
+  let strong_out b ~a ~b:b' =
+    distinct "strong_out" a b';
+    let s = common_sched_exn b "strong_out" a b' in
+    s.bstrong_out <- Rel.add a b' s.bstrong_out;
+    s.bweak_out <- Rel.add a b' s.bweak_out
+
+  let intra_pair b what a b' =
+    let na = get_node b a and nb = get_node b b' in
+    match (na.bparent, nb.bparent) with
+    | Some pa, Some pb when pa = pb -> get_node b pa
+    | _ -> invalid_arg (Fmt.str "History.Builder.%s: %d and %d are not siblings" what a b')
+
+  let intra_weak b ~a ~b:b' =
+    distinct "intra_weak" a b';
+    let p = intra_pair b "intra_weak" a b' in
+    p.bintra_weak <- Rel.add a b' p.bintra_weak
+
+  let intra_strong b ~a ~b:b' =
+    distinct "intra_strong" a b';
+    let p = intra_pair b "intra_strong" a b' in
+    p.bintra_strong <- Rel.add a b' p.bintra_strong;
+    p.bintra_weak <- Rel.add a b' p.bintra_weak
+
+  let root_sched_exn b what a b' =
+    let na = get_node b a and nb = get_node b b' in
+    if na.bparent <> None || nb.bparent <> None then
+      invalid_arg (Fmt.str "History.Builder.%s: %d and %d must be roots" what a b');
+    match (na.bsched, nb.bsched) with
+    | Some sa, Some sb when sa = sb -> get_sched b sa
+    | _ ->
+      invalid_arg
+        (Fmt.str "History.Builder.%s: %d and %d are not roots of one schedule" what a b')
+
+  let input_weak b ~a ~b:b' =
+    distinct "input_weak" a b';
+    let s = root_sched_exn b "input_weak" a b' in
+    s.bweak_in <- Rel.add a b' s.bweak_in
+
+  let input_strong b ~a ~b:b' =
+    distinct "input_strong" a b';
+    let s = root_sched_exn b "input_strong" a b' in
+    s.bstrong_in <- Rel.add a b' s.bstrong_in;
+    s.bweak_in <- Rel.add a b' s.bweak_in
+
+  let log b ~sched entries =
+    let s = get_sched b sched in
+    s.blog <- entries
+
+  (* --- seal ------------------------------------------------------- *)
+
+  let build_ig b =
+    let ig = ref Rel.empty in
+    Hashtbl.iter
+      (fun _ n ->
+        match (n.bsched, n.bparent) with
+        | Some s, Some p -> (
+          match (Hashtbl.find b.bnodes p).bsched with
+          | Some ps ->
+            if ps = s then
+              invalid_arg "History.Builder.seal: schedule invokes itself";
+            ig := Rel.add ps s !ig
+          | None -> assert false)
+        | _ -> ())
+      b.bnodes;
+    !ig
+
+  let compute_levels b ig =
+    let n = b.next_sched in
+    let levels = Array.make n 0 in
+    let sched_ids = List.init n (fun i -> i) in
+    match Rel.topo_sort ~nodes:(Int_set.of_list sched_ids) ig with
+    | None -> invalid_arg "History.Builder.seal: recursive invocation graph"
+    | Some order ->
+      (* Longest path: process in reverse topological order. *)
+      List.iter
+        (fun s ->
+          let succ_max =
+            Int_set.fold (fun s' m -> max m levels.(s')) (Rel.succs ig s) 0
+          in
+          levels.(s) <- succ_max + 1)
+        (List.rev order);
+      levels
+
+  let seal b =
+    let nnodes = b.next_node and nscheds = b.next_sched in
+    let bnode i = Hashtbl.find b.bnodes i in
+    let bsched s = Hashtbl.find b.bscheds s in
+    let ig = build_ig b in
+    let levels = compute_levels b ig in
+    (* Validate logs: each must be a permutation of the schedule's ops. *)
+    Hashtbl.iter
+      (fun _ s ->
+        if s.blog <> [] then begin
+          let ops =
+            Int_set.fold
+              (fun t acc ->
+                List.fold_left (fun acc c -> Int_set.add c acc) acc (bnode t).bchildren)
+              s.btxs Int_set.empty
+          in
+          let logged = Int_set.of_list s.blog in
+          if
+            (not (Int_set.equal ops logged))
+            || List.length s.blog <> Int_set.cardinal logged
+          then
+            invalid_arg
+              (Fmt.str
+                 "History.Builder.seal: log of schedule %s is not a permutation of its operations"
+                 s.bsname)
+        end)
+      b.bscheds;
+    let get_label i = (bnode i).blabel in
+    let conflict_in s a b' =
+      let na = bnode a and nb = bnode b' in
+      if na.bparent = nb.bparent then false
+      else Conflict.eval s.bconflict ~get_label a b'
+    in
+    (* Process schedules from the highest level down, completing output
+       orders (Def. 3) and pushing them to invoked schedules' input orders
+       (Def. 4.7). *)
+    let by_level =
+      List.sort
+        (fun s1 s2 -> compare levels.(s2) levels.(s1))
+        (List.init nscheds (fun i -> i))
+    in
+    List.iter
+      (fun sid ->
+        let s = bsched sid in
+        (* 0. Close the input orders first: every client (strictly higher
+           level) has already pushed its pairs, and obligations derived below
+           must see their transitive consequences (e.g. orders composing
+           across two clients of a shared schedule). *)
+        s.bstrong_in <- Rel.transitive_closure s.bstrong_in;
+        s.bweak_in <- Rel.transitive_closure (Rel.union s.bweak_in s.bstrong_in);
+        (* 1. Derive a minimal weak output order from the log, if present and
+           nothing explicit was given: log order on conflicting pairs of
+           different transactions. *)
+        if s.blog <> [] && Rel.is_empty s.bweak_out then begin
+          let rec pairs = function
+            | [] -> ()
+            | o :: rest ->
+              List.iter
+                (fun o' ->
+                  if conflict_in s o o' then s.bweak_out <- Rel.add o o' s.bweak_out)
+                rest;
+              pairs rest
+          in
+          pairs s.blog
+        end;
+        (* 2. Output orders extend intra-transaction orders (Def. 3.2). *)
+        Int_set.iter
+          (fun t ->
+            let n = bnode t in
+            s.bweak_out <- Rel.union s.bweak_out n.bintra_weak;
+            s.bstrong_out <- Rel.union s.bstrong_out n.bintra_strong)
+          s.btxs;
+        (* 3. Conflicting operations of weakly-input-ordered transactions
+           follow the input order (Def. 3.1a). *)
+        Rel.iter
+          (fun t t' ->
+            List.iter
+              (fun o ->
+                List.iter
+                  (fun o' ->
+                    if conflict_in s o o' then s.bweak_out <- Rel.add o o' s.bweak_out)
+                  (bnode t').bchildren)
+              (bnode t).bchildren)
+          s.bweak_in;
+        (* 4. Strong input orders expand to strong output orders over all
+           operation pairs (Def. 3.3). *)
+        Rel.iter
+          (fun t t' ->
+            List.iter
+              (fun o ->
+                List.iter
+                  (fun o' -> s.bstrong_out <- Rel.add o o' s.bstrong_out)
+                  (bnode t').bchildren)
+              (bnode t).bchildren)
+          s.bstrong_in;
+        (* 5. Strong is contained in weak (Def. 3.4); close transitively. *)
+        s.bstrong_out <- Rel.transitive_closure s.bstrong_out;
+        s.bweak_out <- Rel.transitive_closure (Rel.union s.bweak_out s.bstrong_out);
+        (* 6. Push output orders down as input orders (Def. 4.7). *)
+        let push rel strong =
+          Rel.iter
+            (fun o o' ->
+              match ((bnode o).bsched, (bnode o').bsched) with
+              | Some c, Some c' when c = c' ->
+                let cs = bsched c in
+                if strong then cs.bstrong_in <- Rel.add o o' cs.bstrong_in
+                else cs.bweak_in <- Rel.add o o' cs.bweak_in
+              | _ -> ())
+            rel
+        in
+        push s.bweak_out false;
+        push s.bstrong_out true)
+      by_level;
+    (* Close input orders. *)
+    Hashtbl.iter
+      (fun _ s ->
+        s.bstrong_in <- Rel.transitive_closure s.bstrong_in;
+        s.bweak_in <- Rel.transitive_closure (Rel.union s.bweak_in s.bstrong_in))
+      b.bscheds;
+    let nodes =
+      Array.init nnodes (fun i ->
+          let n = bnode i in
+          {
+            id = n.bid;
+            label = n.blabel;
+            parent = n.bparent;
+            children = List.rev n.bchildren;
+            sched = n.bsched;
+            intra_weak = Rel.transitive_closure n.bintra_weak;
+            intra_strong = Rel.transitive_closure n.bintra_strong;
+          })
+    in
+    let scheds =
+      Array.init nscheds (fun i ->
+          let s = bsched i in
+          {
+            sid = s.bsid;
+            sname = s.bsname;
+            conflict = s.bconflict;
+            transactions = s.btxs;
+            weak_in = s.bweak_in;
+            strong_in = s.bstrong_in;
+            weak_out = s.bweak_out;
+            strong_out = s.bstrong_out;
+            log = s.blog;
+          })
+    in
+    { nodes; scheds; levels; ig }
+end

@@ -1,0 +1,192 @@
+(** Composite executions.
+
+    A {e composite system} (Def. 4) is a set of schedules that invoke one
+    another's services without recursion; its dynamic behaviour is a
+    {e computational forest}: every root transaction spawns a tree whose
+    internal nodes are subtransactions (operations of one schedule,
+    transactions of another) and whose leaves are atomic operations.
+
+    A value of type {!t} packages one complete composite execution:
+
+    - the forest of {e nodes} (roots, internal transactions, leaves), each
+      carrying a {!Label.t} and its intra-transaction weak and strong orders
+      (Def. 2);
+    - the set of {e schedules}, each with its conflict specification, its
+      weak/strong {e input} orders over its transactions and weak/strong
+      {e output} orders over its operations (Def. 3), and optionally the
+      total execution log it produced.
+
+    Histories are immutable; construct them with {!Builder}.  Construction
+    performs the {e order completion} that Def. 3 requires of any well-formed
+    schedule (output orders extend intra-transaction orders; strong input
+    orders expand to strong output orders over all operation pairs; orders
+    are transitively closed) and derives the input orders of invoked
+    schedules from their clients' output orders (Def. 4.7).  Full validation
+    against Defs. 3–4 is separate: see {!Validate}. *)
+
+open Repro_order
+open Ids
+
+type sched_id = int
+
+type node = private {
+  id : id;
+  label : Label.t;
+  parent : id option;  (** [None] exactly for root transactions. *)
+  children : id list;  (** In creation order; empty for leaves. *)
+  sched : sched_id option;
+      (** Schedule this node is a {e transaction} of; [None] exactly for
+          leaves.  Roots and internal nodes always belong to a schedule. *)
+  intra_weak : Rel.t;  (** Weak intra-transaction order over [children]. *)
+  intra_strong : Rel.t;  (** Strong intra-transaction order over [children]. *)
+}
+
+type schedule = private {
+  sid : sched_id;
+  sname : string;
+  conflict : Conflict.spec;
+  transactions : Int_set.t;
+  weak_in : Rel.t;  (** [→]: weak input order over [transactions]. *)
+  strong_in : Rel.t;  (** [⇒]: strong input order over [transactions]. *)
+  weak_out : Rel.t;  (** [≺]: weak output order over the operations. *)
+  strong_out : Rel.t;  (** [≪]: strong output order over the operations. *)
+  log : id list;
+      (** Total execution log of the schedule's operations, oldest first;
+          [[]] when the history was not produced by an execution. *)
+}
+
+type t
+
+(** {1 Accessors} *)
+
+val node : t -> id -> node
+val schedule : t -> sched_id -> schedule
+val n_nodes : t -> int
+val n_schedules : t -> int
+val schedules : t -> schedule list
+val label : t -> id -> Label.t
+
+val parent : t -> id -> id option
+(** Structural parent; [None] for roots. *)
+
+val parent_tx : t -> id -> id
+(** Def. 5: the parent of a non-root node, and the node itself for roots. *)
+
+val children : t -> id -> id list
+val is_leaf : t -> id -> bool
+val is_root : t -> id -> bool
+
+val roots : t -> id list
+val leaves : t -> id list
+val internal_nodes : t -> id list
+(** Nodes that are transactions of some schedule and operations of another. *)
+
+val sched_of_tx : t -> id -> sched_id option
+(** The schedule a node is a transaction of ([None] for leaves). *)
+
+val sched_of_op : t -> id -> sched_id option
+(** The schedule a node is an operation of — the schedule of its parent
+    transaction ([None] for roots). *)
+
+val common_op_schedule : t -> id -> id -> sched_id option
+(** The schedule of which both nodes are operations, if any.  Central to
+    Defs. 10–11: observed order stops propagating, and conflicts are decided
+    locally, at a common schedule. *)
+
+val ops_of_schedule : t -> sched_id -> id list
+(** All operations of a schedule (children of its transactions). *)
+
+val conflicts : t -> sched_id -> id -> id -> bool
+(** [conflicts h s a b]: does schedule [s]'s own conflict predicate [CON_S]
+    relate operations [a] and [b]?  Only meaningful when both are operations
+    of [s] and belong to different transactions; returns [false] for
+    operations of the same transaction. *)
+
+val descendants : t -> id -> Int_set.t
+(** Proper descendants ([Act] of Def. 4.6, transitively). *)
+
+val composite_transaction : t -> id -> Int_set.t
+(** Def. 6: the root together with all its descendants.  Raises
+    [Invalid_argument] if the node is not a root. *)
+
+(** {1 Structure (Defs. 7–9)} *)
+
+val invocation_graph : t -> Rel.t
+(** Edge [s -> s'] iff schedule [s] invokes [s'] (some operation of [s] is a
+    transaction of [s']). *)
+
+val level : t -> sched_id -> int
+(** Def. 9: 1 + length of the longest invocation path starting at the
+    schedule.  Leaf schedules have level 1. *)
+
+val order : t -> int
+(** The order N of the composite system: the highest schedule level. *)
+
+val level_of_node : t -> id -> int
+(** Level of the schedule a node is a transaction of; 0 for leaves. *)
+
+val schedules_at_level : t -> int -> sched_id list
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable rendering of the whole history. *)
+
+val pp_node : t -> Format.formatter -> id -> unit
+(** Renders a node as [name(args)#id]. *)
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type history := t
+
+  type t
+  (** A mutable history under construction. *)
+
+  val create : unit -> t
+
+  val schedule : t -> ?conflict:Conflict.spec -> string -> sched_id
+  (** Declare a schedule.  Default conflict specification is {!Conflict.Rw}. *)
+
+  val root : t -> sched:sched_id -> Label.t -> id
+  (** Declare a root transaction belonging to [sched]. *)
+
+  val tx : t -> parent:id -> sched:sched_id -> Label.t -> id
+  (** Declare a subtransaction: an operation of [parent]'s schedule and a
+      transaction of [sched]. *)
+
+  val leaf : t -> parent:id -> Label.t -> id
+  (** Declare a leaf operation of [parent]. *)
+
+  val weak_out : t -> a:id -> b:id -> unit
+  (** Record that the schedule of which [a] and [b] are operations weakly
+      ordered [a] before [b].  Both must share a parent schedule. *)
+
+  val strong_out : t -> a:id -> b:id -> unit
+  (** Strong output order; implies the weak output pair. *)
+
+  val intra_weak : t -> a:id -> b:id -> unit
+  (** Weak intra-transaction order between two children of one node. *)
+
+  val intra_strong : t -> a:id -> b:id -> unit
+
+  val input_weak : t -> a:id -> b:id -> unit
+  (** Client-imposed weak input order between two root transactions of the
+      same schedule.  Input orders of non-root transactions are derived from
+      their clients' output orders (Def. 4.7) and cannot be set directly. *)
+
+  val input_strong : t -> a:id -> b:id -> unit
+
+  val log : t -> sched:sched_id -> id list -> unit
+  (** Record the total execution log of a schedule (all its operations,
+      oldest first).  At {!seal} time, any schedule with a log and no
+      explicit weak output order gets the {e minimal} valid output derived
+      from it: the log order restricted to conflicting operation pairs,
+      completed as Def. 3 requires. *)
+
+  val seal : t -> history
+  (** Freeze the history: derive outputs from logs, complete orders per
+      Def. 3, derive input orders per Def. 4.7, transitively close all
+      orders.  Raises [Invalid_argument] on structurally malformed input
+      (unknown ids, an operation pair of different schedules given to
+      {!weak_out}, a recursive invocation graph, a log that is not a
+      permutation of the schedule's operations). *)
+end

@@ -1,0 +1,1 @@
+lib/order/ids.ml: Fmt Int Map Set

@@ -1,0 +1,1 @@
+lib/order/ids.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/order/rel.ml: Array Fmt Hashtbl Ids Int Int_map Int_set List Option Set

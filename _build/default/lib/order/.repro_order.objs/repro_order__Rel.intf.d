@@ -1,0 +1,1 @@
+lib/order/rel.mli: Format Ids Int_set

@@ -1,0 +1,286 @@
+open Ids
+
+type t = Int_set.t Int_map.t
+(* Adjacency: [a -> set of b with (a, b) in the relation].  Empty successor
+   sets are never stored. *)
+
+let empty = Int_map.empty
+
+let is_empty = Int_map.is_empty
+
+let succs r a = match Int_map.find_opt a r with Some s -> s | None -> Int_set.empty
+
+let add a b r =
+  let s = succs r a in
+  if Int_set.mem b s then r else Int_map.add a (Int_set.add b s) r
+
+let remove a b r =
+  match Int_map.find_opt a r with
+  | None -> r
+  | Some s ->
+    let s' = Int_set.remove b s in
+    if Int_set.is_empty s' then Int_map.remove a r else Int_map.add a s' r
+
+let mem a b r = Int_set.mem b (succs r a)
+
+let of_list l = List.fold_left (fun r (a, b) -> add a b r) empty l
+
+let fold f r acc =
+  Int_map.fold (fun a s acc -> Int_set.fold (fun b acc -> f a b acc) s acc) r acc
+
+let iter f r = Int_map.iter (fun a s -> Int_set.iter (fun b -> f a b) s) r
+
+let to_list r = List.rev (fold (fun a b acc -> (a, b) :: acc) r [])
+
+let cardinal r = Int_map.fold (fun _ s n -> n + Int_set.cardinal s) r 0
+
+let union r1 r2 =
+  Int_map.union (fun _ s1 s2 -> Some (Int_set.union s1 s2)) r1 r2
+
+let inter r1 r2 =
+  Int_map.merge
+    (fun _ s1 s2 ->
+      match (s1, s2) with
+      | Some s1, Some s2 ->
+        let s = Int_set.inter s1 s2 in
+        if Int_set.is_empty s then None else Some s
+      | _ -> None)
+    r1 r2
+
+let diff r1 r2 =
+  Int_map.merge
+    (fun _ s1 s2 ->
+      match (s1, s2) with
+      | Some s1, Some s2 ->
+        let s = Int_set.diff s1 s2 in
+        if Int_set.is_empty s then None else Some s
+      | Some s1, None -> Some s1
+      | None, _ -> None)
+    r1 r2
+
+let subset r1 r2 =
+  Int_map.for_all (fun a s1 -> Int_set.subset s1 (succs r2 a)) r1
+
+let equal r1 r2 = Int_map.equal Int_set.equal r1 r2
+
+let preds r b =
+  Int_map.fold
+    (fun a s acc -> if Int_set.mem b s then Int_set.add a acc else acc)
+    r Int_set.empty
+
+let filter f r =
+  Int_map.filter_map
+    (fun a s ->
+      let s' = Int_set.filter (fun b -> f a b) s in
+      if Int_set.is_empty s' then None else Some s')
+    r
+
+let restrict ~keep r = filter (fun a b -> keep a && keep b) r
+
+let map_nodes f r =
+  fold
+    (fun a b acc ->
+      let a' = f a and b' = f b in
+      if a' = b' then acc else add a' b' acc)
+    r empty
+
+let nodes r =
+  Int_map.fold
+    (fun a s acc -> Int_set.add a (Int_set.union s acc))
+    r Int_set.empty
+
+let reachable r start =
+  let rec go seen = function
+    | [] -> seen
+    | n :: stack ->
+      let fresh = Int_set.diff (succs r n) seen in
+      go (Int_set.union seen fresh) (Int_set.elements fresh @ stack)
+  in
+  let init = succs r start in
+  go init (Int_set.elements init)
+
+(* Tarjan's strongly-connected-components algorithm, iterative to survive
+   long chains.  Returns components in reverse topological order of the
+   condensation (a component is emitted after all components it reaches). *)
+let sccs r =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    Int_set.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs r v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  Int_set.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) (nodes r);
+  !components
+(* Note: [!components] lists components such that earlier components cannot
+   reach later ones (Tarjan emits sinks first; we cons, so sources first). *)
+
+let transitive_closure r =
+  (* Closure via condensation: within an SCC every ordered pair of distinct
+     nodes is related (and self-pairs if the SCC has a cycle); across SCCs we
+     merge successor reach-sets in reverse topological order. *)
+  let comps = sccs r in
+  (* Process in reverse topological order: sinks first. *)
+  let comps_rev = List.rev comps in
+  let comp_of = Hashtbl.create 64 in
+  List.iteri (fun i c -> List.iter (fun v -> Hashtbl.replace comp_of v i) c) comps_rev;
+  let n = List.length comps_rev in
+  let comp_arr = Array.make n [] in
+  List.iteri (fun i c -> comp_arr.(i) <- c) comps_rev;
+  (* reach.(i): set of nodes reachable from component i (including the
+     component's own nodes when it is cyclic). *)
+  let reach = Array.make n Int_set.empty in
+  for i = 0 to n - 1 do
+    let members = comp_arr.(i) in
+    let member_set = Int_set.of_list members in
+    let cyclic =
+      match members with
+      | [ v ] -> Int_set.mem v (succs r v)
+      | _ -> true
+    in
+    let out =
+      List.fold_left
+        (fun acc v ->
+          Int_set.fold
+            (fun w acc ->
+              let j = Hashtbl.find comp_of w in
+              if j = i then acc
+              else Int_set.union acc (Int_set.union (Int_set.of_list comp_arr.(j)) reach.(j)))
+            (succs r v) acc)
+        Int_set.empty members
+    in
+    reach.(i) <- (if cyclic then Int_set.union member_set out else out)
+  done;
+  let result = ref empty in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun v ->
+        if not (Int_set.is_empty reach.(i)) then
+          result :=
+            Int_map.add v (Int_set.union (succs !result v) reach.(i)) !result)
+      comp_arr.(i)
+  done;
+  !result
+
+let is_transitive r =
+  try
+    iter
+      (fun a b ->
+        Int_set.iter (fun c -> if not (mem a c r) then raise Exit) (succs r b))
+      r;
+    true
+  with Exit -> false
+
+let irreflexive r = Int_map.for_all (fun a s -> not (Int_set.mem a s)) r
+
+let transitive_reduction r =
+  (* Drop (a, b) when b is reachable from a through some intermediate
+     successor; on a DAG this yields the unique minimal reduction. *)
+  let closure = transitive_closure r in
+  filter
+    (fun a b ->
+      not
+        (Int_set.exists
+           (fun m -> m <> b && Int_set.mem b (succs closure m))
+           (succs r a)))
+    r
+
+(* Depth-first search for a cycle; colours: 0 = white, 1 = grey, 2 = black. *)
+let find_cycle r =
+  let colour = Hashtbl.create 64 in
+  let col v = match Hashtbl.find_opt colour v with Some c -> c | None -> 0 in
+  let parent = Hashtbl.create 64 in
+  let cycle = ref None in
+  let rec dfs v =
+    Hashtbl.replace colour v 1;
+    Int_set.iter
+      (fun w ->
+        if !cycle = None then
+          match col w with
+          | 0 ->
+            Hashtbl.replace parent w v;
+            dfs w
+          | 1 ->
+            (* Found a back edge v -> w: reconstruct w -> ... -> v. *)
+            let rec walk acc u = if u = w then u :: acc else walk (u :: acc) (Hashtbl.find parent u) in
+            cycle := Some (walk [] v)
+          | _ -> ())
+      (succs r v);
+    Hashtbl.replace colour v 2
+  in
+  Int_set.iter (fun v -> if !cycle = None && col v = 0 then dfs v) (nodes r);
+  !cycle
+
+let is_acyclic r = find_cycle r = None
+
+let topo_sort ~nodes:universe r =
+  let r = restrict ~keep:(fun v -> Int_set.mem v universe) r in
+  (* Kahn's algorithm with a sorted frontier for determinism. *)
+  let indeg = Hashtbl.create 64 in
+  Int_set.iter (fun v -> Hashtbl.replace indeg v 0) universe;
+  iter
+    (fun _ b ->
+      Hashtbl.replace indeg b (1 + Option.value ~default:0 (Hashtbl.find_opt indeg b)))
+    r;
+  let module Frontier = Set.Make (Int) in
+  let frontier =
+    Int_set.fold
+      (fun v acc -> if Hashtbl.find indeg v = 0 then Frontier.add v acc else acc)
+      universe Frontier.empty
+  in
+  let rec go frontier acc count =
+    match Frontier.min_elt_opt frontier with
+    | None -> if count = Int_set.cardinal universe then Some (List.rev acc) else None
+    | Some v ->
+      let frontier = Frontier.remove v frontier in
+      let frontier =
+        Int_set.fold
+          (fun w acc ->
+            let d = Hashtbl.find indeg w - 1 in
+            Hashtbl.replace indeg w d;
+            if d = 0 then Frontier.add w acc else acc)
+          (succs r v) frontier
+      in
+      go frontier (v :: acc) (count + 1)
+  in
+  go frontier [] 0
+
+let quotient cls r = map_nodes cls r
+
+let total_on ns r =
+  Int_set.for_all
+    (fun a -> Int_set.for_all (fun b -> a = b || mem a b r || mem b a r) ns)
+    ns
+
+let pp ppf r =
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any ";@ ") (pair ~sep:(any "->") int int))
+    (to_list r)

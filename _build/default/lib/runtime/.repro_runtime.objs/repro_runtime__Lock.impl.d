@@ -1,0 +1,1 @@
+lib/runtime/lock.ml: Conflict Hashtbl Label List Repro_model

@@ -1,0 +1,1 @@
+lib/runtime/sim.ml: Array Conflict Fmt Hashtbl History Label List Lock Option Prng Repro_core Repro_model Repro_storage Repro_workload Template

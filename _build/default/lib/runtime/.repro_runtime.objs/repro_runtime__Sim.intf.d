@@ -1,0 +1,1 @@
+lib/runtime/sim.mli: History Repro_model Repro_workload Template

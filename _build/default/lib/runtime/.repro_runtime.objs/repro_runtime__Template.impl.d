@@ -1,0 +1,1 @@
+lib/runtime/template.ml: Array Conflict Fmt Label List Option Repro_model

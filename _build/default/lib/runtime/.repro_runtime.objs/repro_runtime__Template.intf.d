@@ -1,0 +1,1 @@
+lib/runtime/template.mli: Conflict Format Label Repro_model

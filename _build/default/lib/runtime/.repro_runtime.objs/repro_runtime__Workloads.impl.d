@@ -1,0 +1,1 @@
+lib/runtime/workloads.ml: Conflict Fmt Label List Prng Repro_model Repro_storage Repro_workload Template

@@ -1,0 +1,1 @@
+lib/runtime/workloads.mli: Repro_workload Template

@@ -1,0 +1,52 @@
+open Repro_model
+
+type key = int
+
+type entry = { owner : int; label : Label.t }
+
+type t = {
+  spec : Conflict.spec;
+  entries : (key, entry) Hashtbl.t;
+  mutable next : key;
+}
+
+let create spec = { spec; entries = Hashtbl.create 32; next = 0 }
+
+let try_acquire t ~owner ~permits label =
+  let blockers =
+    Hashtbl.fold
+      (fun _ e acc ->
+        if (not (permits e.owner)) && Conflict.eval_labels t.spec e.label label then
+          e.owner :: acc
+        else acc)
+      t.entries []
+  in
+  match List.sort_uniq compare blockers with
+  | [] ->
+    let key = t.next in
+    t.next <- key + 1;
+    Hashtbl.replace t.entries key { owner; label };
+    Ok key
+  | blockers -> Error blockers
+
+let release t key = Hashtbl.remove t.entries key
+
+let release_if t pred =
+  let keys =
+    Hashtbl.fold (fun k e acc -> if pred e.owner then k :: acc else acc) t.entries []
+  in
+  List.iter (Hashtbl.remove t.entries) keys;
+  keys <> []
+
+let change_owner_if t pred ~owner =
+  let moved =
+    Hashtbl.fold (fun k e acc -> if pred e.owner then (k, e) :: acc else acc) t.entries []
+  in
+  List.iter (fun (k, e) -> Hashtbl.replace t.entries k { e with owner }) moved;
+  moved <> []
+
+let held t = Hashtbl.length t.entries
+
+let owners t =
+  Hashtbl.fold (fun _ e acc -> e.owner :: acc) t.entries []
+  |> List.sort_uniq compare

@@ -1,0 +1,48 @@
+(** Semantic lock tables with nested-transaction ownership.
+
+    Each runtime component guards its operations with a lock table whose
+    compatibility relation is the complement of the component's conflict
+    specification — the classical generalization of read/write locks to
+    commutativity-based ("semantic") locking.
+
+    Ownership follows Moss-style nested locking: a lock on an operation is
+    held by the {e transaction instance on whose behalf} the operation runs
+    (its parent node in the execution tree).  A conflicting lock blocks a
+    requester unless its holder is the requester itself or one of the
+    requester's ancestors — ancestors' retained locks never block their own
+    descendants.  When a subtransaction commits, its locks are released
+    (open nesting) or inherited by its parent (closed nesting); the
+    simulator drives both through {!release_if} and {!change_owner_if}. *)
+
+open Repro_model
+
+type t
+
+val create : Conflict.spec -> t
+
+type key = int
+(** Identifies one granted lock. *)
+
+val try_acquire :
+  t -> owner:int -> permits:(int -> bool) -> Label.t -> (key, int list) result
+(** [try_acquire t ~owner ~permits lbl] grants a lock unless some held lock
+    with a conflicting label belongs to an owner for which [permits] is
+    [false].  [permits] is the requester's ancestor test (it must accept
+    [owner] itself).  On refusal, returns the blocking owners. *)
+
+val release : t -> key -> unit
+(** Release one granted lock; unknown keys are ignored. *)
+
+val release_if : t -> (int -> bool) -> bool
+(** Release every lock whose owner satisfies the predicate; returns whether
+    anything was released (so the caller knows to wake waiters). *)
+
+val change_owner_if : t -> (int -> bool) -> owner:int -> bool
+(** Transfer every lock whose owner satisfies the predicate to a new owner
+    (closed-nesting inheritance); returns whether anything changed. *)
+
+val held : t -> int
+(** Number of currently granted locks. *)
+
+val owners : t -> int list
+(** Owners currently holding at least one lock (deduplicated). *)

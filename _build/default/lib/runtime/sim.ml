@@ -1,0 +1,442 @@
+open Repro_model
+open Repro_workload
+
+type protocol = Serial | Locking of { closed : bool } | Certify
+
+type params = {
+  protocol : protocol;
+  clients : int;
+  txs_per_client : int;
+  mean_service : float;
+  think : float;
+  lock_timeout : float;
+  backoff : float;
+  dispatch_delay : float;
+  max_attempts : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    protocol = Serial;
+    clients = 4;
+    txs_per_client = 5;
+    mean_service = 1.0;
+    think = 0.0;
+    lock_timeout = 25.0;
+    backoff = 4.0;
+    dispatch_delay = 0.1;
+    max_attempts = 40;
+    seed = 1;
+  }
+
+type stats = {
+  committed : int;
+  aborts : int;
+  given_up : int;
+  lock_waits : int;
+  makespan : float;
+  mean_latency : float;
+  history : History.t;
+}
+
+(* One attempt at executing a logical transaction.  [done_ops] records, for
+   every completed non-root node, its completion time, the component that
+   scheduled it (its parent's component) and its reversed template path. *)
+type attempt = {
+  aid : int;
+  client : int;
+  seq : int;
+  attempt_no : int;
+  tmpl : Template.t;
+  store_tx : Repro_storage.Store.txid;
+  first_submitted : float;
+  mutable alive : bool;
+  mutable done_ops : (float * int * int list) list;
+  insts : (int, unit) Hashtbl.t;
+      (* transaction-instance ids of this attempt (lock owners) *)
+}
+
+type world = {
+  p : params;
+  topo : Template.topology;
+  gen : Prng.t -> client:int -> seq:int -> Template.t;
+  locks : Lock.t array;
+  store : Repro_storage.Store.t;
+  rng : Prng.t;
+  mutable now : float;
+  mutable events : (float * int * (unit -> unit)) list;
+  mutable eseq : int;
+  waiters : (unit -> unit) list ref array;
+  mutable committed : attempt list; (* commit order, newest first *)
+  mutable next_aid : int;
+  mutable next_inst : int;
+  inst_parent : (int, int) Hashtbl.t; (* instance -> parent instance *)
+  mutable aborts : int;
+  mutable given_up : int;
+  mutable lock_waits : int;
+  mutable latencies : float list;
+  mutable last_commit : float;
+}
+
+let at w time fn =
+  w.eseq <- w.eseq + 1;
+  let ev = (time, w.eseq, fn) in
+  let rec ins = function
+    | [] -> [ ev ]
+    | ((t', _, _) as hd) :: tl -> if time < t' then ev :: hd :: tl else hd :: ins tl
+  in
+  w.events <- ins w.events
+
+let service_time w = w.p.mean_service *. (0.5 +. Prng.float w.rng 1.0)
+
+let lock_table w c = w.locks.(c)
+
+let closed_nesting w =
+  match w.p.protocol with
+  | Serial -> true
+  | Locking { closed } -> closed
+  | Certify -> false (* lock-free; certification happens at commit *)
+
+let lock_free w = match w.p.protocol with Certify -> true | Serial | Locking _ -> false
+
+let wake_component w c =
+  let pending = List.rev !(w.waiters.(c)) in
+  w.waiters.(c) := [];
+  List.iter (fun retry -> retry ()) pending
+
+let release_attempt_locks w att =
+  Array.iteri
+    (fun c table ->
+      if Lock.release_if table (fun ow -> Hashtbl.mem att.insts ow) then
+        wake_component w c)
+    w.locks
+
+let new_instance w att ~parent =
+  w.next_inst <- w.next_inst + 1;
+  let inst = w.next_inst in
+  Hashtbl.replace att.insts inst ();
+  (match parent with Some p -> Hashtbl.replace w.inst_parent inst p | None -> ());
+  inst
+
+(* The set {q, parent q, ...}: the owners whose retained locks never block
+   an operation running on behalf of [q]. *)
+let ancestor_chain w q =
+  let rec go acc q =
+    let acc = q :: acc in
+    match Hashtbl.find_opt w.inst_parent q with Some p -> go acc p | None -> acc
+  in
+  go [] q
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec submit w ~client ~seq ~attempt_no ~first_submitted tmpl =
+  if attempt_no > w.p.max_attempts then w.given_up <- w.given_up + 1
+  else begin
+    let att =
+      {
+        aid =
+          (w.next_aid <- w.next_aid + 1;
+           w.next_aid);
+        client;
+        seq;
+        attempt_no;
+        tmpl;
+        store_tx = Repro_storage.Store.begin_tx w.store;
+        first_submitted;
+        alive = true;
+        done_ops = [];
+        insts = Hashtbl.create 16;
+      }
+    in
+    exec_node w att [] None None tmpl ~k:(fun () -> commit w att)
+  end
+
+(* Execute template node [t] (reversed path [rpath]) scheduled by component
+   [parent_comp] on behalf of transaction instance [parent_inst] ([None] for
+   the root); call [k] when it completes. *)
+and exec_node w att rpath parent_comp parent_inst (t : Template.t) ~k =
+  let self_inst = new_instance w att ~parent:parent_inst in
+  (* Invocation latency: a remote call does not reach its component
+     instantaneously, so concurrent transactions' lock requests genuinely
+     interleave. *)
+  let start () =
+    if att.alive then
+      exec_node_locked w att rpath parent_comp parent_inst self_inst t ~k
+  in
+  if parent_comp = None || w.p.dispatch_delay <= 0.0 then start ()
+  else at w (w.now +. (w.p.dispatch_delay *. (0.5 +. Prng.float w.rng 1.0))) start
+
+and exec_node_locked w att rpath parent_comp parent_inst self_inst (t : Template.t) ~k =
+  acquire w att parent_comp parent_inst t.Template.label ~k:(fun () ->
+      let finish () =
+        (match parent_comp with
+        | Some c -> att.done_ops <- (w.now, c, rpath) :: att.done_ops
+        | None -> ());
+        (* This node's children's locks (owner: [self_inst]): open nesting
+           releases them at subtransaction commit; closed nesting passes
+           them to the parent, which retains them to the root. *)
+        if closed_nesting w then begin
+          match parent_inst with
+          | Some p ->
+            Array.iteri
+              (fun c table ->
+                if Lock.change_owner_if table (fun ow -> ow = self_inst) ~owner:p
+                then wake_component w c)
+              w.locks
+          | None -> () (* the root's locks die at commit *)
+        end
+        else
+          Array.iteri
+            (fun c table ->
+              if Lock.release_if table (fun ow -> ow = self_inst) then
+                wake_component w c)
+            w.locks;
+        k ()
+      in
+      match t.Template.children with
+      | [] ->
+        let dt = service_time w in
+        at w (w.now +. dt) (fun () ->
+            if att.alive then begin
+              ignore (Repro_storage.Store.apply w.store att.store_tx t.Template.label);
+              finish ()
+            end)
+      | children ->
+        let c = Option.get t.Template.component in
+        if t.Template.sequential then begin
+          let rec seq_run i = function
+            | [] -> finish ()
+            | child :: rest ->
+              exec_node w att (i :: rpath) (Some c) (Some self_inst) child
+                ~k:(fun () -> if att.alive then seq_run (i + 1) rest)
+          in
+          seq_run 0 children
+        end
+        else begin
+          let remaining = ref (List.length children) in
+          let child_done () =
+            decr remaining;
+            if !remaining = 0 && att.alive then finish ()
+          in
+          List.iteri
+            (fun i child ->
+              exec_node w att (i :: rpath) (Some c) (Some self_inst) child
+                ~k:child_done)
+            children
+        end)
+
+(* Acquire the lock protecting an operation at its scheduling component on
+   behalf of [parent_inst], blocking (with a timeout that aborts the root)
+   while conflicting locks of non-ancestors are held. *)
+and acquire w att parent_comp parent_inst label ~k =
+  if lock_free w then k ()
+  else
+  match (parent_comp, parent_inst) with
+  | None, _ | _, None -> k ()
+  | Some c, Some owner ->
+    let acquired = ref false in
+    let blocked_once = ref false in
+    let rec try_lock () =
+      if att.alive && not !acquired then begin
+        let chain = ancestor_chain w owner in
+        let permits ow = List.mem ow chain in
+        match Lock.try_acquire (lock_table w c) ~owner ~permits label with
+        | Ok _key ->
+          acquired := true;
+          k ()
+        | Error _blockers ->
+          if not !blocked_once then begin
+            blocked_once := true;
+            w.lock_waits <- w.lock_waits + 1;
+            at w (w.now +. w.p.lock_timeout) (fun () ->
+                if att.alive && not !acquired then abort w att)
+          end;
+          w.waiters.(c) := try_lock :: !(w.waiters.(c))
+      end
+    in
+    try_lock ()
+
+and abort w att =
+  if att.alive then begin
+    att.alive <- false;
+    w.aborts <- w.aborts + 1;
+    Repro_storage.Store.abort w.store att.store_tx;
+    release_attempt_locks w att;
+    let delay = w.p.backoff *. (0.5 +. Prng.float w.rng 1.0) in
+    at w (w.now +. delay) (fun () ->
+        submit w ~client:att.client ~seq:att.seq ~attempt_no:(att.attempt_no + 1)
+          ~first_submitted:att.first_submitted att.tmpl)
+  end
+
+and commit w att =
+  if att.alive then begin
+    if lock_free w && not (certifies w att) then abort w att
+    else begin
+    att.alive <- false;
+    Repro_storage.Store.commit w.store att.store_tx;
+    release_attempt_locks w att;
+    w.committed <- att :: w.committed;
+    w.latencies <- (w.now -. att.first_submitted) :: w.latencies;
+    w.last_commit <- max w.last_commit w.now;
+    (* The client session continues. *)
+    let seq = att.seq + 1 in
+    if seq < w.p.txs_per_client then begin
+      let client = att.client in
+      at w (w.now +. w.p.think) (fun () ->
+          let tmpl = w.gen w.rng ~client ~seq in
+          submit w ~client ~seq ~attempt_no:0 ~first_submitted:w.now tmpl)
+    end
+    end
+  end
+
+(* Backward validation for the lock-free protocol: the candidate commits
+   only if the committed prefix extended with it is still Comp-C.  Because
+   every commit re-certifies the whole prefix, the finally emitted history
+   is guaranteed correct. *)
+and certifies w att =
+  let trial = assemble_attempts w (att :: w.committed) in
+  Repro_core.Compc.is_correct trial
+
+(* ------------------------------------------------------------------ *)
+(* History assembly                                                    *)
+(* ------------------------------------------------------------------ *)
+
+and assemble_attempts w newest_first =
+  let module B = History.Builder in
+  let b = B.create () in
+  let scheds =
+    Array.map (fun (name, spec) -> B.schedule b ~conflict:spec name) w.topo.Template.components
+  in
+  (* committed, oldest first *)
+  let committed = List.rev newest_first in
+  (* component -> (completion time, node id) list, for the logs *)
+  let log_entries = Array.make (Array.length scheds) [] in
+  (* (client, root component) -> last root, for session input orders *)
+  let last_root = Hashtbl.create 8 in
+  List.iter
+    (fun att ->
+      (* Build this attempt's execution tree; remember path -> node id. *)
+      let ids = Hashtbl.create 16 in
+      let rec build rpath parent (t : Template.t) =
+        let id =
+          match (parent, t.Template.component) with
+          | None, Some c ->
+            B.root b ~sched:scheds.(c)
+              (Label.v
+                 ~args:t.Template.label.Label.args
+                 (Fmt.str "%s.%d.%d" t.Template.label.Label.name att.client att.seq))
+          | None, None -> invalid_arg "Sim: root template must name a component"
+          | Some p, Some c -> B.tx b ~parent:p ~sched:scheds.(c) t.Template.label
+          | Some p, None -> B.leaf b ~parent:p t.Template.label
+        in
+        Hashtbl.replace ids rpath id;
+        let kids = List.mapi (fun i child -> build (i :: rpath) (Some id) child) t.Template.children in
+        if t.Template.sequential then begin
+          let rec chain = function
+            | a :: (b' :: _ as rest) ->
+              B.intra_strong b ~a ~b:b';
+              chain rest
+            | _ -> ()
+          in
+          chain kids
+        end;
+        id
+      in
+      let root = build [] None att.tmpl in
+      (* Session order: strong input between consecutive roots of a client
+         on the same component. *)
+      let rc = Option.get att.tmpl.Template.component in
+      (match Hashtbl.find_opt last_root (att.client, rc) with
+      | Some prev -> B.input_strong b ~a:prev ~b:root
+      | None -> ());
+      Hashtbl.replace last_root (att.client, rc) root;
+      (* Log entries. *)
+      List.iter
+        (fun (time, c, rpath) ->
+          match Hashtbl.find_opt ids rpath with
+          | Some id -> log_entries.(c) <- (time, id) :: log_entries.(c)
+          | None -> assert false)
+        att.done_ops)
+    committed;
+  Array.iteri
+    (fun c entries ->
+      match entries with
+      | [] -> ()
+      | entries ->
+        let sorted =
+          List.sort (fun (t1, i1) (t2, i2) -> compare (t1, i1) (t2, i2)) entries
+        in
+        B.log b ~sched:scheds.(c) (List.map snd sorted))
+    log_entries;
+  B.seal b
+
+let assemble w = assemble_attempts w w.committed
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run p topo ~gen =
+  let n = Array.length topo.Template.components in
+  let w =
+    {
+      p;
+      topo;
+      gen;
+      locks = Array.init n (fun c ->
+          match p.protocol with
+          | Serial -> Lock.create Conflict.Always
+          | Locking _ | Certify -> Lock.create (snd topo.Template.components.(c)));
+      store = Repro_storage.Store.create ();
+      rng = Prng.create ~seed:p.seed;
+      now = 0.0;
+      events = [];
+      eseq = 0;
+      waiters = Array.init n (fun _ -> ref []);
+      committed = [];
+      next_aid = 0;
+      next_inst = 0;
+      inst_parent = Hashtbl.create 256;
+      aborts = 0;
+      given_up = 0;
+      lock_waits = 0;
+      latencies = [];
+      last_commit = 0.0;
+    }
+  in
+  (* Initial submissions, slightly staggered for determinism. *)
+  for client = 0 to p.clients - 1 do
+    at w (0.001 *. float_of_int client) (fun () ->
+        let tmpl = w.gen w.rng ~client ~seq:0 in
+        Template.validate topo tmpl;
+        submit w ~client ~seq:0 ~attempt_no:0 ~first_submitted:w.now tmpl)
+  done;
+  let guard = ref 0 in
+  let rec loop () =
+    match w.events with
+    | [] -> ()
+    | (time, _, fn) :: rest ->
+      incr guard;
+      if !guard > 5_000_000 then failwith "Sim.run: event budget exceeded";
+      w.events <- rest;
+      w.now <- time;
+      fn ();
+      loop ()
+  in
+  loop ();
+  let committed = List.length w.committed in
+  {
+    committed;
+    aborts = w.aborts;
+    given_up = w.given_up;
+    lock_waits = w.lock_waits;
+    makespan = w.last_commit;
+    mean_latency =
+      (match w.latencies with
+      | [] -> 0.0
+      | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l));
+    history = assemble w;
+  }

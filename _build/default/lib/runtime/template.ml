@@ -1,0 +1,39 @@
+open Repro_model
+
+type t = {
+  label : Label.t;
+  component : int option;
+  sequential : bool;
+  children : t list;
+}
+
+let leaf label = { label; component = None; sequential = false; children = [] }
+
+let call ?(sequential = false) ~component label children =
+  if children = [] then invalid_arg "Template.call: empty children";
+  { label; component = Some component; sequential; children }
+
+type topology = { components : (string * Conflict.spec) array }
+
+let rec validate topo t =
+  match (t.component, t.children) with
+  | None, [] -> ()
+  | None, _ :: _ -> invalid_arg "Template.validate: children without a component"
+  | Some _, [] -> invalid_arg "Template.validate: component without children"
+  | Some c, children ->
+    if c < 0 || c >= Array.length topo.components then
+      invalid_arg (Fmt.str "Template.validate: unknown component %d" c);
+    List.iter (validate topo) children
+
+type path = int list
+
+let rec size t = List.fold_left (fun acc c -> acc + size c) 1 t.children
+
+let rec pp ppf t =
+  match t.children with
+  | [] -> Label.pp ppf t.label
+  | cs ->
+    Fmt.pf ppf "@[<hov 2>%a@@%d%s[%a]@]" Label.pp t.label
+      (Option.get t.component)
+      (if t.sequential then "!" else "")
+      (Fmt.list ~sep:Fmt.comma pp) cs

@@ -1,0 +1,50 @@
+(** Transaction templates and component topologies for the runtime.
+
+    A template is the {e static} shape of a composite transaction: a tree of
+    service invocations ending in leaf operations.  Each internal node names
+    the component that will schedule its children — the runtime turns a
+    template instance into one execution tree of the emitted history, with
+    the node a transaction of its component and an operation of its
+    parent's component.
+
+    Nodes are addressed by {e paths} (child-index lists from the root), the
+    stable identity the simulator uses to relate lock grants, completions
+    and history nodes across retries. *)
+
+open Repro_model
+
+type t = {
+  label : Label.t;
+  component : int option;
+      (** The component scheduling this node's children; [None] for leaves.
+          A node with children must name a component. *)
+  sequential : bool;
+      (** Execute the children one after another (a strong intra-transaction
+          order); otherwise they are dispatched concurrently. *)
+  children : t list;
+}
+
+val leaf : Label.t -> t
+
+val call : ?sequential:bool -> component:int -> Label.t -> t list -> t
+(** An internal node: a service call whose children run under [component].
+    Raises [Invalid_argument] when [children] is empty. *)
+
+type topology = {
+  components : (string * Conflict.spec) array;
+      (** One entry per component; the index is the component id used in
+          templates. *)
+}
+
+val validate : topology -> t -> unit
+(** Check component ids are in range and leaves/internals are well-formed;
+    raises [Invalid_argument] otherwise. *)
+
+type path = int list
+(** Root is [[]]; the k-th child of [p] is [p @ [k]].  (Paths are built
+    reversed internally; this type is the public, root-first form.) *)
+
+val size : t -> int
+(** Number of nodes in the template (root included). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+open Repro_model
+open Repro_workload
+
+type workload = {
+  name : string;
+  topology : Template.topology;
+  gen : Prng.t -> client:int -> seq:int -> Template.t;
+}
+
+let rw_leaves it =
+  [ Template.leaf (Label.read it); Template.leaf (Label.write it) ]
+
+(* A single read-modify-write leaf.  Two-leaf read-then-write services can
+   deadlock on the classical lock upgrade (both read, then both try to
+   write); real record managers take update locks up front, which this
+   models. *)
+let upd_leaf it = [ Template.leaf (Label.v ~args:[ it ] "upd") ]
+
+let banking ?(accounts = 6) ?(services_per_tx = 2) () =
+  let topology =
+    {
+      Template.components =
+        [|
+          ( "bank",
+            Conflict.Table
+              [
+                ("withdraw", "withdraw"); ("withdraw", "deposit");
+                ("balance", "withdraw"); ("balance", "deposit");
+              ] );
+          ("store", Conflict.Rw);
+        |];
+    }
+  in
+  let gen rng ~client ~seq =
+    ignore client;
+    ignore seq;
+    let svc () =
+      let a = Fmt.str "acct%d" (Prng.int rng accounts) in
+      match Prng.int rng 4 with
+      | 0 | 1 ->
+        Template.call ~component:1 (Label.v ~args:[ a ] "deposit") (upd_leaf a)
+      | 2 ->
+        Template.call ~component:1 (Label.v ~args:[ a ] "withdraw") (upd_leaf a)
+      | _ ->
+        Template.call ~component:1 (Label.v ~args:[ a ] "balance")
+          [ Template.leaf (Label.read a) ]
+    in
+    Template.call ~component:0 (Label.v "txn")
+      (List.init (1 + Prng.int rng services_per_tx) (fun _ -> svc ()))
+  in
+  { name = "banking"; topology; gen }
+
+let layered ?(records = 12) ?(ops_per_tx = 3) () =
+  let topology =
+    {
+      Template.components =
+        [|
+          ( "query",
+            Conflict.Table [ ("fetch", "update"); ("update", "update") ] );
+          ( "records",
+            Conflict.Table [ ("r", "w"); ("w", "w") ] );
+          ("pages", Conflict.Rw);
+        |];
+    }
+  in
+  let gen rng ~client ~seq =
+    ignore client;
+    ignore seq;
+    let record_op () =
+      let key = Fmt.str "rec%d" (Prng.int rng records) in
+      let update = Prng.int rng 2 = 0 in
+      let name = if update then "update" else "fetch" in
+      let record_leaf_name = if update then "w" else "r" in
+      let record_label = Label.v ~args:[ key ] record_leaf_name in
+      (* The record operation expands to page-level leaves. *)
+      let page_leaves = Repro_storage.Pagemap.page_ops record_label in
+      Template.call ~component:1 (Label.v ~args:[ key ] name)
+        [
+          Template.call ~component:2 ~sequential:true record_label
+            (List.map Template.leaf page_leaves);
+        ]
+    in
+    Template.call ~component:0 (Label.v "query")
+      (List.init (1 + Prng.int rng ops_per_tx) (fun _ -> record_op ()))
+  in
+  { name = "layered"; topology; gen }
+
+let federated ?(items_per_rm = 2) () =
+  let topology =
+    {
+      Template.components =
+        [|
+          ("frontP", Conflict.Never);
+          ("frontQ", Conflict.Never);
+          ("rmA", Conflict.Rw);
+          ("rmB", Conflict.Rw);
+        |];
+    }
+  in
+  let gen rng ~client ~seq =
+    ignore seq;
+    let svc rm =
+      let prefix = if rm = 2 then "a" else "b" in
+      let it = Fmt.str "%s%d" prefix (Prng.int rng items_per_rm) in
+      Template.call ~component:rm (Label.v ~args:[ it ] "svc") (rw_leaves it)
+    in
+    Template.call ~component:(client mod 2) (Label.v "txn") [ svc 2; svc 3 ]
+  in
+  { name = "federated"; topology; gen }
+
+let all () = [ banking (); layered (); federated () ]
+
+let find name = List.find_opt (fun w -> w.name = name) (all ())

@@ -1,0 +1,39 @@
+(** Ready-made topologies and transaction-template generators for the
+    runtime: the three application families the paper's introduction
+    motivates (TP-monitor banking, layered DBMS storage, federated
+    multi-component systems).  Used by the [compsim] tool, the examples and
+    the benchmarks. *)
+
+
+
+type workload = {
+  name : string;
+  topology : Template.topology;
+  gen : Repro_workload.Prng.t -> client:int -> seq:int -> Template.t;
+      (** Template for client [client]'s [seq]-th transaction. *)
+}
+
+val banking : ?accounts:int -> ?services_per_tx:int -> unit -> workload
+(** A bank component over a record store: deposits and withdrawals commute
+    unless they touch the same account and one checks the balance.  The
+    bank's conflict table is {e faithful} to the store, so even open nesting
+    is safe.  Components: 0 = bank, 1 = store. *)
+
+val layered : ?records:int -> ?ops_per_tx:int -> unit -> workload
+(** A three-level stack: query layer over a record manager over a page
+    manager ({!Repro_storage.Pagemap} maps records to pages).  Semantically
+    commuting record operations conflict on pages — the classical multilevel
+    motivation.  Components: 0 = query, 1 = records, 2 = pages. *)
+
+val federated : ?items_per_rm:int -> unit -> workload
+(** Two autonomous front-ends (clients are split between them) sharing two
+    resource managers — the paper's Figure-3 shape.  The front-ends see no
+    conflicts of their own, so nothing above the resource managers relates
+    transactions of different front-ends: open nesting can serialize a root
+    pair in opposite directions at the two managers, which the Comp-C
+    checker detects.  Components: 0/1 = front-ends, 2/3 = resource
+    managers. *)
+
+val all : unit -> workload list
+
+val find : string -> workload option

@@ -1,0 +1,1 @@
+lib/storage/pagemap.ml: Fmt Hashtbl Label Repro_model

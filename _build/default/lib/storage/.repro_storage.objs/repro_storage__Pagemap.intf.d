@@ -1,0 +1,1 @@
+lib/storage/pagemap.mli: Repro_model

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Hashtbl List Option Repro_model String

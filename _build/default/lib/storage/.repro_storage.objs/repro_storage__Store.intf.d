@@ -1,0 +1,1 @@
+lib/storage/store.mli: Repro_model

@@ -1,0 +1,14 @@
+open Repro_model
+
+let page_of ?(pages = 8) key = Fmt.str "pg%d" (Hashtbl.hash key mod pages)
+
+let page_ops ?(pages = 8) (lbl : Label.t) =
+  match Label.item lbl with
+  | None -> []
+  | Some key -> (
+    let pg = page_of ~pages key in
+    match lbl.Label.name with
+    | "r" | "read" | "get" | "fetch" -> [ Label.read pg ]
+    | "insert" | "delete" ->
+      [ Label.read pg; Label.write pg; Label.read "pgix"; Label.write "pgix" ]
+    | _ -> [ Label.read pg; Label.write pg ])

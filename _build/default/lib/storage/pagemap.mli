@@ -1,0 +1,18 @@
+(** Record-to-page mapping for multilevel storage examples.
+
+    Classical multilevel transaction papers (and this paper's stack
+    configuration) layer a record manager over a page manager: a record
+    operation touches the page holding the record (and sometimes an index
+    page), so two record operations that commute semantically may still
+    conflict on pages.  This module provides the deterministic mapping the
+    layered-DBMS example and workloads use. *)
+
+val page_of : ?pages:int -> string -> string
+(** [page_of key] is the page holding [key] ("pg0" … "pg<n-1>"); the default
+    page count is 8.  Deterministic hash of the key. *)
+
+val page_ops : ?pages:int -> Repro_model.Label.t -> Repro_model.Label.t list
+(** Expand a record-level operation into its page-level leaf operations:
+    a record read reads the record's page; a record write/insert/delete
+    reads and writes it; an insert or delete additionally reads and writes
+    the index page ("pgix"). *)

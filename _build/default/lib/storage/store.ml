@@ -1,0 +1,71 @@
+type txid = int
+
+type t = {
+  table : (string, int) Hashtbl.t;
+  undo : (txid, (string * int option) list ref) Hashtbl.t;
+  mutable next_tx : txid;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create () =
+  { table = Hashtbl.create 64; undo = Hashtbl.create 16; next_tx = 0; reads = 0; writes = 0 }
+
+let get t item = Option.value ~default:0 (Hashtbl.find_opt t.table item)
+
+let set t item v = Hashtbl.replace t.table item v
+
+let begin_tx t =
+  let id = t.next_tx in
+  t.next_tx <- id + 1;
+  Hashtbl.replace t.undo id (ref []);
+  id
+
+let undo_log t tx =
+  match Hashtbl.find_opt t.undo tx with
+  | Some l -> l
+  | None -> invalid_arg "Store: transaction is not open"
+
+let record_old t tx item =
+  let l = undo_log t tx in
+  l := (item, Hashtbl.find_opt t.table item) :: !l
+
+let write t tx item v =
+  record_old t tx item;
+  t.writes <- t.writes + 1;
+  Hashtbl.replace t.table item v;
+  v
+
+let apply t tx (lbl : Repro_model.Label.t) =
+  match Repro_model.Label.item lbl with
+  | None -> invalid_arg "Store.apply: leaf operation without an item"
+  | Some item -> (
+    match lbl.Repro_model.Label.name with
+    | "r" | "read" ->
+      t.reads <- t.reads + 1;
+      get t item
+    | "inc" -> write t tx item (get t item + 1)
+    | "dec" -> write t tx item (get t item - 1)
+    | _ -> write t tx item (get t item + 1))
+
+let commit t tx =
+  ignore (undo_log t tx);
+  Hashtbl.remove t.undo tx
+
+let abort t tx =
+  let l = undo_log t tx in
+  List.iter
+    (fun (item, old) ->
+      match old with
+      | Some v -> Hashtbl.replace t.table item v
+      | None -> Hashtbl.remove t.table item)
+    !l;
+  Hashtbl.remove t.undo tx
+
+let items t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reads t = t.reads
+
+let writes t = t.writes

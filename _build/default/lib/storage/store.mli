@@ -1,0 +1,49 @@
+(** In-memory versioned key-value store — the data substrate under leaf
+    schedulers.
+
+    The paper's leaf operations are reads and writes over shared items; this
+    store executes them (plus the commutative increment/decrement pair that
+    motivates semantic schedulers), supports transactional undo so the
+    runtime can abort and retry subtransactions, and counts accesses for the
+    benchmarks.
+
+    Values are integers; missing items read as [0].  The store is not
+    thread-safe: the simulation is single-threaded discrete-event. *)
+
+type t
+
+val create : unit -> t
+
+val get : t -> string -> int
+
+val set : t -> string -> int -> unit
+
+type txid = int
+
+val begin_tx : t -> txid
+(** Open an undo scope. *)
+
+val apply : t -> txid -> Repro_model.Label.t -> int
+(** Execute a leaf operation within a transaction: ["r"] returns the value;
+    ["w"] writes [1 + current] (a distinct value, so effects are
+    observable) and returns the written value; ["inc"]/["dec"] adjust by one
+    and return the new value.  The first argument of the label names the
+    item.  Unknown operation names behave like writes.  Raises
+    [Invalid_argument] if the label has no item or the transaction is not
+    open. *)
+
+val commit : t -> txid -> unit
+(** Discard the undo log. *)
+
+val abort : t -> txid -> unit
+(** Roll the store back to the state at [begin_tx] (with respect to this
+    transaction's writes, applied in reverse). *)
+
+val items : t -> (string * int) list
+(** Current contents, sorted by item, for assertions and reports. *)
+
+val reads : t -> int
+(** Total read accesses executed so far. *)
+
+val writes : t -> int
+(** Total write/increment/decrement accesses executed so far. *)

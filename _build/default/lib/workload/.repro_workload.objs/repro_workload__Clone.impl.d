@@ -1,0 +1,1 @@
+lib/workload/clone.ml: History List Rel Repro_model Repro_order

@@ -1,0 +1,1 @@
+lib/workload/clone.mli: History Repro_model Repro_order

@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Conflict History Label Repro_model Repro_order

@@ -1,0 +1,1 @@
+lib/workload/figures.mli: History Repro_model Repro_order

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Clone Conflict Fmt Fun Hashtbl History Ids Int_set Label List Prng Rel Repro_model Repro_order

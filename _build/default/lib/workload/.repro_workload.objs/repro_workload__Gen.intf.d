@@ -1,0 +1,1 @@
+lib/workload/gen.mli: History Prng Repro_model

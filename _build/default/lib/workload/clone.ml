@@ -1,0 +1,66 @@
+open Repro_order
+open Repro_model
+module B = History.Builder
+
+let rebuild h ~drop_logs ~logs ~keep_explicit_outputs =
+  let b = B.create () in
+  (* Recreate schedules in sid order so identifiers are preserved. *)
+  List.iter
+    (fun (s : History.schedule) ->
+      let sid = B.schedule b ~conflict:s.History.conflict s.History.sname in
+      assert (sid = s.History.sid))
+    (History.schedules h);
+  (* Recreate nodes in id order: a parent always has a smaller id than its
+     children (the builder allocates ids on declaration), so parents exist
+     by the time children are declared. *)
+  for i = 0 to History.n_nodes h - 1 do
+    let n = History.node h i in
+    let id =
+      match (n.History.parent, n.History.sched) with
+      | None, Some sched -> B.root b ~sched n.History.label
+      | Some parent, Some sched -> B.tx b ~parent ~sched n.History.label
+      | Some parent, None -> B.leaf b ~parent n.History.label
+      | None, None -> assert false
+    in
+    assert (id = i)
+  done;
+  (* Intra-transaction orders. *)
+  for i = 0 to History.n_nodes h - 1 do
+    let n = History.node h i in
+    Rel.iter (fun a b' -> B.intra_weak b ~a ~b:b') n.History.intra_weak;
+    Rel.iter (fun a b' -> B.intra_strong b ~a ~b:b') n.History.intra_strong
+  done;
+  List.iter
+    (fun (s : History.schedule) ->
+      (* Root input orders (non-root input orders are re-derived by seal). *)
+      let is_root n = History.is_root h n in
+      Rel.iter
+        (fun a b' -> if is_root a && is_root b' then B.input_weak b ~a ~b:b')
+        s.History.weak_in;
+      Rel.iter
+        (fun a b' -> if is_root a && is_root b' then B.input_strong b ~a ~b:b')
+        s.History.strong_in;
+      (* Logs: replacement, or the original. *)
+      (match logs s.History.sid with
+      | Some log -> B.log b ~sched:s.History.sid log
+      | None ->
+        if (not drop_logs) && s.History.log <> [] then
+          B.log b ~sched:s.History.sid s.History.log);
+      if keep_explicit_outputs s.History.sid then begin
+        Rel.iter (fun a b' -> B.weak_out b ~a ~b:b') s.History.weak_out;
+        Rel.iter (fun a b' -> B.strong_out b ~a ~b:b') s.History.strong_out
+      end)
+    (History.schedules h);
+  B.seal b
+
+let with_logs h ~logs =
+  (* A schedule that receives a fresh log must not keep its stale explicit
+     weak output order (seal only derives from the log when nothing explicit
+     is present), while schedules keeping their log keep their outputs. *)
+  rebuild h ~drop_logs:false ~logs ~keep_explicit_outputs:(fun sid -> logs sid = None)
+
+let copy h =
+  rebuild h ~drop_logs:false ~logs:(fun _ -> None) ~keep_explicit_outputs:(fun _ -> true)
+
+let strip_logs h =
+  rebuild h ~drop_logs:true ~logs:(fun _ -> None) ~keep_explicit_outputs:(fun _ -> false)

@@ -1,0 +1,27 @@
+(** Rebuilding histories with replaced execution logs.
+
+    The random generators construct the {e structure} of a composite
+    execution first (forest, schedules, intra-transaction orders, root input
+    orders) and only then choose each schedule's execution log, because a
+    valid log must respect input orders that are themselves derived from the
+    clients' logs.  This module re-runs {!Repro_model.History.Builder} over
+    an existing history, preserving all node and schedule identifiers, with
+    new logs attached — after which [seal] re-derives output and input
+    orders consistently. *)
+
+open Repro_model
+
+val with_logs : History.t -> logs:(History.sched_id -> Repro_order.Ids.id list option) -> History.t
+(** [with_logs h ~logs] is [h] rebuilt with [logs sid] as the execution log
+    of schedule [sid] ([None] keeps the schedule's existing log).  Explicit
+    weak output orders beyond those derivable from logs, intra-transaction
+    orders, and root input orders are preserved. *)
+
+val copy : History.t -> History.t
+(** Identity rebuild; useful to assert builder round-tripping. *)
+
+val strip_logs : History.t -> History.t
+(** Rebuild with no logs and no explicit output orders: only the structure,
+    intra-transaction orders, and root input orders survive, and the derived
+    orders are recomputed from those.  {!Gen.populate} uses this to start
+    from a structurally clean slate. *)

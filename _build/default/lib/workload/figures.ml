@@ -1,0 +1,145 @@
+open Repro_model
+open Repro_order.Ids
+module B = History.Builder
+
+let figure1 () =
+  let b = B.create () in
+  let s1 = B.schedule b "S1" ~conflict:(Conflict.Table [ ("add", "get") ]) in
+  let s2 = B.schedule b "S2" ~conflict:(Conflict.Table [ ("add", "get") ]) in
+  let s3 = B.schedule b "S3" ~conflict:(Conflict.Table [ ("add", "get") ]) in
+  let s4 = B.schedule b "S4" ~conflict:Conflict.Rw in
+  let s5 = B.schedule b "S5" ~conflict:Conflict.Rw in
+  let t1 = B.root b ~sched:s1 (Label.v "T1") in
+  let t2 = B.root b ~sched:s1 (Label.v "T2") in
+  let t3 = B.root b ~sched:s2 (Label.v "T3") in
+  let t4 = B.root b ~sched:s3 (Label.v "T4") in
+  let t5 = B.root b ~sched:s3 (Label.v "T5") in
+  let t1a = B.tx b ~parent:t1 ~sched:s2 (Label.v ~args:[ "m" ] "add") in
+  let t2a = B.tx b ~parent:t2 ~sched:s2 (Label.v ~args:[ "m" ] "get") in
+  let l1 = B.leaf b ~parent:t1a (Label.write "u") in
+  let t3a = B.tx b ~parent:t3 ~sched:s4 (Label.v ~args:[ "k" ] "add") in
+  let t2b = B.tx b ~parent:t2a ~sched:s4 (Label.v ~args:[ "k" ] "get") in
+  let l3 = B.leaf b ~parent:t3a (Label.write "p") in
+  let l2 = B.leaf b ~parent:t2b (Label.read "p") in
+  let t4a = B.tx b ~parent:t4 ~sched:s5 (Label.v ~args:[ "n" ] "add") in
+  let t5a = B.tx b ~parent:t5 ~sched:s5 (Label.v ~args:[ "n" ] "add") in
+  let l4 = B.leaf b ~parent:t4a (Label.write "q") in
+  let l5 = B.leaf b ~parent:t5a (Label.write "q") in
+  B.log b ~sched:s4 [ l3; l2 ];
+  B.log b ~sched:s5 [ l4; l5 ];
+  B.log b ~sched:s2 [ l1; t3a; t2b ];
+  B.log b ~sched:s3 [ t4a; t5a ];
+  B.log b ~sched:s1 [ t1a; t2a ];
+  B.seal b
+
+type fig2 = {
+  h2 : History.t;
+  f2_t1 : id;
+  f2_t2 : id;
+  f2_t11 : id;
+  f2_t21 : id;
+  f2_o13 : id;
+  f2_o25 : id;
+}
+
+let figure2 () =
+  let b = B.create () in
+  let sa = B.schedule b "SA" ~conflict:Conflict.Same_item in
+  let sb = B.schedule b "SB" ~conflict:Conflict.Same_item in
+  let s4 = B.schedule b "S4" ~conflict:Conflict.Rw in
+  let t1 = B.root b ~sched:sa (Label.v "T1") in
+  let t2 = B.root b ~sched:sb (Label.v "T2") in
+  let t11 = B.tx b ~parent:t1 ~sched:s4 (Label.v ~args:[ "x" ] "svc") in
+  let t21 = B.tx b ~parent:t2 ~sched:s4 (Label.v ~args:[ "x" ] "svc") in
+  let o13 = B.leaf b ~parent:t11 (Label.write "x") in
+  let o25 = B.leaf b ~parent:t21 (Label.write "x") in
+  B.log b ~sched:s4 [ o13; o25 ];
+  B.log b ~sched:sa [ t11 ];
+  B.log b ~sched:sb [ t21 ];
+  {
+    h2 = B.seal b;
+    f2_t1 = t1;
+    f2_t2 = t2;
+    f2_t11 = t11;
+    f2_t21 = t21;
+    f2_o13 = o13;
+    f2_o25 = o25;
+  }
+
+type tension = {
+  ht : History.t;
+  tt_t1 : id;
+  tt_t2 : id;
+  tt_t11 : id;
+  tt_t12 : id;
+  tt_t21 : id;
+  tt_t22 : id;
+}
+
+let tension ~shared_top ~top_conflict () =
+  let b = B.create () in
+  let sp, sq =
+    if shared_top then begin
+      let sr = B.schedule b "SR" ~conflict:top_conflict in
+      (sr, sr)
+    end
+    else
+      ( B.schedule b "SP" ~conflict:top_conflict,
+        B.schedule b "SQ" ~conflict:top_conflict )
+  in
+  let sa = B.schedule b "SA" ~conflict:Conflict.Rw in
+  let sb = B.schedule b "SB" ~conflict:Conflict.Rw in
+  let t1 = B.root b ~sched:sp (Label.v "T1") in
+  let t2 = B.root b ~sched:sq (Label.v "T2") in
+  let sub parent sched item =
+    let t = B.tx b ~parent ~sched (Label.v ~args:[ item ] "add") in
+    (t, B.leaf b ~parent:t (Label.write item))
+  in
+  let t11, w11 = sub t1 sa "x" in
+  let t12, w12 = sub t1 sb "y" in
+  let t21, w21 = sub t2 sa "x" in
+  let t22, w22 = sub t2 sb "y" in
+  (* SA serializes T1's part first; SB serializes T2's part first. *)
+  B.log b ~sched:sa [ w11; w21 ];
+  B.log b ~sched:sb [ w22; w12 ];
+  if shared_top then B.log b ~sched:sp [ t11; t22; t21; t12 ]
+  else begin
+    B.log b ~sched:sp [ t11; t12 ];
+    B.log b ~sched:sq [ t21; t22 ]
+  end;
+  {
+    ht = B.seal b;
+    tt_t1 = t1;
+    tt_t2 = t2;
+    tt_t11 = t11;
+    tt_t12 = t12;
+    tt_t21 = t21;
+    tt_t22 = t22;
+  }
+
+let figure3 () = tension ~shared_top:false ~top_conflict:Conflict.Same_item ()
+
+let figure4 ?(conflicting_top = false) () =
+  tension ~shared_top:true
+    ~top_conflict:(if conflicting_top then Conflict.Same_item else Conflict.Table [])
+    ()
+
+let input_order_chain () =
+  let b = B.create () in
+  let top = B.schedule b "Top" ~conflict:(Conflict.Table [ ("a", "b") ]) in
+  let store = B.schedule b "Store" ~conflict:Conflict.Rw in
+  let t1 = B.root b ~sched:top (Label.v "T1") in
+  let t2 = B.root b ~sched:top (Label.v "T2") in
+  let t3 = B.root b ~sched:top (Label.v "T3") in
+  let t = B.tx b ~parent:t1 ~sched:store (Label.v ~args:[ "k" ] "a") in
+  let t' = B.tx b ~parent:t2 ~sched:store (Label.v ~args:[ "k" ] "b") in
+  let x = B.tx b ~parent:t3 ~sched:store (Label.v ~args:[ "m" ] "c") in
+  let wt = B.leaf b ~parent:t (Label.write "p") in
+  let wt' = B.leaf b ~parent:t' (Label.write "q") in
+  let xr_q = B.leaf b ~parent:x (Label.read "q") in
+  let xr_p = B.leaf b ~parent:x (Label.read "p") in
+  (* Top commits the conflicting pair a(k) before b(k); the store chains
+     b's work before x's and x's before a's. *)
+  B.log b ~sched:top [ t; x; t' ];
+  B.log b ~sched:store [ wt'; xr_q; xr_p; wt ];
+  B.seal b

@@ -1,0 +1,62 @@
+(** Reconstructions of the paper's figures as executable histories.
+
+    The published figures are drawings absent from the machine-readable
+    text; these reconstructions exhibit exactly the behaviour each figure's
+    narrative describes and are shared by the test suite, the examples and
+    the experiment harness.  Node identifiers of interest are returned so
+    callers can assert on the relations. *)
+
+open Repro_model
+open Repro_order.Ids
+
+val figure1 : unit -> History.t
+(** An order-3 configuration: five roots over five schedules, with two roots
+    ([T4], [T5]) sharing no schedule with the others' subtrees.  Correct. *)
+
+type fig2 = {
+  h2 : History.t;
+  f2_t1 : id;
+  f2_t2 : id;
+  f2_t11 : id;
+  f2_t21 : id;
+  f2_o13 : id;
+  f2_o25 : id;
+}
+
+val figure2 : unit -> fig2
+(** Two roots on different schedules whose subtransactions conflict at a
+    shared leaf schedule: the observed order climbs [o13 <_o o25] →
+    [t11 <_o t21] → [T1 <_o T2], and the cross-schedule pairs are
+    generalized conflicts. *)
+
+type tension = {
+  ht : History.t;
+  tt_t1 : id;
+  tt_t2 : id;
+  tt_t11 : id;
+  tt_t12 : id;
+  tt_t21 : id;
+  tt_t22 : id;
+}
+
+val figure3 : unit -> tension
+(** Two roots on {e different} schedules, each splitting work over two
+    shared lower schedules that serialize them in opposite directions.  The
+    reduction builds the level-1 front and then cannot isolate the roots —
+    incorrect (the paper's Figure 3). *)
+
+val figure4 : ?conflicting_top:bool -> unit -> tension
+(** The same low-level tension, but the roots share one top schedule.  With
+    the default commuting top the pulled-up orders are forgotten and the
+    execution is correct (the paper's Figure 4); with
+    [~conflicting_top:true] the top schedule's own serialization decisions
+    climb to the roots both ways and the execution is incorrect. *)
+
+val input_order_chain : unit -> History.t
+(** A two-level stack in which the top schedule input-orders two conflicting
+    services while the store's serialization chains them the other way
+    around through a third, commuting service: SCC (and the final Comp-C
+    reading) reject it, but a reading that drops pulled-up pairs between
+    same-schedule operations ({!Repro_core.Observed.Eager_forgetting})
+    wrongly accepts it.  The ablation experiment's over-acceptance
+    witness. *)

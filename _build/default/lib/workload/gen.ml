@@ -1,0 +1,369 @@
+open Repro_order
+open Repro_model
+open Ids
+module B = History.Builder
+
+type profile = {
+  ops_min : int;
+  ops_max : int;
+  items : int;
+  read_ratio : float;
+  root_input_prob : float;
+  strong_input_prob : float;
+  intra_prob : float;
+  intra_strong_prob : float;
+}
+
+let default_profile =
+  {
+    ops_min = 1;
+    ops_max = 3;
+    items = 3;
+    read_ratio = 0.4;
+    root_input_prob = 0.1;
+    strong_input_prob = 0.2;
+    intra_prob = 0.3;
+    intra_strong_prob = 0.3;
+  }
+
+(* [add] reads and writes its item; [get] reads it.  Raw leaves are listed
+   too, so schedules mixing leaves and services judge every pair. *)
+let service_table =
+  [
+    ("w", "w"); ("r", "w"); ("add", "r"); ("add", "w"); ("add", "get"); ("get", "w");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Phase two: log assignment                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A uniformly random linear extension: Kahn's algorithm picking a random
+   ready node at each step. *)
+let linear_extension rng rel nodes =
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace indeg n 0) nodes;
+  Rel.iter
+    (fun a b ->
+      if Hashtbl.mem indeg a && Hashtbl.mem indeg b then
+        Hashtbl.replace indeg b (Hashtbl.find indeg b + 1))
+    rel;
+  let ready = ref (List.filter (fun n -> Hashtbl.find indeg n = 0) nodes) in
+  let out = ref [] in
+  let count = ref 0 in
+  while !ready <> [] do
+    let arr = Array.of_list !ready in
+    let n = Prng.pick_arr rng arr in
+    ready := List.filter (fun x -> x <> n) !ready;
+    out := n :: !out;
+    incr count;
+    Int_set.iter
+      (fun m ->
+        match Hashtbl.find_opt indeg m with
+        | Some d ->
+          Hashtbl.replace indeg m (d - 1);
+          if d - 1 = 0 then ready := m :: !ready
+        | None -> ())
+      (Rel.succs rel n)
+  done;
+  if !count <> List.length nodes then
+    invalid_arg "Gen.linear_extension: constraints are cyclic";
+  List.rev !out
+
+let populate rng history =
+  (* Work on the structural skeleton: any previous logs' consequences must
+     not constrain the fresh draw. *)
+  let proto = Clone.strip_logs history in
+  let n_scheds = History.n_schedules proto in
+  (* Transaction-pair orders already imposed on each schedule; seeded with
+     the proto's input orders (root inputs and intra-order consequences),
+     extended top-down with log-derived orders. *)
+  let pushed = Array.make n_scheds Rel.empty in
+  List.iter
+    (fun (s : History.schedule) -> pushed.(s.History.sid) <- s.History.weak_in)
+    (History.schedules proto);
+  let logs = Array.make n_scheds None in
+  let by_level =
+    List.sort
+      (fun a b -> compare (History.level proto b) (History.level proto a))
+      (List.init n_scheds Fun.id)
+  in
+  List.iter
+    (fun sid ->
+      let ops = History.ops_of_schedule proto sid in
+      (* Orders imposed on this schedule compose transitively, including
+         across pairs pushed by different clients. *)
+      pushed.(sid) <- Rel.transitive_closure pushed.(sid);
+      (* Constraints the log must respect: strong output obligations (strong
+         input expansions and strong intra orders; these never depend on
+         logs, so the proto's relation is definitive), intra-transaction
+         orders, and conflicting operations of pushed-ordered
+         transactions. *)
+      let constraints =
+        Int_set.fold
+          (fun t acc -> Rel.union acc (History.node proto t).History.intra_weak)
+          (History.schedule proto sid).History.transactions
+          (History.schedule proto sid).History.strong_out
+      in
+      let constraints = ref constraints in
+      List.iter
+        (fun o ->
+          List.iter
+            (fun o' ->
+              if
+                o <> o'
+                && History.conflicts proto sid o o'
+                && Rel.mem (History.parent_tx proto o) (History.parent_tx proto o')
+                     pushed.(sid)
+              then constraints := Rel.add o o' !constraints)
+            ops)
+        ops;
+      let log = linear_extension rng !constraints ops in
+      logs.(sid) <- Some log;
+      (* Minimal weak output this log induces; push it down (Def. 4.7). *)
+      let wmin = ref !constraints in
+      let rec pairs = function
+        | [] -> ()
+        | o :: rest ->
+          List.iter
+            (fun o' -> if History.conflicts proto sid o o' then wmin := Rel.add o o' !wmin)
+            rest;
+          pairs rest
+      in
+      pairs log;
+      let wmin = Rel.transitive_closure !wmin in
+      Rel.iter
+        (fun o o' ->
+          match (History.sched_of_tx proto o, History.sched_of_tx proto o') with
+          | Some c, Some c' when c = c' -> pushed.(c) <- Rel.add o o' pushed.(c)
+          | _ -> ())
+        wmin)
+    by_level;
+  Clone.with_logs proto ~logs:(fun sid -> logs.(sid))
+
+(* ------------------------------------------------------------------ *)
+(* Phase one: structures                                               *)
+(* ------------------------------------------------------------------ *)
+
+let item rng ~pool ~n = Fmt.str "%s%d" pool (Prng.int rng n)
+
+let reader rng p = Prng.chance rng p.read_ratio
+
+(* Attach read/write leaves implementing a service on [it] to [parent]. *)
+let add_leaves b ~parent ~read_only ~it =
+  if read_only then ignore (B.leaf b ~parent (Label.read it))
+  else begin
+    let r = B.leaf b ~parent (Label.read it) in
+    let w = B.leaf b ~parent (Label.write it) in
+    B.intra_weak b ~a:r ~b:w
+  end
+
+let add_root_inputs b rng p roots =
+  let arr = Array.of_list roots in
+  let n = Array.length arr in
+  for i = 0 to n - 2 do
+    if Prng.chance rng p.root_input_prob then begin
+      let a = arr.(i) and b' = arr.(i + 1) in
+      if Prng.chance rng p.strong_input_prob then B.input_strong b ~a ~b:b'
+      else B.input_weak b ~a ~b:b'
+    end
+  done
+
+let n_ops rng p = p.ops_min + Prng.int rng (p.ops_max - p.ops_min + 1)
+
+(* Weakly or strongly chain some adjacent sibling pairs: the transaction's
+   intra-transaction order (Def. 2). *)
+let chain_children b rng p kids =
+  let arr = Array.of_list kids in
+  for i = 0 to Array.length arr - 2 do
+    if Prng.chance rng p.intra_prob then
+      if Prng.chance rng p.intra_strong_prob then
+        B.intra_strong b ~a:arr.(i) ~b:arr.(i + 1)
+      else B.intra_weak b ~a:arr.(i) ~b:arr.(i + 1)
+  done
+
+let flat ?(profile = default_profile) rng ~roots =
+  let p = profile in
+  let b = B.create () in
+  let s = B.schedule b ~conflict:Conflict.Rw "S" in
+  let rs =
+    List.init roots (fun i ->
+        let r = B.root b ~sched:s (Label.v (Fmt.str "T%d" (i + 1))) in
+        let kids =
+          List.init (n_ops rng p) (fun _ ->
+              let it = item rng ~pool:"x" ~n:p.items in
+              let lbl = if reader rng p then Label.read it else Label.write it in
+              B.leaf b ~parent:r lbl)
+        in
+        chain_children b rng p kids;
+        r)
+  in
+  add_root_inputs b rng p rs;
+  populate rng (B.seal b)
+
+let stack ?(profile = default_profile) rng ~levels ~roots =
+  if levels < 1 then invalid_arg "Gen.stack: levels must be >= 1";
+  let p = profile in
+  let b = B.create () in
+  let scheds =
+    Array.init levels (fun i ->
+        (* index 0 = bottom (level 1). *)
+        let conflict = if i = 0 then Conflict.Rw else Conflict.Table service_table in
+        B.schedule b ~conflict (Fmt.str "S%d" (i + 1)))
+  in
+  (* Transactions of schedule at index [i] have children that are
+     transactions of index [i-1] (or leaves when i = 0). *)
+  let rec fill parent i =
+    (* Children of [parent] (a transaction of index [i]): transactions of
+       index [i-1], with leaves at the bottom touching the service's item. *)
+    let kids =
+      List.init (n_ops rng p) (fun _ ->
+          let it = item rng ~pool:(Fmt.str "p%d_" i) ~n:p.items in
+          let ro = reader rng p in
+          let name = if ro then "get" else "add" in
+          let t = B.tx b ~parent ~sched:scheds.(i - 1) (Label.v ~args:[ it ] name) in
+          (if i - 1 = 0 then add_leaves b ~parent:t ~read_only:ro ~it else fill t (i - 1));
+          t)
+    in
+    chain_children b rng p kids
+  in
+  let rs =
+    List.init roots (fun j ->
+        let r = B.root b ~sched:scheds.(levels - 1) (Label.v (Fmt.str "T%d" (j + 1))) in
+        (if levels = 1 then begin
+           let kids =
+             List.init (n_ops rng p) (fun _ ->
+                 let it = item rng ~pool:"x" ~n:p.items in
+                 let lbl = if reader rng p then Label.read it else Label.write it in
+                 B.leaf b ~parent:r lbl)
+           in
+           chain_children b rng p kids
+         end
+         else fill r (levels - 1));
+        r)
+  in
+  add_root_inputs b rng p rs;
+  populate rng (B.seal b)
+
+let fork ?(profile = default_profile) rng ~branches ~roots =
+  if branches < 2 then invalid_arg "Gen.fork: need at least two branches";
+  let p = profile in
+  let b = B.create () in
+  let top = B.schedule b ~conflict:(Conflict.Table service_table) "Fork" in
+  let bs =
+    Array.init branches (fun i -> B.schedule b ~conflict:Conflict.Rw (Fmt.str "B%d" (i + 1)))
+  in
+  let rs =
+    List.init roots (fun j ->
+        let r = B.root b ~sched:top (Label.v (Fmt.str "T%d" (j + 1))) in
+        let kids =
+          List.init (n_ops rng p) (fun _ ->
+              let branch = Prng.int rng branches in
+              (* Disjoint pools per branch: cross-branch operations commute,
+                 as Def. 23 requires. *)
+              let it = item rng ~pool:(Fmt.str "b%d_" branch) ~n:p.items in
+              let ro = reader rng p in
+              let name = if ro then "get" else "add" in
+              let t = B.tx b ~parent:r ~sched:bs.(branch) (Label.v ~args:[ it ] name) in
+              add_leaves b ~parent:t ~read_only:ro ~it;
+              t)
+        in
+        chain_children b rng p kids;
+        r)
+  in
+  add_root_inputs b rng p rs;
+  populate rng (B.seal b)
+
+let join ?(profile = default_profile) rng ~branches ~roots =
+  if branches < 2 then invalid_arg "Gen.join: need at least two branches";
+  if roots < branches then invalid_arg "Gen.join: need at least one root per branch";
+  let p = profile in
+  let b = B.create () in
+  let bs =
+    Array.init branches (fun i ->
+        B.schedule b ~conflict:(Conflict.Table service_table) (Fmt.str "J%d" (i + 1)))
+  in
+  let bottom = B.schedule b ~conflict:Conflict.Rw "SJ" in
+  let root_lists = Array.make branches [] in
+  for j = 0 to roots - 1 do
+    (* Ensure every branch holds at least one root, then spread randomly. *)
+    let branch = if j < branches then j else Prng.int rng branches in
+    let r = B.root b ~sched:bs.(branch) (Label.v (Fmt.str "T%d" (j + 1))) in
+    let kids =
+      List.init (n_ops rng p) (fun _ ->
+          let it = item rng ~pool:"x" ~n:p.items in
+          let ro = reader rng p in
+          let name = if ro then "get" else "add" in
+          let t = B.tx b ~parent:r ~sched:bottom (Label.v ~args:[ it ] name) in
+          add_leaves b ~parent:t ~read_only:ro ~it;
+          t)
+    in
+    chain_children b rng p kids;
+    root_lists.(branch) <- r :: root_lists.(branch)
+  done;
+  Array.iter (fun rs -> add_root_inputs b rng p (List.rev rs)) root_lists;
+  populate rng (B.seal b)
+
+let general ?(profile = default_profile) rng ~schedules ~roots =
+  if schedules < 1 then invalid_arg "Gen.general: need at least one schedule";
+  let p = profile in
+  let b = B.create () in
+  let scheds =
+    Array.init schedules (fun i ->
+        B.schedule b ~conflict:(Conflict.Table service_table) (Fmt.str "S%d" (i + 1)))
+  in
+  (* Random invocation DAG on indices: edges only from smaller to larger
+     index; every non-source index gets at least one predecessor. *)
+  let succs = Array.make schedules [] in
+  for j = 1 to schedules - 1 do
+    let i = Prng.int rng j in
+    succs.(i) <- j :: succs.(i);
+    for i' = 0 to j - 1 do
+      if i' <> i && Prng.chance rng 0.25 then succs.(i') <- j :: succs.(i')
+    done
+  done;
+  let rec fill parent i depth =
+    let kids =
+      List.init (n_ops rng p) (fun _ ->
+          let make_leaf () =
+            let it = item rng ~pool:(Fmt.str "s%d_" i) ~n:p.items in
+            let lbl = if reader rng p then Label.read it else Label.write it in
+            B.leaf b ~parent lbl
+          in
+          match succs.(i) with
+          | [] -> make_leaf ()
+          | targets ->
+            if depth > 4 || Prng.chance rng 0.3 then make_leaf ()
+            else begin
+              let j = Prng.pick rng targets in
+              let it = item rng ~pool:(Fmt.str "s%d_" j) ~n:p.items in
+              let ro = reader rng p in
+              let name = if ro then "get" else "add" in
+              let t = B.tx b ~parent ~sched:scheds.(j) (Label.v ~args:[ it ] name) in
+              fill t j (depth + 1);
+              t
+            end)
+    in
+    chain_children b rng p kids
+  in
+  (* Roots live on source schedules (no incoming invocation edges). *)
+  let is_target = Array.make schedules false in
+  Array.iter (List.iter (fun j -> is_target.(j) <- true)) succs;
+  let sources =
+    match List.filter (fun j -> not is_target.(j)) (List.init schedules Fun.id) with
+    | [] -> [ 0 ]
+    | l -> l
+  in
+  let assigned =
+    List.init roots (fun j ->
+        let src = Prng.pick rng sources in
+        let r = B.root b ~sched:scheds.(src) (Label.v (Fmt.str "T%d" (j + 1))) in
+        fill r src 0;
+        (src, r))
+  in
+  (* Root input orders, per source schedule. *)
+  List.iter
+    (fun src ->
+      let mine = List.filter_map (fun (s, r) -> if s = src then Some r else None) assigned in
+      add_root_inputs b rng p mine)
+    sources;
+  populate rng (B.seal b)

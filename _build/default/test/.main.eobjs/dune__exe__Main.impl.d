@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_core Test_criteria Test_histlang Test_model Test_props Test_rel Test_runtime Test_storage Test_workload

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Conflict Fmt Gen History Ids Int_set Label List Prng Rel Repro_core Repro_criteria Repro_model Repro_order Repro_workload Validate

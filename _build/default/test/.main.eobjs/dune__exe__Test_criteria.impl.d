@@ -1,0 +1,1 @@
+test/test_criteria.ml: Alcotest Classic Conflict History Label List Repro_core Repro_criteria Repro_model Repro_order Repro_workload Ser Shapes Special Validate

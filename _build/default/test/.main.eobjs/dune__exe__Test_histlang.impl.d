@@ -1,0 +1,1 @@
+test/test_histlang.ml: Alcotest Conflict Dot Fmt Gen History Label List Prng Repro_core Repro_histlang Repro_model Repro_order Repro_workload String Syntax Validate

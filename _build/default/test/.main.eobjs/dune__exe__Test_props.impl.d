@@ -1,0 +1,1 @@
+test/test_props.ml: Clone Gen Hashtbl History Int_set List Prng QCheck QCheck_alcotest Repro_core Repro_criteria Repro_histlang Repro_model Repro_order Repro_workload Validate

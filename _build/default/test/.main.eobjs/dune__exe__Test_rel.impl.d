@@ -1,0 +1,1 @@
+test/test_rel.ml: Alcotest Dump Fmt Gen Hashtbl Ids Int_set List QCheck QCheck_alcotest Rel Repro_order

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Conflict Fmt Hashtbl History Label List Lock Prng Repro_core Repro_histlang Repro_model Repro_runtime Repro_workload Sim Template Validate

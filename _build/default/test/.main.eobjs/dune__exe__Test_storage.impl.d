@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Label List Pagemap Repro_model Repro_storage Store String

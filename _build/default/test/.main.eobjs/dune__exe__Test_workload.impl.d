@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Clone Fmt Fun Gen Hashtbl History Label List Option Prng Repro_core Repro_model Repro_workload Validate

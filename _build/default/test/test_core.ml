@@ -1,0 +1,437 @@
+(* Tests for the observed order, fronts, reduction, and the Comp-C decision,
+   including reconstructions of the paper's figures and the empirical
+   validation of Theorems 2-4. *)
+open Repro_order
+open Repro_model
+open Repro_workload
+module B = History.Builder
+module Gen_figures = Repro_workload.Figures
+module Compc = Repro_core.Compc
+module Observed = Repro_core.Observed
+module Front = Repro_core.Front
+module Reduction = Repro_core.Reduction
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built executions                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Classic flat non-serializable interleaving: r1(x) w2(x) w2(y) r1(y). *)
+let flat_bad () =
+  let b = B.create () in
+  let s = B.schedule b ~conflict:Conflict.Rw "S" in
+  let t1 = B.root b ~sched:s (Label.v "T1") in
+  let t2 = B.root b ~sched:s (Label.v "T2") in
+  let r1x = B.leaf b ~parent:t1 (Label.read "x") in
+  let r1y = B.leaf b ~parent:t1 (Label.read "y") in
+  let w2x = B.leaf b ~parent:t2 (Label.write "x") in
+  let w2y = B.leaf b ~parent:t2 (Label.write "y") in
+  B.log b ~sched:s [ r1x; w2x; w2y; r1y ];
+  B.seal b
+
+let test_flat_bad () =
+  let v = Compc.check (flat_bad ()) in
+  Alcotest.(check bool) "rejected" false (Compc.is_correct_verdict v);
+  match Compc.failure v with
+  | Some (Reduction.No_calculation { level = 1; cluster_cycle }) ->
+    Alcotest.(check int) "both roots in the cycle" 2 (List.length cluster_cycle)
+  | other ->
+    Alcotest.failf "unexpected outcome %a"
+      Fmt.(option (fun ppf _ -> Fmt.string ppf "<failure>"))
+      other
+
+let test_serial_order_raises_on_incorrect () =
+  let v = Compc.check (flat_bad ()) in
+  Alcotest.check_raises "serial_order on rejected history"
+    (Invalid_argument "Compc.serial_order: execution is not Comp-C") (fun () ->
+      ignore (Compc.serial_order v))
+
+let test_flat_good () =
+  let b = B.create () in
+  let s = B.schedule b ~conflict:Conflict.Rw "S" in
+  let t1 = B.root b ~sched:s (Label.v "T1") in
+  let t2 = B.root b ~sched:s (Label.v "T2") in
+  let r1x = B.leaf b ~parent:t1 (Label.read "x") in
+  let r1y = B.leaf b ~parent:t1 (Label.read "y") in
+  let w2x = B.leaf b ~parent:t2 (Label.write "x") in
+  let w2y = B.leaf b ~parent:t2 (Label.write "y") in
+  B.log b ~sched:s [ r1x; w2x; r1y; w2y ];
+  let v = Compc.check (B.seal b) in
+  Alcotest.(check bool) "accepted" true (Compc.is_correct_verdict v);
+  Alcotest.(check (list int)) "serial order" [ t1; t2 ] (Compc.serial_order v)
+
+(* Figure 2 (from the shared reconstruction library): the observed order
+   climbs from a shared leaf schedule to roots on different schedules. *)
+let test_figure2_observed_order () =
+  let f = Gen_figures.figure2 () in
+  let h = f.Gen_figures.h2 in
+  let t1 = f.Gen_figures.f2_t1 and t2 = f.Gen_figures.f2_t2 in
+  let t11 = f.Gen_figures.f2_t11 and t21 = f.Gen_figures.f2_t21 in
+  let o13 = f.Gen_figures.f2_o13 and o25 = f.Gen_figures.f2_o25 in
+  let rel = Observed.compute h in
+  Alcotest.(check bool) "leaf pair observed" true (Rel.mem o13 o25 rel.Observed.obs);
+  Alcotest.(check bool) "climbs to subtransactions" true (Rel.mem t11 t21 rel.Observed.obs);
+  Alcotest.(check bool) "climbs to roots" true (Rel.mem t1 t2 rel.Observed.obs);
+  Alcotest.(check bool) "no reverse" false (Rel.mem t2 t1 rel.Observed.obs);
+  (* Generalized conflicts (Def. 11): cross-schedule pairs conflict because
+     they are observed-related. *)
+  Alcotest.(check bool) "roots conflict" true (Observed.conflict h rel t1 t2);
+  Alcotest.(check bool) "subtransactions conflict" true (Observed.conflict h rel t11 t21);
+  Alcotest.(check bool) "correct" true (Compc.is_correct h)
+
+(* Figure 3: the crossing serializations make the roots impossible to
+   isolate at the final step. *)
+let test_figure3_incorrect () =
+  let f = Gen_figures.figure3 () in
+  let h = f.Gen_figures.ht in
+  let t1 = f.Gen_figures.tt_t1 and t2 = f.Gen_figures.tt_t2 in
+  let t11 = f.Gen_figures.tt_t11 and t21 = f.Gen_figures.tt_t21 in
+  Alcotest.(check bool) "valid execution" true (Validate.check h = []);
+  let v = Compc.check h in
+  Alcotest.(check bool) "rejected" false (Compc.is_correct_verdict v);
+  (* The level-1 front exists (one successful step); the failure is the
+     isolation of the roots. *)
+  Alcotest.(check int) "one completed step" 1 (List.length v.Compc.certificate.Reduction.steps);
+  (match Compc.failure v with
+  | Some (Reduction.No_calculation { level = 2; cluster_cycle }) ->
+    Alcotest.(check bool) "roots in cycle" true
+      (List.mem t1 cluster_cycle && List.mem t2 cluster_cycle)
+  | _ -> Alcotest.fail "expected No_calculation at step 2");
+  (* The conflicting observed pairs that cause it. *)
+  let rel = v.Compc.relations in
+  Alcotest.(check bool) "sa pulled pair" true (Rel.mem t11 t21 rel.Observed.obs);
+  Alcotest.(check bool) "roots observed both ways" true
+    (Rel.mem t1 t2 rel.Observed.obs && Rel.mem t2 t1 rel.Observed.obs)
+
+(* Figure 4: the same tension, forgotten at the common schedule. *)
+let test_figure4_correct () =
+  let f = Gen_figures.figure4 () in
+  let h = f.Gen_figures.ht in
+  let t11 = f.Gen_figures.tt_t11 and t12 = f.Gen_figures.tt_t12 in
+  let t21 = f.Gen_figures.tt_t21 and t22 = f.Gen_figures.tt_t22 in
+  Alcotest.(check bool) "valid" true (Validate.check h = []);
+  let v = Compc.check h in
+  let rel = v.Compc.relations in
+  Alcotest.(check bool) "pulled pair sa" true (Rel.mem t11 t21 rel.Observed.obs);
+  Alcotest.(check bool) "pulled pair sb" true (Rel.mem t22 t12 rel.Observed.obs);
+  (* Not generalized conflicts: their common schedule knows they commute. *)
+  Alcotest.(check bool) "forgotten for layout" false (Observed.conflict h rel t11 t21);
+  Alcotest.(check bool) "accepted" true (Compc.is_correct_verdict v)
+
+let test_figure4_with_conflicts_incorrect () =
+  (* If the same services conflict at the top schedule, the top schedule's
+     own serialization decisions are pulled to the roots both ways. *)
+  let f = Gen_figures.figure4 ~conflicting_top:true () in
+  Alcotest.(check bool) "rejected" false (Compc.is_correct f.Gen_figures.ht)
+
+(* Figure 1: structural notions only (the paper's figure is an
+   architecture illustration). *)
+let test_figure1_structure () =
+  let h = Gen_figures.figure1 () in
+  Alcotest.(check int) "order 3" 3 (History.order h);
+  Alcotest.(check int) "five roots" 5 (List.length (History.roots h));
+  Alcotest.(check int) "five schedules" 5 (History.n_schedules h);
+  Alcotest.(check bool) "valid" true (Validate.check h = []);
+  Alcotest.(check bool) "correct" true (Compc.is_correct h);
+  (* T4 (root 3) and T5 (root 4) share a schedule with each other but with
+     nobody else. *)
+  let roots = History.roots h in
+  let t4 = List.nth roots 3 and t5 = List.nth roots 4 in
+  let open Ids in
+  let sub r =
+    Int_set.elements (History.descendants h r)
+    |> List.filter_map (History.sched_of_tx h)
+  in
+  Alcotest.(check bool) "t4/t5 share their provider" true
+    (List.exists (fun s -> List.mem s (sub t5)) (sub t4))
+
+(* ------------------------------------------------------------------ *)
+(* Fronts                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fronts () =
+  let h = (Gen_figures.figure3 ()).Gen_figures.ht in
+  let rel = Observed.compute h in
+  let f0 = Front.initial h rel in
+  Alcotest.(check int) "level 0 front holds the 4 leaves" 4
+    (Ids.Int_set.cardinal f0.Front.members);
+  let f1 = Front.make h rel 1 in
+  Alcotest.(check int) "level 1 front holds the 4 subtransactions" 4
+    (Ids.Int_set.cardinal f1.Front.members);
+  let f2 = Front.make h rel 2 in
+  Alcotest.(check int) "level 2 front holds the roots" 2
+    (Ids.Int_set.cardinal f2.Front.members);
+  Alcotest.(check bool) "f0 cc" true (Front.is_cc f0);
+  Alcotest.(check bool) "f1 cc" true (Front.is_cc f1);
+  (* The level-2 front is not conflict consistent: the roots are observed
+     both ways — exactly why no calculation exists. *)
+  Alcotest.(check bool) "f2 not cc" false (Front.is_cc f2)
+
+let test_front_serial () =
+  (* Strongly totally ordered roots make the final front serial. *)
+  let b = B.create () in
+  let s = B.schedule b ~conflict:Conflict.Rw "S" in
+  let t1 = B.root b ~sched:s (Label.v "T1") in
+  let t2 = B.root b ~sched:s (Label.v "T2") in
+  let w1 = B.leaf b ~parent:t1 (Label.write "x") in
+  let w2 = B.leaf b ~parent:t2 (Label.write "x") in
+  B.input_strong b ~a:t1 ~b:t2;
+  B.log b ~sched:s [ w1; w2 ];
+  let h = B.seal b in
+  let rel = Observed.compute h in
+  Alcotest.(check bool) "serial front" true (Front.is_serial h (Front.make h rel 1));
+  Alcotest.(check bool) "level 0 not serial" false (Front.is_serial h (Front.initial h rel))
+
+(* ------------------------------------------------------------------ *)
+(* Theorems 2-4, empirically                                           *)
+(* ------------------------------------------------------------------ *)
+
+let agreement ~name ~n gen special =
+  for i = 0 to n - 1 do
+    let h = gen i in
+    Alcotest.(check bool) (Fmt.str "%s#%d valid" name i) true (Validate.check h = []);
+    let s = special h and c = Compc.is_correct h in
+    if s <> c then
+      Alcotest.failf "%s#%d: special criterion says %b, Comp-C says %b@.%a" name i s c
+        History.pp h
+  done
+
+let test_theorem2_stack () =
+  agreement ~name:"stack" ~n:150
+    (fun i -> Gen.stack (Prng.create ~seed:(9000 + i)) ~levels:(2 + (i mod 3)) ~roots:(2 + (i mod 3)))
+    Repro_criteria.Special.scc
+
+let test_theorem3_fork () =
+  agreement ~name:"fork" ~n:150
+    (fun i -> Gen.fork (Prng.create ~seed:(5000 + i)) ~branches:(2 + (i mod 3)) ~roots:(2 + (i mod 4)))
+    Repro_criteria.Special.fcc
+
+let test_theorem4_join () =
+  agreement ~name:"join" ~n:150
+    (fun i -> Gen.join (Prng.create ~seed:(3000 + i)) ~branches:2 ~roots:(2 + (i mod 4)))
+    Repro_criteria.Special.jcc
+
+let test_flat_matches_csr () =
+  agreement ~name:"flat" ~n:150
+    (fun i -> Gen.flat (Prng.create ~seed:(700 + i)) ~roots:(2 + (i mod 4)))
+    Repro_criteria.Classic.flat_csr
+
+(* Containment claims of Section 4: LLSR and OPSR accept only Comp-C
+   histories (they are subsets). *)
+let test_containment_llsr_opsr () =
+  let accepted_llsr = ref 0 and accepted_opsr = ref 0 and accepted_compc = ref 0 in
+  for i = 0 to 299 do
+    let h = Gen.stack (Prng.create ~seed:(100_000 + i)) ~levels:2 ~roots:3 in
+    let llsr = Repro_criteria.Classic.llsr h in
+    let opsr = Repro_criteria.Classic.opsr h in
+    let compc = Compc.is_correct h in
+    if llsr then incr accepted_llsr;
+    if opsr then incr accepted_opsr;
+    if compc then incr accepted_compc;
+    if llsr && not compc then Alcotest.failf "LLSR accepted a non-Comp-C stack #%d" i;
+    if opsr && not compc then Alcotest.failf "OPSR accepted a non-Comp-C stack #%d" i
+  done;
+  (* Strictness: Comp-C admits strictly more than each. *)
+  Alcotest.(check bool) "llsr strictly contained" true (!accepted_llsr < !accepted_compc);
+  Alcotest.(check bool) "opsr strictly contained" true (!accepted_opsr < !accepted_compc)
+
+(* Serial executions (strong total root order) are always correct. *)
+let test_serial_always_correct () =
+  (* Sequential clients and sequential transactions: the execution really is
+     serial, not just root-ordered. *)
+  let profile =
+    {
+      Gen.default_profile with
+      Gen.root_input_prob = 1.0;
+      strong_input_prob = 1.0;
+      intra_prob = 1.0;
+      intra_strong_prob = 1.0;
+    }
+  in
+  for i = 0 to 60 do
+    let rng = Prng.create ~seed:(42_000 + i) in
+    let h =
+      match i mod 3 with
+      | 0 -> Gen.stack ~profile rng ~levels:3 ~roots:3
+      | 1 -> Gen.fork ~profile rng ~branches:2 ~roots:3
+      | _ -> Gen.flat ~profile rng ~roots:4
+    in
+    Alcotest.(check bool) (Fmt.str "serial#%d correct" i) true (Compc.is_correct h)
+  done
+
+(* The witness layout of each successful step is a real isolation: every
+   reduced transaction's operations are contiguous. *)
+let test_layout_contiguous () =
+  for i = 0 to 40 do
+    let h = Gen.general (Prng.create ~seed:(88_000 + i)) ~schedules:4 ~roots:3 in
+    let v = Compc.check h in
+    List.iter
+      (fun (st : Reduction.step) ->
+        let lvl = st.Reduction.level in
+        let txs =
+          History.schedules_at_level h lvl
+          |> List.concat_map (fun s ->
+                 Ids.Int_set.elements (History.schedule h s).History.transactions)
+        in
+        List.iter
+          (fun t ->
+            let mine = History.children h t in
+            let positions =
+              List.mapi (fun idx n -> (n, idx)) st.Reduction.layout
+              |> List.filter (fun (n, _) -> List.mem n mine)
+              |> List.map snd
+            in
+            match (positions, mine) with
+            | [], [] -> ()
+            | ps, ms when List.length ps = List.length ms ->
+              let lo = List.fold_left min max_int ps and hi = List.fold_left max 0 ps in
+              Alcotest.(check bool)
+                (Fmt.str "contiguous tx %d at step %d (history %d)" t lvl i)
+                true
+                (hi - lo + 1 = List.length ps)
+            | _ -> Alcotest.fail "layout lost operations")
+          txs)
+      v.Compc.certificate.Reduction.steps
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Ablation variants of the observed order                             *)
+(* ------------------------------------------------------------------ *)
+
+let decide_with variant h =
+  let rel = Observed.compute_with variant h in
+  Reduction.is_correct (Reduction.reduce ~rel h)
+
+let test_ablation_witnesses () =
+  let fig4 = (Gen_figures.figure4 ()).Gen_figures.ht in
+  let chain = Gen_figures.input_order_chain () in
+  Alcotest.(check bool) "chain is a valid execution" true (Validate.check chain = []);
+  Alcotest.(check bool) "chain: SCC rejects" false (Repro_criteria.Special.scc chain);
+  (* Final reading: agrees with SCC on both witnesses. *)
+  Alcotest.(check bool) "final rejects chain" false (decide_with Observed.Final chain);
+  Alcotest.(check bool) "final accepts fig4" true (decide_with Observed.Final fig4);
+  (* No-forgetting: over-rejects Figure 4 (orders never forgotten). *)
+  Alcotest.(check bool) "no-forgetting rejects fig4" false
+    (decide_with Observed.No_forgetting fig4);
+  (* Eager forgetting: over-accepts the input-order chain (fronts lose the
+     pulled serialization orders). *)
+  Alcotest.(check bool) "eager accepts chain" true
+    (decide_with Observed.Eager_forgetting chain)
+
+let test_ablation_final_is_compute () =
+  for i = 0 to 30 do
+    let h = Gen.general (Prng.create ~seed:(90_000 + i)) ~schedules:4 ~roots:3 in
+    Alcotest.(check bool) "compute_with Final = compute" true
+      (Repro_order.Rel.equal (Observed.compute h).Observed.obs
+         (Observed.compute_with Observed.Final h).Observed.obs)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Defs. 17-20: serial fronts, equivalence, containment                *)
+(* ------------------------------------------------------------------ *)
+
+module Equivalence = Repro_core.Equivalence
+
+let test_level_fronts () =
+  let h = (Gen_figures.figure3 ()).Gen_figures.ht in
+  (match Equivalence.level_front h 0 with
+  | Some f -> Alcotest.(check int) "level 0" 4 (Ids.Int_set.cardinal f.Front.members)
+  | None -> Alcotest.fail "level 0 front always exists");
+  (match Equivalence.level_front h 1 with
+  | Some f -> Alcotest.(check int) "level 1" 4 (Ids.Int_set.cardinal f.Front.members)
+  | None -> Alcotest.fail "figure 3 has a level 1 front");
+  Alcotest.(check bool) "no level 2 front" true (Equivalence.level_front h 2 = None)
+
+let test_equivalence_reflexive () =
+  let h = (Gen_figures.figure4 ()).Gen_figures.ht in
+  let rel = Observed.compute h in
+  for i = 0 to History.order h do
+    match Equivalence.level_front h i with
+    | Some f ->
+      let fs = Equivalence.of_front h rel f in
+      Alcotest.(check bool)
+        (Fmt.str "equivalent to own level-%d front" i)
+        true
+        (Equivalence.level_equivalent h i fs);
+      Alcotest.(check bool)
+        (Fmt.str "not contained when inputs lack the observed order (level %d)" i)
+        (Repro_order.Rel.subset f.Front.obs f.Front.inp)
+        (Equivalence.level_contained h i fs)
+    | None -> Alcotest.failf "figure 4 reduces fully; missing level %d" i
+  done
+
+let test_containment_agrees_with_reduction () =
+  (* Def. 20 through Theorem 1's construction must agree with the
+     reduction-based decision on every history. *)
+  for i = 0 to 120 do
+    let rng = Prng.create ~seed:(60_000 + i) in
+    let h =
+      match i mod 5 with
+      | 0 -> Gen.flat rng ~roots:3
+      | 1 -> Gen.stack rng ~levels:3 ~roots:2
+      | 2 -> Gen.fork rng ~branches:2 ~roots:3
+      | 3 -> Gen.join rng ~branches:2 ~roots:3
+      | _ -> Gen.general rng ~schedules:4 ~roots:3
+    in
+    Alcotest.(check bool)
+      (Fmt.str "containment = reduction #%d" i)
+      (Compc.is_correct h)
+      (Equivalence.comp_c_via_containment h)
+  done
+
+let test_serial_front_spec () =
+  let open Repro_order in
+  let fs =
+    {
+      Equivalence.fs_members = Ids.Int_set.of_list [ 1; 2; 3 ];
+      fs_input = Rel.transitive_closure (Rel.of_list [ (1, 2); (2, 3) ]);
+      fs_con = Ids.Pair_set.empty;
+    }
+  in
+  Alcotest.(check bool) "total chain is serial" true (Equivalence.is_serial fs);
+  let fs = { fs with Equivalence.fs_input = Rel.of_list [ (1, 2) ] } in
+  Alcotest.(check bool) "partial order is not serial" false (Equivalence.is_serial fs)
+
+let suite =
+  [
+    ( "core",
+      [
+        Alcotest.test_case "flat non-serializable rejected" `Quick test_flat_bad;
+        Alcotest.test_case "serial_order raises on incorrect" `Quick
+          test_serial_order_raises_on_incorrect;
+        Alcotest.test_case "flat serializable accepted" `Quick test_flat_good;
+        Alcotest.test_case "figure 2: observed order climbs" `Quick test_figure2_observed_order;
+        Alcotest.test_case "figure 3: incorrect execution" `Quick test_figure3_incorrect;
+        Alcotest.test_case "figure 4: forgetting makes it correct" `Quick test_figure4_correct;
+        Alcotest.test_case "figure 4 variant with conflicts rejected" `Quick
+          test_figure4_with_conflicts_incorrect;
+        Alcotest.test_case "figure 1: structure" `Quick test_figure1_structure;
+        Alcotest.test_case "fronts" `Quick test_fronts;
+        Alcotest.test_case "serial fronts" `Quick test_front_serial;
+      ] );
+    ( "theorems",
+      [
+        Alcotest.test_case "theorem 2: SCC = Comp-C on stacks" `Slow test_theorem2_stack;
+        Alcotest.test_case "theorem 3: FCC = Comp-C on forks" `Slow test_theorem3_fork;
+        Alcotest.test_case "theorem 4: JCC = Comp-C on joins" `Slow test_theorem4_join;
+        Alcotest.test_case "flat histories match classical CSR" `Slow test_flat_matches_csr;
+        Alcotest.test_case "LLSR and OPSR are strict subsets" `Slow test_containment_llsr_opsr;
+        Alcotest.test_case "serial executions always correct" `Quick test_serial_always_correct;
+        Alcotest.test_case "witness layouts isolate transactions" `Quick test_layout_contiguous;
+      ] );
+    ( "ablation",
+      [
+        Alcotest.test_case "rejected readings break on the witnesses" `Quick
+          test_ablation_witnesses;
+        Alcotest.test_case "Final variant is the default" `Quick
+          test_ablation_final_is_compute;
+      ] );
+    ( "equivalence",
+      [
+        Alcotest.test_case "level fronts (Def. 16)" `Quick test_level_fronts;
+        Alcotest.test_case "level equivalence is reflexive (Def. 18)" `Quick
+          test_equivalence_reflexive;
+        Alcotest.test_case "Def. 20 containment = Theorem 1 reduction" `Slow
+          test_containment_agrees_with_reduction;
+        Alcotest.test_case "serial front spec (Def. 17)" `Quick test_serial_front_spec;
+      ] );
+  ]

@@ -1,0 +1,212 @@
+(* Tests for serialization orders, schedule conflict consistency, and the
+   classical criteria — including hand-built gap witnesses showing that the
+   containments of Section 4 are strict. *)
+open Repro_model
+open Repro_criteria
+module B = History.Builder
+
+(* Flat schedule with a given log over two transactions' read/writes. *)
+let flat ~log:mk () =
+  let b = B.create () in
+  let s = B.schedule b ~conflict:Conflict.Rw "S" in
+  let t1 = B.root b ~sched:s (Label.v "T1") in
+  let t2 = B.root b ~sched:s (Label.v "T2") in
+  let r1 = B.leaf b ~parent:t1 (Label.read "x") in
+  let w1 = B.leaf b ~parent:t1 (Label.write "y") in
+  let r2 = B.leaf b ~parent:t2 (Label.read "y") in
+  let w2 = B.leaf b ~parent:t2 (Label.write "x") in
+  B.log b ~sched:s (mk (r1, w1, r2, w2));
+  (B.seal b, s, (t1, t2))
+
+let test_serialization_order () =
+  let h, s, (t1, t2) = flat ~log:(fun (r1, w1, r2, w2) -> [ r1; w1; r2; w2 ]) () in
+  let ser = Ser.serialization_order h s in
+  Alcotest.(check bool) "t1 before t2" true (Repro_order.Rel.mem t1 t2 ser);
+  Alcotest.(check bool) "no reverse" false (Repro_order.Rel.mem t2 t1 ser);
+  Alcotest.(check bool) "cc" true (Ser.cc h s);
+  match Ser.serial_witness h s with
+  | Some [ a; b ] ->
+    Alcotest.(check int) "first" t1 a;
+    Alcotest.(check int) "second" t2 b
+  | _ -> Alcotest.fail "expected a two-transaction witness"
+
+let test_cc_cycle () =
+  (* r1(x) w2(x) then r2(y) w1(y): T1 -> T2 and T2 -> T1. *)
+  let h, s, _ = flat ~log:(fun (r1, w1, r2, w2) -> [ r1; w2; r2; w1 ]) () in
+  Alcotest.(check bool) "not cc" false (Ser.cc h s);
+  match Ser.cc_witness h s with
+  | Some cycle -> Alcotest.(check int) "cycle of the two roots" 2 (List.length cycle)
+  | None -> Alcotest.fail "expected a cycle"
+
+let test_precedes () =
+  let h, s, (t1, t2) = flat ~log:(fun (r1, w1, r2, w2) -> [ r1; w1; r2; w2 ]) () in
+  let prec = Ser.precedes h s in
+  Alcotest.(check bool) "t1 precedes t2" true (Repro_order.Rel.mem t1 t2 prec);
+  let h, s, (t1, t2) = flat ~log:(fun (r1, w1, r2, w2) -> [ r1; r2; w1; w2 ]) () in
+  let prec = Ser.precedes h s in
+  Alcotest.(check bool) "overlapping: no precedence" false
+    (Repro_order.Rel.mem t1 t2 prec || Repro_order.Rel.mem t2 t1 prec)
+
+(* A two-level stack where the schedules commute at the top but conflict at
+   the bottom, serialized in opposite directions for two different service
+   pairs — SCC (= Comp-C) accepts, OPSR and LLSR do not.  This is the gap
+   witness for the strict containments. *)
+let forgetting_stack () =
+  let b = B.create () in
+  let top = B.schedule b ~conflict:(Conflict.Table []) "Top" in
+  let bot = B.schedule b ~conflict:Conflict.Rw "Bot" in
+  let t1 = B.root b ~sched:top (Label.v "T1") in
+  let t2 = B.root b ~sched:top (Label.v "T2") in
+  let a1 = B.tx b ~parent:t1 ~sched:bot (Label.v ~args:[ "x" ] "add") in
+  let b1 = B.tx b ~parent:t1 ~sched:bot (Label.v ~args:[ "y" ] "add") in
+  let a2 = B.tx b ~parent:t2 ~sched:bot (Label.v ~args:[ "x" ] "add") in
+  let b2 = B.tx b ~parent:t2 ~sched:bot (Label.v ~args:[ "y" ] "add") in
+  let wa1 = B.leaf b ~parent:a1 (Label.write "x") in
+  let wb1 = B.leaf b ~parent:b1 (Label.write "y") in
+  let wa2 = B.leaf b ~parent:a2 (Label.write "x") in
+  let wb2 = B.leaf b ~parent:b2 (Label.write "y") in
+  (* x: T1's service first; y: T2's service first — and the services
+     overlap in real time at the bottom. *)
+  B.log b ~sched:bot [ wa1; wb2; wa2; wb1 ];
+  B.log b ~sched:top [ a1; b1; a2; b2 ];
+  B.seal b
+
+let test_gap_witness_llsr () =
+  let h = forgetting_stack () in
+  Alcotest.(check bool) "valid" true (Validate.check h = []);
+  Alcotest.(check bool) "stack" true (Shapes.is_stack h);
+  Alcotest.(check bool) "SCC accepts" true (Special.scc h);
+  Alcotest.(check bool) "Comp-C accepts" true (Repro_core.Compc.is_correct h);
+  Alcotest.(check bool) "LLSR rejects" false (Classic.llsr h);
+  Alcotest.(check bool) "MLSR rejects" false (Classic.mlsr h)
+
+(* Two subtransactions of the SAME root interfere at the bottom level: MLSR
+   collapses the pulled orders at the root and accepts, LLSR sees the
+   mid-level cycle and rejects - the LLSR/MLSR gap. *)
+let llsr_mlsr_gap () =
+  let b = B.create () in
+  let top = B.schedule b ~conflict:(Conflict.Table []) "Top" in
+  let mid = B.schedule b ~conflict:(Conflict.Table []) "Mid" in
+  let bot = B.schedule b ~conflict:Conflict.Rw "Bot" in
+  let t1 = B.root b ~sched:top (Label.v "T1") in
+  let u1 = B.tx b ~parent:t1 ~sched:mid (Label.v ~args:[ "s" ] "svcA") in
+  let u2 = B.tx b ~parent:t1 ~sched:mid (Label.v ~args:[ "s" ] "svcB") in
+  let v1 = B.tx b ~parent:u1 ~sched:bot (Label.v ~args:[ "x" ] "add") in
+  let v2 = B.tx b ~parent:u1 ~sched:bot (Label.v ~args:[ "y" ] "add") in
+  let v3 = B.tx b ~parent:u2 ~sched:bot (Label.v ~args:[ "x" ] "add") in
+  let v4 = B.tx b ~parent:u2 ~sched:bot (Label.v ~args:[ "y" ] "add") in
+  let w1 = B.leaf b ~parent:v1 (Label.write "x") in
+  let w2 = B.leaf b ~parent:v2 (Label.write "y") in
+  let w3 = B.leaf b ~parent:v3 (Label.write "x") in
+  let w4 = B.leaf b ~parent:v4 (Label.write "y") in
+  (* x orders u1's work first, y orders u2's work first: a cycle among the
+     mid-level siblings, invisible at the root. *)
+  B.log b ~sched:bot [ w1; w3; w4; w2 ];
+  B.log b ~sched:mid [ v1; v3; v4; v2 ];
+  B.log b ~sched:top [ u1; u2 ];
+  B.seal b
+
+let test_gap_witness_llsr_vs_mlsr () =
+  let h = llsr_mlsr_gap () in
+  Alcotest.(check bool) "valid" true (Validate.check h = []);
+  Alcotest.(check bool) "stack" true (Shapes.is_stack h);
+  Alcotest.(check bool) "MLSR accepts" true (Classic.mlsr h);
+  Alcotest.(check bool) "LLSR rejects" false (Classic.llsr h);
+  Alcotest.(check bool) "Comp-C accepts" true (Repro_core.Compc.is_correct h)
+
+(* Three flat transactions where the serialization order inverts the real-
+   time order of two non-overlapping, non-conflicting transactions: OPSR
+   rejects, SCC (= Comp-C) accepts. *)
+let opsr_gap () =
+  let b = B.create () in
+  let s = B.schedule b ~conflict:Conflict.Rw "S" in
+  let ta = B.root b ~sched:s (Label.v "A") in
+  let tb = B.root b ~sched:s (Label.v "B") in
+  let tc = B.root b ~sched:s (Label.v "C") in
+  let wa = B.leaf b ~parent:ta (Label.write "p") in
+  let wb = B.leaf b ~parent:tb (Label.write "q") in
+  let rcp = B.leaf b ~parent:tc (Label.read "p") in
+  let rcq = B.leaf b ~parent:tc (Label.read "q") in
+  B.log b ~sched:s [ rcp; wa; wb; rcq ];
+  B.seal b
+
+let test_gap_witness_opsr () =
+  let h = opsr_gap () in
+  Alcotest.(check bool) "valid" true (Validate.check h = []);
+  Alcotest.(check bool) "SCC accepts" true (Special.scc h);
+  Alcotest.(check bool) "Comp-C accepts" true (Repro_core.Compc.is_correct h);
+  Alcotest.(check bool) "OPSR rejects" false (Classic.opsr h);
+  (* The forgetting stack, by contrast, is order preserving. *)
+  Alcotest.(check bool) "OPSR accepts the forgetting stack" true
+    (Classic.opsr (forgetting_stack ()))
+
+let test_flat_csr () =
+  let h, _, _ = flat ~log:(fun (r1, w1, r2, w2) -> [ r1; w1; r2; w2 ]) () in
+  Alcotest.(check bool) "serial flat accepted" true (Classic.flat_csr h);
+  let h, _, _ = flat ~log:(fun (r1, w1, r2, w2) -> [ r1; w2; r2; w1 ]) () in
+  Alcotest.(check bool) "cyclic flat rejected" false (Classic.flat_csr h)
+
+let test_flat_csr_ignores_levels () =
+  (* FlatCSR pulls leaf conflicts straight to the roots: the forgetting
+     stack has no leaf-level cycle across roots, so it accepts — but it
+     also accepts executions that interleave subtransactions of one root
+     incorrectly, which Comp-C rejects.  Check the first claim here. *)
+  let h = forgetting_stack () in
+  Alcotest.(check bool) "flat csr on the stack" false (Classic.flat_csr h)
+
+let test_accepted_by_report () =
+  let h = forgetting_stack () in
+  let report = Classic.accepted_by h in
+  let get name = List.assoc name report in
+  Alcotest.(check bool) "has LLSR entry" true (List.mem_assoc "LLSR" report);
+  Alcotest.(check bool) "has SCC entry" true (List.mem_assoc "SCC" report);
+  Alcotest.(check bool) "comp-c true" true (get "Comp-C");
+  Alcotest.(check bool) "llsr false" false (get "LLSR")
+
+let test_llsr_requires_stack () =
+  let h = Repro_workload.Gen.fork (Repro_workload.Prng.create ~seed:1) ~branches:2 ~roots:2 in
+  Alcotest.check_raises "llsr on fork" (Invalid_argument "Classic.llsr: not a stack")
+    (fun () -> ignore (Classic.llsr h))
+
+let test_ghost_graph () =
+  (* A join where the two branches' roots interact through the bottom. *)
+  let b = B.create () in
+  let j1 = B.schedule b ~conflict:(Conflict.Table Repro_workload.Gen.service_table) "J1" in
+  let j2 = B.schedule b ~conflict:(Conflict.Table Repro_workload.Gen.service_table) "J2" in
+  let bot = B.schedule b ~conflict:Conflict.Rw "SJ" in
+  let t1 = B.root b ~sched:j1 (Label.v "T1") in
+  let t2 = B.root b ~sched:j2 (Label.v "T2") in
+  let u1 = B.tx b ~parent:t1 ~sched:bot (Label.v ~args:[ "k" ] "add") in
+  let u2 = B.tx b ~parent:t2 ~sched:bot (Label.v ~args:[ "k" ] "add") in
+  let w1 = B.leaf b ~parent:u1 (Label.write "x") in
+  let w2 = B.leaf b ~parent:u2 (Label.write "x") in
+  B.log b ~sched:bot [ w1; w2 ];
+  B.log b ~sched:j1 [ u1 ];
+  B.log b ~sched:j2 [ u2 ];
+  let h = B.seal b in
+  (match Shapes.classify h with
+  | Shapes.Join { branches; bottom } ->
+    let g = Special.ghost_graph h ~branches ~bottom in
+    Alcotest.(check bool) "t1 ghost-before t2" true (Repro_order.Rel.mem t1 t2 g);
+    Alcotest.(check bool) "no reverse" false (Repro_order.Rel.mem t2 t1 g)
+  | other -> Alcotest.failf "expected a join, got %a" Shapes.pp other);
+  Alcotest.(check bool) "jcc" true (Special.jcc h);
+  Alcotest.(check bool) "comp-c" true (Repro_core.Compc.is_correct h)
+
+let suite =
+  [
+    ( "criteria",
+      [
+        Alcotest.test_case "serialization order" `Quick test_serialization_order;
+        Alcotest.test_case "cc cycle witness" `Quick test_cc_cycle;
+        Alcotest.test_case "precedes (non-overlap order)" `Quick test_precedes;
+        Alcotest.test_case "gap witness: LLSR strictly contained" `Quick test_gap_witness_llsr;
+        Alcotest.test_case "gap witness: LLSR inside MLSR" `Quick test_gap_witness_llsr_vs_mlsr;
+        Alcotest.test_case "gap witness: OPSR strictly contained" `Quick test_gap_witness_opsr;
+        Alcotest.test_case "flat csr" `Quick test_flat_csr;
+        Alcotest.test_case "flat csr on multilevel" `Quick test_flat_csr_ignores_levels;
+        Alcotest.test_case "accepted_by report" `Quick test_accepted_by_report;
+        Alcotest.test_case "llsr requires a stack" `Quick test_llsr_requires_stack;
+        Alcotest.test_case "ghost graph" `Quick test_ghost_graph;
+      ] );
+  ]

@@ -1,0 +1,184 @@
+(* Tests for the history description language: parsing, printing,
+   round-tripping, and error reporting. *)
+open Repro_model
+open Repro_histlang
+
+let example =
+  {|
+# the classic non-serializable flat interleaving
+schedule S conflict rw
+root T1 @ S T1
+root T2 @ S T2
+leaf r1x parent T1 r(x)
+leaf r1y parent T1 r(y)
+leaf w2x parent T2 w(x)
+leaf w2y parent T2 w(y)
+log S : r1x w2x w2y r1y
+|}
+
+let test_parse_basic () =
+  let h = Syntax.parse example in
+  Alcotest.(check int) "nodes" 6 (History.n_nodes h);
+  Alcotest.(check int) "schedules" 1 (History.n_schedules h);
+  Alcotest.(check bool) "valid" true (Validate.check h = []);
+  Alcotest.(check bool) "not comp-c" false (Repro_core.Compc.is_correct h)
+
+let test_parse_two_level () =
+  let h =
+    Syntax.parse
+      {|
+schedule Top conflict table(add/get)
+schedule Bot conflict rw
+root T1 @ Top T1
+root T2 @ Top T2
+tx a @ Bot parent T1 add(k)
+tx c @ Bot parent T2 get(k)
+leaf la parent a w(x)
+leaf lc parent c r(x)
+log Top : a c
+log Bot : la lc
+input : T1 < T2
+|}
+  in
+  Alcotest.(check int) "order" 2 (History.order h);
+  Alcotest.(check bool) "comp-c" true (Repro_core.Compc.is_correct h)
+
+let test_parse_explicit_forward_reference () =
+  (* Explicit conflict pairs may name nodes declared later. *)
+  let h =
+    Syntax.parse
+      {|
+schedule S conflict explicit(a/b)
+root T1 @ S T1
+root T2 @ S T2
+leaf a parent T1 p
+leaf b parent T2 q
+log S : a b
+|}
+  in
+  Alcotest.(check bool) "conflict recorded" true (History.conflicts h 0 2 3);
+  Alcotest.(check bool) "valid" true (Validate.check h = [])
+
+let test_parse_strong_markers () =
+  let h =
+    Syntax.parse
+      {|
+schedule S conflict rw
+root T1 @ S T1
+root T2 @ S T2
+leaf a parent T1 w(x)
+leaf b parent T2 w(x)
+input! : T1 < T2
+log S : a b
+|}
+  in
+  let s = History.schedule h 0 in
+  Alcotest.(check bool) "strong input" true (Repro_order.Rel.mem 0 1 s.History.strong_in);
+  Alcotest.(check bool) "strong output expanded" true
+    (Repro_order.Rel.mem 2 3 s.History.strong_out)
+
+(* Avoid depending on astring: tiny substring check. *)
+module Astring = struct
+  module String = struct
+    let is_infix ~affix s =
+      let n = String.length affix and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+      n = 0 || go 0
+  end
+end
+
+let check_parse_error src fragment =
+  match Syntax.parse src with
+  | exception Syntax.Parse_error e ->
+    let msg = Fmt.str "%a" Syntax.pp_error e in
+    Alcotest.(check bool)
+      (Fmt.str "error mentions %S (got %S)" fragment msg)
+      true
+      (Astring.String.is_infix ~affix:fragment msg)
+  | _ -> Alcotest.failf "expected a parse error for %S" src
+
+let test_parse_errors () =
+  check_parse_error "schedule" "unexpected end";
+  check_parse_error "root T1 @ S T1" "unknown schedule";
+  check_parse_error "schedule S conflict rw\nleaf a parent T b" "unknown node";
+  check_parse_error "schedule S conflict bogus" "unknown conflict specification";
+  check_parse_error "frobnicate" "unknown item";
+  check_parse_error "schedule S conflict rw\nroot T @ S T\nroot T @ S T" "duplicate node"
+
+let roundtrip h =
+  let txt = Syntax.to_string h in
+  let h' =
+    try Syntax.parse txt
+    with Syntax.Parse_error e ->
+      Alcotest.failf "re-parse failed: %a@.%s" Syntax.pp_error e txt
+  in
+  Alcotest.(check int) "nodes" (History.n_nodes h) (History.n_nodes h');
+  Alcotest.(check int) "schedules" (History.n_schedules h) (History.n_schedules h');
+  List.iter
+    (fun (s : History.schedule) ->
+      let s' = History.schedule h' s.History.sid in
+      Alcotest.(check bool)
+        (Fmt.str "weak_out %s" s.History.sname)
+        true
+        (Repro_order.Rel.equal s.History.weak_out s'.History.weak_out);
+      Alcotest.(check bool)
+        (Fmt.str "strong_in %s" s.History.sname)
+        true
+        (Repro_order.Rel.equal s.History.strong_in s'.History.strong_in))
+    (History.schedules h);
+  Alcotest.(check bool) "same verdict" (Repro_core.Compc.is_correct h)
+    (Repro_core.Compc.is_correct h')
+
+let test_roundtrip_generated () =
+  let open Repro_workload in
+  for i = 0 to 20 do
+    let rng = Prng.create ~seed:(600 + i) in
+    roundtrip (Gen.general rng ~schedules:3 ~roots:3);
+    roundtrip (Gen.stack rng ~levels:2 ~roots:2)
+  done
+
+let test_dot_export () =
+  let h = Syntax.parse example in
+  let rel = Repro_core.Observed.compute h in
+  let forest = Dot.forest ~obs:rel.Repro_core.Observed.obs h in
+  Alcotest.(check bool) "digraph" true (String.length forest > 0);
+  (* one node statement per history node *)
+  for i = 0 to History.n_nodes h - 1 do
+    Alcotest.(check bool)
+      (Fmt.str "node n%d present" i)
+      true
+      (Astring.String.is_infix ~affix:(Fmt.str "n%d [label=" i) forest)
+  done;
+  (* tree edges present *)
+  Alcotest.(check bool) "tree edge" true (Astring.String.is_infix ~affix:"n0 -> n2;" forest);
+  (* observed-order overlay present *)
+  Alcotest.(check bool) "obs edge" true (Astring.String.is_infix ~affix:"style=dashed" forest);
+  let ig = Dot.invocation_graph h in
+  Alcotest.(check bool) "schedule node" true (Astring.String.is_infix ~affix:"level 1" ig)
+
+let test_dot_escaping () =
+  (* Labels with quotes and backslashes must not break the DOT syntax. *)
+  let b = History.Builder.create () in
+  let s = History.Builder.schedule b ~conflict:Conflict.Rw {|S"x\|} in
+  let t = History.Builder.root b ~sched:s (Label.v {|T"1|}) in
+  ignore (History.Builder.leaf b ~parent:t (Label.read {|a"b|}));
+  let h = History.Builder.seal b in
+  let forest = Dot.forest h in
+  Alcotest.(check bool) "escaped quote" true
+    (Astring.String.is_infix ~affix:{|\"|} forest)
+
+let suite =
+  [
+    ( "histlang",
+      [
+        Alcotest.test_case "parse: flat example" `Quick test_parse_basic;
+        Alcotest.test_case "parse: two-level" `Quick test_parse_two_level;
+        Alcotest.test_case "parse: explicit forward refs" `Quick
+          test_parse_explicit_forward_reference;
+        Alcotest.test_case "parse: strong markers" `Quick test_parse_strong_markers;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "round trip generated histories" `Quick test_roundtrip_generated;
+        Alcotest.test_case "dot export" `Quick test_dot_export;
+        Alcotest.test_case "dot escaping" `Quick test_dot_escaping;
+      ] );
+  ]

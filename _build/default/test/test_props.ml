@@ -1,0 +1,132 @@
+(* QCheck property suites over randomly generated composite executions.
+   Histories are drawn via a seed (generation is deterministic), so every
+   failure reproduces from the printed seed. *)
+open Repro_model
+open Repro_workload
+module Observed = Repro_core.Observed
+module Front = Repro_core.Front
+module Compc = Repro_core.Compc
+
+let history_of_seed seed =
+  let rng = Prng.create ~seed in
+  match seed mod 5 with
+  | 0 -> Gen.flat rng ~roots:(2 + (seed mod 3))
+  | 1 -> Gen.stack rng ~levels:(2 + (seed mod 3)) ~roots:2
+  | 2 -> Gen.fork rng ~branches:2 ~roots:3
+  | 3 -> Gen.join rng ~branches:2 ~roots:3
+  | _ -> Gen.general rng ~schedules:(3 + (seed mod 3)) ~roots:3
+
+let arb_seed = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000)
+
+let prop name count f = QCheck.Test.make ~name ~count arb_seed (fun seed -> f (history_of_seed seed))
+
+let generated_histories_are_valid =
+  prop "generated histories satisfy Defs. 3-4" 200 (fun h -> Validate.check h = [])
+
+let observed_order_is_transitive =
+  prop "observed order is transitively closed" 150 (fun h ->
+      Repro_order.Rel.is_transitive (Observed.compute h).Observed.obs)
+
+let generalized_conflict_is_symmetric =
+  prop "generalized conflict is symmetric and irreflexive" 100 (fun h ->
+      let rel = Observed.compute h in
+      let n = History.n_nodes h in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if Observed.conflict h rel a b <> Observed.conflict h rel b a then ok := false;
+          if a = b && Observed.conflict h rel a b then ok := false
+        done
+      done;
+      !ok)
+
+let fronts_cover_every_leaf_once =
+  prop "every front is an antichain covering each leaf exactly once" 100 (fun h ->
+      let open Repro_order.Ids in
+      let ancestors_or_self l =
+        let rec go acc n =
+          let acc = Int_set.add n acc in
+          match History.parent h n with Some p -> go acc p | None -> acc
+        in
+        go Int_set.empty l
+      in
+      let ok = ref true in
+      for i = 0 to History.order h do
+        let members = Front.members_at h i in
+        List.iter
+          (fun l ->
+            let covering = Int_set.inter (ancestors_or_self l) members in
+            if Int_set.cardinal covering <> 1 then ok := false)
+          (History.leaves h)
+      done;
+      !ok)
+
+let serial_witness_respects_constraints =
+  prop "the serial witness respects observed and input orders on roots" 150 (fun h ->
+      let v = Compc.check h in
+      match v.Compc.certificate.Repro_core.Reduction.outcome with
+      | Error _ -> true
+      | Ok serial ->
+        let pos = Hashtbl.create 8 in
+        List.iteri (fun i r -> Hashtbl.replace pos r i) serial;
+        let rel = v.Compc.relations in
+        let roots = History.roots h in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b ->
+                a = b
+                || (not
+                      (Repro_order.Rel.mem a b rel.Observed.obs
+                      || Repro_order.Rel.mem a b rel.Observed.inp))
+                || Hashtbl.find pos a < Hashtbl.find pos b)
+              roots)
+          roots)
+
+let copy_preserves_verdict =
+  prop "rebuilding a history preserves the Comp-C verdict" 100 (fun h ->
+      Compc.is_correct h = Compc.is_correct (Clone.copy h))
+
+let roundtrip_preserves_verdict =
+  prop "printing and parsing preserves the Comp-C verdict" 100 (fun h ->
+      let h' = Repro_histlang.Syntax.parse (Repro_histlang.Syntax.to_string h) in
+      Compc.is_correct h = Compc.is_correct h')
+
+let reduction_steps_shrink_fronts =
+  prop "fronts shrink (weakly) as reduction proceeds" 100 (fun h ->
+      let open Repro_order.Ids in
+      let sizes =
+        List.init
+          (History.order h + 1)
+          (fun i -> Int_set.cardinal (Front.members_at h i))
+      in
+      let rec weakly_decreasing = function
+        | a :: (b :: _ as rest) -> a >= b && weakly_decreasing rest
+        | _ -> true
+      in
+      weakly_decreasing sizes
+      && List.nth sizes (History.order h) = List.length (History.roots h))
+
+let specialised_criteria_agree =
+  prop "the matching specialised criterion agrees with Comp-C" 200 (fun h ->
+      match Repro_criteria.Special.check_matching h with
+      | None -> true
+      | Some (_, verdict) -> verdict = Compc.is_correct h)
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+
+let suite =
+  [
+    qsuite "core:props"
+      [
+        generated_histories_are_valid;
+        observed_order_is_transitive;
+        generalized_conflict_is_symmetric;
+        fronts_cover_every_leaf_once;
+        serial_witness_respects_constraints;
+        copy_preserves_verdict;
+        roundtrip_preserves_verdict;
+        reduction_steps_shrink_fronts;
+        specialised_criteria_agree;
+      ];
+  ]

@@ -1,0 +1,243 @@
+(* Unit and property tests for the relation toolkit. *)
+open Repro_order
+
+let rel = Alcotest.testable Rel.pp Rel.equal
+
+(* A small generator of relations over nodes 0..9. *)
+let arb_rel =
+  let open QCheck in
+  let pair = Gen.map2 (fun a b -> (a, b)) (Gen.int_bound 9) (Gen.int_bound 9) in
+  make
+    ~print:(fun r -> Fmt.str "%a" Rel.pp r)
+    (Gen.map (fun l -> Rel.of_list (List.filter (fun (a, b) -> a <> b) l)) (Gen.list_size (Gen.int_bound 20) pair))
+
+let test_add_mem () =
+  let r = Rel.(add 1 2 (add 3 4 empty)) in
+  Alcotest.(check bool) "mem 1 2" true (Rel.mem 1 2 r);
+  Alcotest.(check bool) "mem 2 1" false (Rel.mem 2 1 r);
+  Alcotest.(check int) "cardinal" 2 (Rel.cardinal r);
+  let r = Rel.add 1 2 r in
+  Alcotest.(check int) "idempotent add" 2 (Rel.cardinal r)
+
+let test_remove () =
+  let r = Rel.(remove 1 2 (of_list [ (1, 2); (1, 3) ])) in
+  Alcotest.check rel "removed" (Rel.of_list [ (1, 3) ]) r;
+  Alcotest.check rel "remove absent" r (Rel.remove 7 8 r)
+
+let test_set_ops () =
+  let r1 = Rel.of_list [ (1, 2); (2, 3) ] and r2 = Rel.of_list [ (2, 3); (3, 4) ] in
+  Alcotest.check rel "union" (Rel.of_list [ (1, 2); (2, 3); (3, 4) ]) (Rel.union r1 r2);
+  Alcotest.check rel "inter" (Rel.of_list [ (2, 3) ]) (Rel.inter r1 r2);
+  Alcotest.check rel "diff" (Rel.of_list [ (1, 2) ]) (Rel.diff r1 r2);
+  Alcotest.(check bool) "subset" true (Rel.subset (Rel.of_list [ (2, 3) ]) r1);
+  Alcotest.(check bool) "not subset" false (Rel.subset r2 r1)
+
+let test_closure () =
+  let r = Rel.of_list [ (1, 2); (2, 3); (3, 4) ] in
+  let c = Rel.transitive_closure r in
+  Alcotest.(check bool) "1->4" true (Rel.mem 1 4 c);
+  Alcotest.(check bool) "4->1 absent" false (Rel.mem 4 1 c);
+  Alcotest.(check int) "pair count" 6 (Rel.cardinal c);
+  Alcotest.(check bool) "transitive" true (Rel.is_transitive c)
+
+let test_closure_cycle () =
+  let r = Rel.of_list [ (1, 2); (2, 1) ] in
+  let c = Rel.transitive_closure r in
+  Alcotest.(check bool) "self pair 1" true (Rel.mem 1 1 c);
+  Alcotest.(check bool) "self pair 2" true (Rel.mem 2 2 c);
+  Alcotest.(check bool) "irreflexive detects" false (Rel.irreflexive c)
+
+let test_cycle_detection () =
+  Alcotest.(check bool) "acyclic chain" true (Rel.is_acyclic (Rel.of_list [ (1, 2); (2, 3) ]));
+  Alcotest.(check bool) "cycle" false (Rel.is_acyclic (Rel.of_list [ (1, 2); (2, 3); (3, 1) ]));
+  match Rel.find_cycle (Rel.of_list [ (1, 2); (2, 3); (3, 1); (0, 1) ]) with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some cycle ->
+    Alcotest.(check int) "cycle length" 3 (List.length cycle);
+    (* Each consecutive pair (and the wrap-around) must be an edge. *)
+    let r = Rel.of_list [ (1, 2); (2, 3); (3, 1); (0, 1) ] in
+    let rec check = function
+      | [] -> ()
+      | [ last ] -> Alcotest.(check bool) "wrap edge" true (Rel.mem last (List.hd cycle) r)
+      | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "edge" true (Rel.mem a b r);
+        check rest
+    in
+    check cycle
+
+let test_topo () =
+  let open Ids in
+  let nodes = Int_set.of_list [ 0; 1; 2; 3 ] in
+  (match Rel.topo_sort ~nodes (Rel.of_list [ (2, 1); (1, 0) ]) with
+  | Some [ 2; 1; 0; 3 ] -> ()
+  | Some other -> Alcotest.failf "unexpected order %a" Fmt.(Dump.list int) other
+  | None -> Alcotest.fail "expected an order");
+  Alcotest.(check bool) "cycle gives None" true
+    (Rel.topo_sort ~nodes (Rel.of_list [ (0, 1); (1, 0) ]) = None);
+  (* Nodes outside the universe are ignored. *)
+  match Rel.topo_sort ~nodes:(Int_set.of_list [ 0; 1 ]) (Rel.of_list [ (0, 1); (1, 9); (9, 0) ]) with
+  | Some [ 0; 1 ] -> ()
+  | _ -> Alcotest.fail "restriction to universe failed"
+
+let test_quotient () =
+  (* Clusters {0,1} -> 100 and {2,3} -> 200: edge 1->2 becomes 100->200,
+     intra edge 0->1 disappears. *)
+  let cls n = if n <= 1 then 100 else 200 in
+  let q = Rel.quotient cls (Rel.of_list [ (0, 1); (1, 2); (3, 2) ]) in
+  Alcotest.check rel "contracted" (Rel.of_list [ (100, 200) ]) q
+
+let test_total_on () =
+  let open Ids in
+  let ns = Int_set.of_list [ 1; 2; 3 ] in
+  Alcotest.(check bool) "total" true
+    (Rel.total_on ns (Rel.of_list [ (1, 2); (2, 3); (1, 3) ]));
+  Alcotest.(check bool) "partial" false (Rel.total_on ns (Rel.of_list [ (1, 2) ]))
+
+let test_restrict_map () =
+  let r = Rel.of_list [ (1, 2); (2, 3); (3, 4) ] in
+  Alcotest.check rel "restrict"
+    (Rel.of_list [ (1, 2) ])
+    (Rel.restrict ~keep:(fun n -> n <= 2) r)
+
+let test_map_nodes () =
+  (* (1,2) -> (0,1); (4,5) -> (2,2) collapses and is dropped. *)
+  let r = Rel.of_list [ (1, 2); (4, 5) ] in
+  Alcotest.check rel "renamed" (Rel.of_list [ (0, 1) ]) (Rel.map_nodes (fun n -> n / 2) r)
+
+let test_transitive_reduction () =
+  let r = Rel.of_list [ (1, 2); (2, 3); (1, 3) ] in
+  Alcotest.check rel "chain reduced" (Rel.of_list [ (1, 2); (2, 3) ])
+    (Rel.transitive_reduction r);
+  let r = Rel.of_list [ (1, 2); (3, 4) ] in
+  Alcotest.check rel "already minimal" r (Rel.transitive_reduction r)
+
+(* Properties *)
+
+let prop_closure_transitive =
+  QCheck.Test.make ~name:"closure is transitive" ~count:500 arb_rel (fun r ->
+      Rel.is_transitive (Rel.transitive_closure r))
+
+let prop_closure_contains =
+  QCheck.Test.make ~name:"closure contains original" ~count:500 arb_rel (fun r ->
+      Rel.subset r (Rel.transitive_closure r))
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~name:"closure is idempotent" ~count:500 arb_rel (fun r ->
+      let c = Rel.transitive_closure r in
+      Rel.equal c (Rel.transitive_closure c))
+
+let prop_closure_minimal =
+  QCheck.Test.make ~name:"closure pairs are reachability" ~count:200 arb_rel (fun r ->
+      let c = Rel.transitive_closure r in
+      let open Ids in
+      Int_set.for_all
+        (fun a -> Int_set.equal (Rel.succs c a) (Rel.reachable r a))
+        (Rel.nodes r))
+
+let prop_topo_linearizes =
+  QCheck.Test.make ~name:"topo sort is a linear extension" ~count:500 arb_rel (fun r ->
+      let open Ids in
+      let nodes = Int_set.union (Rel.nodes r) (Int_set.of_list [ 0; 1 ]) in
+      match Rel.topo_sort ~nodes r with
+      | None -> Rel.find_cycle r <> None
+      | Some order ->
+        List.length order = Int_set.cardinal nodes
+        &&
+        let pos = Hashtbl.create 16 in
+        List.iteri (fun i n -> Hashtbl.replace pos n i) order;
+        Rel.fold
+          (fun a b ok -> ok && Hashtbl.find pos a < Hashtbl.find pos b)
+          r true)
+
+let prop_cycle_is_real =
+  QCheck.Test.make ~name:"find_cycle returns a real cycle" ~count:500 arb_rel (fun r ->
+      match Rel.find_cycle r with
+      | None -> Rel.topo_sort ~nodes:(Rel.nodes r) r <> None
+      | Some [] -> false
+      | Some (first :: _ as cycle) ->
+        let rec edges = function
+          | [] -> true
+          | [ last ] -> Rel.mem last first r
+          | a :: (b :: _ as rest) -> Rel.mem a b r && edges rest
+        in
+        edges cycle)
+
+let acyclic_of r =
+  (* Make an arbitrary relation acyclic by keeping only ascending pairs. *)
+  Rel.filter (fun a b -> a < b) r
+
+let prop_reduction_preserves_closure =
+  QCheck.Test.make ~name:"reduction preserves closure (acyclic)" ~count:500 arb_rel
+    (fun r ->
+      let r = acyclic_of r in
+      let red = Rel.transitive_reduction r in
+      Rel.subset red r
+      && Rel.equal (Rel.transitive_closure red) (Rel.transitive_closure r))
+
+let prop_reduction_minimal =
+  QCheck.Test.make ~name:"reduction has no implied pair (acyclic)" ~count:300 arb_rel
+    (fun r ->
+      let r = acyclic_of r in
+      let red = Rel.transitive_reduction r in
+      Rel.fold
+        (fun a b ok ->
+          ok
+          && not
+               (Rel.equal
+                  (Rel.transitive_closure (Rel.remove a b red))
+                  (Rel.transitive_closure red)))
+        red true)
+
+let prop_quotient_sound =
+  QCheck.Test.make ~name:"quotient acyclic => contiguous layout exists" ~count:300 arb_rel
+    (fun r ->
+      let cls n = n mod 3 in
+      let q = Rel.quotient cls r in
+      match Rel.find_cycle q with
+      | Some _ -> true
+      | None ->
+        (* Lay clusters out in topological order; check inter-cluster pairs. *)
+        let open Ids in
+        let cq = Int_set.of_list (List.map cls (Int_set.elements (Rel.nodes r))) in
+        (match Rel.topo_sort ~nodes:cq q with
+        | None -> false
+        | Some corder ->
+          let cpos = Hashtbl.create 8 in
+          List.iteri (fun i c -> Hashtbl.replace cpos c i) corder;
+          Rel.fold
+            (fun a b ok ->
+              ok && (cls a = cls b || Hashtbl.find cpos (cls a) < Hashtbl.find cpos (cls b)))
+            r true))
+
+let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+
+let suite =
+  [
+    ( "rel",
+      [
+        Alcotest.test_case "add/mem" `Quick test_add_mem;
+        Alcotest.test_case "remove" `Quick test_remove;
+        Alcotest.test_case "set operations" `Quick test_set_ops;
+        Alcotest.test_case "transitive closure" `Quick test_closure;
+        Alcotest.test_case "closure of a cycle" `Quick test_closure_cycle;
+        Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+        Alcotest.test_case "topological sort" `Quick test_topo;
+        Alcotest.test_case "quotient" `Quick test_quotient;
+        Alcotest.test_case "total_on" `Quick test_total_on;
+        Alcotest.test_case "restrict" `Quick test_restrict_map;
+        Alcotest.test_case "map_nodes" `Quick test_map_nodes;
+        Alcotest.test_case "transitive reduction" `Quick test_transitive_reduction;
+      ] );
+    qsuite "rel:props"
+      [
+        prop_closure_transitive;
+        prop_closure_contains;
+        prop_closure_idempotent;
+        prop_closure_minimal;
+        prop_reduction_preserves_closure;
+        prop_reduction_minimal;
+        prop_topo_linearizes;
+        prop_cycle_is_real;
+        prop_quotient_sound;
+      ];
+  ]

@@ -1,0 +1,351 @@
+(* Tests for the runtime: lock tables, templates, and the simulator's
+   safety/liveness properties, including the protocol/theory loop. *)
+open Repro_model
+open Repro_runtime
+open Repro_workload
+
+(* ------------------------------------------------------------------ *)
+(* Lock tables                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let no_ancestors _ = false
+
+let test_lock_basic () =
+  let t = Lock.create Conflict.Rw in
+  let k1 =
+    match Lock.try_acquire t ~owner:1 ~permits:(fun o -> o = 1) (Label.write "x") with
+    | Ok k -> k
+    | Error _ -> Alcotest.fail "first acquire must succeed"
+  in
+  (match Lock.try_acquire t ~owner:2 ~permits:(fun o -> o = 2) (Label.read "x") with
+  | Error [ 1 ] -> ()
+  | _ -> Alcotest.fail "conflicting acquire must report blocker 1");
+  (match Lock.try_acquire t ~owner:2 ~permits:(fun o -> o = 2) (Label.read "y") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "different item must be granted");
+  Lock.release t k1;
+  match Lock.try_acquire t ~owner:2 ~permits:(fun o -> o = 2) (Label.read "x") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "released lock must be acquirable"
+
+let test_lock_same_owner_and_ancestors () =
+  let t = Lock.create Conflict.Rw in
+  (match Lock.try_acquire t ~owner:1 ~permits:(fun o -> o = 1) (Label.write "x") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "acquire");
+  (* Same owner never blocks itself. *)
+  (match Lock.try_acquire t ~owner:1 ~permits:(fun o -> o = 1) (Label.write "x") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "same owner must pass");
+  (* A descendant whose permits accept owner 1 passes too. *)
+  match Lock.try_acquire t ~owner:5 ~permits:(fun o -> o = 5 || o = 1) (Label.write "x") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "ancestor's lock must not block"
+
+let test_lock_semantic_commutativity () =
+  let t = Lock.create (Conflict.Table [ ("add", "get") ]) in
+  (match Lock.try_acquire t ~owner:1 ~permits:no_ancestors (Label.v ~args:[ "k" ] "add") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "acquire add");
+  (match Lock.try_acquire t ~owner:2 ~permits:no_ancestors (Label.v ~args:[ "k" ] "add") with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "adds commute");
+  match Lock.try_acquire t ~owner:3 ~permits:no_ancestors (Label.v ~args:[ "k" ] "get") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "get conflicts with add"
+
+let test_lock_release_if_and_transfer () =
+  let t = Lock.create Conflict.Rw in
+  ignore (Lock.try_acquire t ~owner:1 ~permits:(fun o -> o = 1) (Label.write "x"));
+  ignore (Lock.try_acquire t ~owner:2 ~permits:(fun o -> o = 2) (Label.write "y"));
+  Alcotest.(check int) "two held" 2 (Lock.held t);
+  Alcotest.(check bool) "transfer" true (Lock.change_owner_if t (fun o -> o = 1) ~owner:9);
+  Alcotest.(check (list int)) "owners" [ 2; 9 ] (Lock.owners t);
+  Alcotest.(check bool) "release" true (Lock.release_if t (fun o -> o = 9));
+  Alcotest.(check bool) "nothing to release" false (Lock.release_if t (fun o -> o = 9));
+  Alcotest.(check int) "one left" 1 (Lock.held t)
+
+(* ------------------------------------------------------------------ *)
+(* Templates                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_template_validate () =
+  let topo = { Template.components = [| ("a", Conflict.Rw) |] } in
+  let good = Template.call ~component:0 (Label.v "t") [ Template.leaf (Label.read "x") ] in
+  Template.validate topo good;
+  Alcotest.(check int) "size" 2 (Template.size good);
+  Alcotest.check_raises "empty children" (Invalid_argument "Template.call: empty children")
+    (fun () -> ignore (Template.call ~component:0 (Label.v "t") []));
+  Alcotest.check_raises "unknown component"
+    (Invalid_argument "Template.validate: unknown component 3") (fun () ->
+      Template.validate topo
+        (Template.call ~component:3 (Label.v "t") [ Template.leaf (Label.read "x") ]))
+
+(* ------------------------------------------------------------------ *)
+(* Simulator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bank_topology =
+  {
+    Template.components =
+      [|
+        ( "bank",
+          Conflict.Table
+            [ ("withdraw", "withdraw"); ("withdraw", "deposit");
+              ("balance", "withdraw"); ("balance", "deposit") ] );
+        ("store", Conflict.Rw);
+      |];
+  }
+
+let bank_template rng ~client ~seq =
+  ignore client;
+  ignore seq;
+  let svc () =
+    let a = Fmt.str "a%d" (Prng.int rng 3) in
+    let name = [| "deposit"; "withdraw"; "balance" |].(Prng.int rng 3) in
+    let leaves =
+      if name = "balance" then [ Template.leaf (Label.read a) ]
+      else [ Template.leaf (Label.read a); Template.leaf (Label.write a) ]
+    in
+    Template.call ~component:1 ~sequential:true (Label.v ~args:[ a ] name) leaves
+  in
+  Template.call ~component:0 (Label.v "txn") (List.init (1 + Prng.int rng 2) (fun _ -> svc ()))
+
+let federated_topology =
+  {
+    Template.components =
+      [|
+        ("frontP", Conflict.Never); ("frontQ", Conflict.Never);
+        ("rmA", Conflict.Rw); ("rmB", Conflict.Rw);
+      |];
+  }
+
+let federated_template rng ~client ~seq =
+  ignore seq;
+  let svc rm =
+    let it = Fmt.str "%c%d" (if rm = 2 then 'a' else 'b') (Prng.int rng 2) in
+    Template.call ~component:rm (Label.v ~args:[ it ] "svc")
+      [ Template.leaf (Label.read it); Template.leaf (Label.write it) ]
+  in
+  Template.call ~component:(client mod 2) (Label.v "txn") [ svc 2; svc 3 ]
+
+let run ?(clients = 5) ?(txs = 4) protocol topo gen seed =
+  let params =
+    {
+      Sim.default_params with
+      Sim.protocol;
+      seed;
+      clients;
+      txs_per_client = txs;
+      lock_timeout = 4.0;
+      backoff = 2.0;
+    }
+  in
+  Sim.run params topo ~gen
+
+let test_all_transactions_commit () =
+  List.iter
+    (fun protocol ->
+      let stats = run protocol bank_topology bank_template 3 in
+      Alcotest.(check int) "all committed" (5 * 4)
+        (stats.Sim.committed + stats.Sim.given_up);
+      Alcotest.(check int) "nothing given up" 0 stats.Sim.given_up;
+      Alcotest.(check bool) "makespan positive" true (stats.Sim.makespan > 0.0))
+    [ Sim.Serial; Sim.Locking { closed = true }; Sim.Locking { closed = false };
+      Sim.Certify ]
+
+let test_emitted_histories_valid_and_correct () =
+  (* Serial and closed nesting are always safe; open nesting is safe here
+     because the bank's conflict table is faithful to the store. *)
+  List.iter
+    (fun protocol ->
+      for seed = 1 to 8 do
+        let stats = run protocol bank_topology bank_template seed in
+        Alcotest.(check (list unit)) "valid" []
+          (List.map (fun _ -> ()) (Validate.check stats.Sim.history));
+        Alcotest.(check bool) "comp-c" true (Repro_core.Compc.is_correct stats.Sim.history)
+      done)
+    [ Sim.Serial; Sim.Locking { closed = true }; Sim.Locking { closed = false } ]
+
+let test_certify_always_correct () =
+  (* The certification protocol validates with the Comp-C checker at every
+     commit, so even the federated topology - where open locking fails -
+     must always emit correct histories. *)
+  List.iter
+    (fun (topo, gen) ->
+      for seed = 1 to 8 do
+        let stats = run Sim.Certify topo gen seed in
+        Alcotest.(check (list unit)) "valid" []
+          (List.map (fun _ -> ()) (Validate.check stats.Sim.history));
+        Alcotest.(check bool) "comp-c by construction" true
+          (Repro_core.Compc.is_correct stats.Sim.history)
+      done)
+    [ (bank_topology, bank_template); (federated_topology, federated_template) ]
+
+let test_certify_aborts_on_conflict () =
+  (* On the federated topology the optimistic runs do hit certification
+     failures across seeds (otherwise the test is vacuous). *)
+  let total_aborts = ref 0 in
+  for seed = 1 to 10 do
+    let stats = run Sim.Certify federated_topology federated_template seed in
+    total_aborts := !total_aborts + stats.Sim.aborts
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "certification rejected some attempts (%d)" !total_aborts)
+    true (!total_aborts > 0)
+
+let test_closed_nesting_safe_federated () =
+  for seed = 1 to 10 do
+    let stats = run (Sim.Locking { closed = true }) federated_topology federated_template seed in
+    Alcotest.(check bool) "closed federated comp-c" true
+      (Repro_core.Compc.is_correct stats.Sim.history)
+  done
+
+let test_open_nesting_unsafe_federated () =
+  (* Open nesting across two autonomous front-ends lets the two resource
+     managers serialize a root pair in opposite directions (the Figure-3
+     shape); the checker must catch at least one such run, and every
+     emitted history must still be model-valid. *)
+  let rejected = ref 0 in
+  for seed = 1 to 30 do
+    let stats = run (Sim.Locking { closed = false }) federated_topology federated_template seed in
+    Alcotest.(check (list unit)) "valid" []
+      (List.map (fun _ -> ()) (Validate.check stats.Sim.history));
+    if not (Repro_core.Compc.is_correct stats.Sim.history) then incr rejected
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "some open-nesting runs rejected (%d/30)" !rejected)
+    true (!rejected > 0)
+
+let test_serial_never_interleaves () =
+  (* Under Serial every component's log groups each root's operations
+     contiguously. *)
+  let stats = run Sim.Serial bank_topology bank_template 7 in
+  let h = stats.Sim.history in
+  List.iter
+    (fun (s : History.schedule) ->
+      let seen_done = Hashtbl.create 16 in
+      let current = ref (-1) in
+      List.iter
+        (fun o ->
+          let root =
+            let rec climb n =
+              match History.parent h n with None -> n | Some p -> climb p
+            in
+            climb o
+          in
+          if root <> !current then begin
+            Alcotest.(check bool)
+              (Fmt.str "root %d not resumed in %s" root s.History.sname)
+              false (Hashtbl.mem seen_done root);
+            if !current >= 0 then Hashtbl.replace seen_done !current ();
+            current := root
+          end)
+        s.History.log)
+    (History.schedules h)
+
+let test_determinism () =
+  let s1 = run (Sim.Locking { closed = false }) bank_topology bank_template 13 in
+  let s2 = run (Sim.Locking { closed = false }) bank_topology bank_template 13 in
+  Alcotest.(check int) "same commits" s1.Sim.committed s2.Sim.committed;
+  Alcotest.(check int) "same aborts" s1.Sim.aborts s2.Sim.aborts;
+  Alcotest.(check bool) "same makespan" true (s1.Sim.makespan = s2.Sim.makespan)
+
+let test_deadlock_gives_up () =
+  (* A guaranteed cross-component deadlock (two clients locking two
+     exclusive components in opposite orders, sequentially, with long
+     service times) must be broken by timeouts, and with a retry budget of
+     one the transactions are dropped rather than spun forever. *)
+  let topo =
+    { Template.components = [| ("root", Conflict.Never); ("A", Conflict.Always); ("B", Conflict.Always) |] }
+  in
+  let gen _rng ~client ~seq =
+    ignore seq;
+    let leg c = Template.call ~component:c (Label.v "leg") [ Template.leaf (Label.read "x") ] in
+    let order = if client = 0 then [ leg 1; leg 2 ] else [ leg 2; leg 1 ] in
+    Template.call ~component:0 ~sequential:true (Label.v "txn") order
+  in
+  let params =
+    {
+      Sim.default_params with
+      Sim.protocol = Sim.Locking { closed = true };
+      clients = 2;
+      txs_per_client = 1;
+      seed = 3;
+      mean_service = 10.0;
+      lock_timeout = 2.0;
+      backoff = 1.0;
+      max_attempts = 1;
+    }
+  in
+  let st = Sim.run params topo ~gen in
+  Alcotest.(check int) "accounted" 2 (st.Sim.committed + st.Sim.given_up);
+  Alcotest.(check bool) "someone aborted" true (st.Sim.aborts > 0)
+
+let test_think_time_delays () =
+  let st0 = run Sim.Serial bank_topology bank_template 3 in
+  let params =
+    { Sim.default_params with Sim.protocol = Sim.Serial; seed = 3; clients = 5;
+      txs_per_client = 4; lock_timeout = 4.0; backoff = 2.0; think = 5.0 }
+  in
+  let st5 = Sim.run params bank_topology ~gen:bank_template in
+  Alcotest.(check bool) "think time stretches the makespan" true
+    (st5.Sim.makespan > st0.Sim.makespan)
+
+let test_emitted_history_roundtrips () =
+  (* Dumped simulator histories must survive the description language. *)
+  let st = run (Sim.Locking { closed = true }) bank_topology bank_template 9 in
+  let h = st.Sim.history in
+  let h' = Repro_histlang.Syntax.parse (Repro_histlang.Syntax.to_string h) in
+  Alcotest.(check int) "nodes" (History.n_nodes h) (History.n_nodes h');
+  Alcotest.(check bool) "verdict preserved" (Repro_core.Compc.is_correct h)
+    (Repro_core.Compc.is_correct h')
+
+let test_store_effects () =
+  (* Committed effects survive in the store: run with only deposits and
+     check every written account is positive. *)
+  let topo = { Template.components = [| ("bank", Conflict.Never); ("store", Conflict.Rw) |] } in
+  let gen rng ~client ~seq =
+    ignore client;
+    ignore seq;
+    let a = Fmt.str "a%d" (Prng.int rng 2) in
+    Template.call ~component:0 (Label.v "txn")
+      [
+        Template.call ~component:1 ~sequential:true (Label.v ~args:[ a ] "deposit")
+          [ Template.leaf (Label.read a); Template.leaf (Label.incr a) ];
+      ]
+  in
+  let stats = run (Sim.Locking { closed = true }) topo gen 5 in
+  Alcotest.(check bool) "committed some" true (stats.Sim.committed > 0)
+
+let suite =
+  [
+    ( "runtime",
+      [
+        Alcotest.test_case "lock: basic" `Quick test_lock_basic;
+        Alcotest.test_case "lock: owners and ancestors" `Quick test_lock_same_owner_and_ancestors;
+        Alcotest.test_case "lock: semantic commutativity" `Quick test_lock_semantic_commutativity;
+        Alcotest.test_case "lock: release_if / transfer" `Quick test_lock_release_if_and_transfer;
+        Alcotest.test_case "template validation" `Quick test_template_validate;
+        Alcotest.test_case "all transactions commit" `Quick test_all_transactions_commit;
+        Alcotest.test_case "emitted histories valid and Comp-C" `Slow
+          test_emitted_histories_valid_and_correct;
+        Alcotest.test_case "certify protocol always correct" `Slow
+          test_certify_always_correct;
+        Alcotest.test_case "certify protocol rejects attempts" `Slow
+          test_certify_aborts_on_conflict;
+        Alcotest.test_case "closed nesting safe on federated topology" `Slow
+          test_closed_nesting_safe_federated;
+        Alcotest.test_case "open nesting unsafe on federated topology" `Slow
+          test_open_nesting_unsafe_federated;
+        Alcotest.test_case "serial protocol never interleaves" `Quick
+          test_serial_never_interleaves;
+        Alcotest.test_case "simulation is deterministic" `Quick test_determinism;
+        Alcotest.test_case "store effects applied" `Quick test_store_effects;
+        Alcotest.test_case "emitted histories round-trip through the language" `Quick
+          test_emitted_history_roundtrips;
+        Alcotest.test_case "deadlocks give up under a retry budget" `Quick
+          test_deadlock_gives_up;
+        Alcotest.test_case "think time delays clients" `Quick test_think_time_delays;
+      ] );
+  ]

@@ -1,0 +1,78 @@
+(* Tests for the storage substrate: store semantics, undo, page mapping. *)
+open Repro_model
+open Repro_storage
+
+let test_basic_ops () =
+  let s = Store.create () in
+  let tx = Store.begin_tx s in
+  Alcotest.(check int) "read missing" 0 (Store.apply s tx (Label.read "x"));
+  Alcotest.(check int) "write returns new value" 1 (Store.apply s tx (Label.write "x"));
+  Alcotest.(check int) "read back" 1 (Store.apply s tx (Label.read "x"));
+  Alcotest.(check int) "inc" 2 (Store.apply s tx (Label.incr "x"));
+  Alcotest.(check int) "dec" 1 (Store.apply s tx (Label.decr "x"));
+  Store.commit s tx;
+  Alcotest.(check int) "persists" 1 (Store.get s "x");
+  Alcotest.(check int) "reads counted" 2 (Store.reads s);
+  Alcotest.(check int) "writes counted" 3 (Store.writes s)
+
+let test_abort_undo () =
+  let s = Store.create () in
+  Store.set s "x" 10;
+  Store.set s "y" 20;
+  let tx = Store.begin_tx s in
+  ignore (Store.apply s tx (Label.write "x"));
+  ignore (Store.apply s tx (Label.incr "y"));
+  ignore (Store.apply s tx (Label.write "z"));
+  Store.abort s tx;
+  Alcotest.(check int) "x restored" 10 (Store.get s "x");
+  Alcotest.(check int) "y restored" 20 (Store.get s "y");
+  Alcotest.(check (list (pair string int))) "z removed" [ ("x", 10); ("y", 20) ]
+    (Store.items s)
+
+let test_abort_interleaved () =
+  (* Two open transactions; aborting one must not clobber the other's
+     committed effect on a different item. *)
+  let s = Store.create () in
+  let t1 = Store.begin_tx s in
+  let t2 = Store.begin_tx s in
+  ignore (Store.apply s t1 (Label.write "a"));
+  ignore (Store.apply s t2 (Label.write "b"));
+  Store.commit s t2;
+  Store.abort s t1;
+  Alcotest.(check int) "a rolled back" 0 (Store.get s "a");
+  Alcotest.(check int) "b committed" 1 (Store.get s "b")
+
+let test_unknown_tx () =
+  let s = Store.create () in
+  Alcotest.check_raises "commit unknown" (Invalid_argument "Store: transaction is not open")
+    (fun () -> Store.commit s 99)
+
+let test_pagemap () =
+  let p1 = Pagemap.page_of "alice" in
+  Alcotest.(check string) "deterministic" p1 (Pagemap.page_of "alice");
+  Alcotest.(check bool) "prefix" true (String.length p1 > 2 && String.sub p1 0 2 = "pg");
+  (match Pagemap.page_ops (Label.read "k") with
+  | [ l ] -> Alcotest.(check string) "read maps to page read" "r" l.Label.name
+  | _ -> Alcotest.fail "read should map to one op");
+  (match Pagemap.page_ops (Label.v ~args:[ "k" ] "insert") with
+  | [ a; b; c; d ] ->
+    Alcotest.(check (list string)) "insert touches page and index"
+      [ "r"; "w"; "r"; "w" ]
+      [ a.Label.name; b.Label.name; c.Label.name; d.Label.name ];
+    Alcotest.(check bool) "index page" true (Label.item c = Some "pgix");
+    Alcotest.(check bool) "data page" true (Label.item a = Some (Pagemap.page_of "k"))
+  | _ -> Alcotest.fail "insert should map to four ops");
+  Alcotest.(check (list unit)) "no item, no ops" []
+    (List.map (fun _ -> ()) (Pagemap.page_ops (Label.v "noop")))
+
+let suite =
+  [
+    ( "storage",
+      [
+        Alcotest.test_case "basic operations" `Quick test_basic_ops;
+        Alcotest.test_case "abort undoes" `Quick test_abort_undo;
+        Alcotest.test_case "interleaved abort" `Quick test_abort_interleaved;
+        Alcotest.test_case "unknown transaction" `Quick test_unknown_tx;
+        Alcotest.test_case "page mapping" `Quick test_pagemap;
+      ] );
+  ]

@@ -1,0 +1,145 @@
+(* Tests for the PRNG and the generators (beyond the agreement tests in
+   Test_core): determinism, profile effects, structural properties. *)
+open Repro_model
+open Repro_workload
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create ~seed:8 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_bounds () =
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7);
+    let f = Prng.float rng 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.5)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_uniformish () =
+  let rng = Prng.create ~seed:11 in
+  let counts = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Prng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Fmt.str "bucket %d near uniform (%d)" i c)
+        true
+        (abs (c - (n / 10)) < n / 20))
+    counts
+
+let test_shuffle_permutation () =
+  let rng = Prng.create ~seed:5 in
+  let l = List.init 50 Fun.id in
+  let p = Prng.permutation rng l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort compare p);
+  Alcotest.(check bool) "usually not identity" true (p <> l)
+
+let test_generator_determinism () =
+  let h1 = Gen.general (Prng.create ~seed:99) ~schedules:4 ~roots:3 in
+  let h2 = Gen.general (Prng.create ~seed:99) ~schedules:4 ~roots:3 in
+  Alcotest.(check int) "same size" (History.n_nodes h1) (History.n_nodes h2);
+  Alcotest.(check bool) "same verdict" (Repro_core.Compc.is_correct h1)
+    (Repro_core.Compc.is_correct h2);
+  List.iter2
+    (fun (s1 : History.schedule) (s2 : History.schedule) ->
+      Alcotest.(check bool) "same logs" true (s1.History.log = s2.History.log))
+    (History.schedules h1) (History.schedules h2)
+
+let test_stack_structure () =
+  let h = Gen.stack (Prng.create ~seed:21) ~levels:4 ~roots:3 in
+  Alcotest.(check int) "order 4" 4 (History.order h);
+  Alcotest.(check int) "4 schedules" 4 (History.n_schedules h);
+  Alcotest.(check int) "3 roots" 3 (List.length (History.roots h));
+  (* Every leaf hangs off a level-1 transaction. *)
+  List.iter
+    (fun l ->
+      match History.parent h l with
+      | Some p -> Alcotest.(check int) "leaf under level 1" 1 (History.level_of_node h p)
+      | None -> Alcotest.fail "leaf without parent")
+    (History.leaves h)
+
+let test_fork_disjoint_items () =
+  (* Operations of different branches never touch the same item, as Def. 23
+     requires. *)
+  let h = Gen.fork (Prng.create ~seed:31) ~branches:3 ~roots:4 in
+  let branch_items = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      match (History.sched_of_tx h n, Label.item (History.label h n)) with
+      | Some s, Some it when s > 0 ->
+        let items =
+          Option.value ~default:[] (Hashtbl.find_opt branch_items s)
+        in
+        Hashtbl.replace branch_items s (it :: items)
+      | _ -> ())
+    (History.internal_nodes h);
+  let all = Hashtbl.fold (fun s items acc -> (s, items) :: acc) branch_items [] in
+  List.iter
+    (fun (s, items) ->
+      List.iter
+        (fun (s', items') ->
+          if s <> s' then
+            List.iter
+              (fun it ->
+                Alcotest.(check bool)
+                  (Fmt.str "item %s only in one branch" it)
+                  false (List.mem it items'))
+              items)
+        all)
+    all
+
+let test_ops_range () =
+  let profile = { Gen.default_profile with Gen.ops_min = 2; ops_max = 2 } in
+  let h = Gen.flat ~profile (Prng.create ~seed:41) ~roots:5 in
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "exactly 2 ops" 2 (List.length (History.children h r)))
+    (History.roots h)
+
+let test_populate_revalidates () =
+  (* populate on an already-populated history re-draws logs and stays
+     valid. *)
+  let h = Gen.stack (Prng.create ~seed:51) ~levels:3 ~roots:3 in
+  let h' = Gen.populate (Prng.create ~seed:52) h in
+  Alcotest.(check int) "same nodes" (History.n_nodes h) (History.n_nodes h');
+  Alcotest.(check (list unit)) "valid" []
+    (List.map (fun _ -> ()) (Validate.check h'))
+
+let test_clone_with_logs_replaces () =
+  let h = Gen.flat (Prng.create ~seed:61) ~roots:2 in
+  let s = History.schedule h 0 in
+  let reversed = List.rev s.History.log in
+  let h' = Clone.with_logs h ~logs:(fun _ -> Some reversed) in
+  Alcotest.(check (list int)) "log replaced" reversed (History.schedule h' 0).History.log
+
+let suite =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+        Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+        Alcotest.test_case "prng uniformity" `Quick test_prng_uniformish;
+        Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+        Alcotest.test_case "generators are deterministic" `Quick test_generator_determinism;
+        Alcotest.test_case "stack structure" `Quick test_stack_structure;
+        Alcotest.test_case "fork branches have disjoint items" `Quick test_fork_disjoint_items;
+        Alcotest.test_case "ops per transaction range" `Quick test_ops_range;
+        Alcotest.test_case "populate re-draws logs" `Quick test_populate_revalidates;
+        Alcotest.test_case "clone with replaced logs" `Quick test_clone_with_logs_replaces;
+      ] );
+  ]
