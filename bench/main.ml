@@ -12,10 +12,34 @@ module Compc = Repro_core.Compc
 module Sim = Repro_runtime.Sim
 module Workloads = Repro_runtime.Workloads
 
+module Json = Repro_obs.Json
+module Metrics = Repro_obs.Metrics
+
 let section id title =
   Fmt.pr "@.==================================================================@.";
   Fmt.pr "%s: %s@." (String.uppercase_ascii id) title;
   Fmt.pr "==================================================================@."
+
+(* Machine-readable results, accumulated by whichever experiments run and
+   written to BENCH_core.json at exit so future PRs have a perf trajectory
+   to compare against (see EXPERIMENTS.md). *)
+let bench_json : (string * Json.t) list ref = ref []
+
+let record_json section payload =
+  bench_json := (section, payload) :: List.remove_assoc section !bench_json
+
+let write_bench_json () =
+  match !bench_json with
+  | [] -> ()
+  | sections ->
+    let doc =
+      Json.Obj (("schema", Json.String "bench-core/1") :: List.rev sections)
+    in
+    let oc = open_out "BENCH_core.json" in
+    Json.to_channel oc doc;
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "@.bench results written to BENCH_core.json@."
 
 (* ------------------------------------------------------------------ *)
 (* E1: Figure 1 — structure of a general composite system             *)
@@ -208,12 +232,23 @@ let time f =
 let e9 () =
   section "e9" "Checker scalability: CPU time of the full Comp-C decision";
   Fmt.pr "  %-34s %8s %8s %10s %8s@." "history" "nodes" "leaves" "seconds" "verdict";
+  let rows = ref [] in
   let row name h =
     let v, dt = time (fun () -> Compc.check h) in
+    let verdict = if Compc.is_correct_verdict v then "accept" else "reject" in
     Fmt.pr "  %-34s %8d %8d %10.4f %8s@." name (History.n_nodes h)
       (List.length (History.leaves h))
-      dt
-      (if Compc.is_correct_verdict v then "accept" else "reject")
+      dt verdict;
+    rows :=
+      ( name,
+        Json.Obj
+          [
+            ("nodes", Json.Int (History.n_nodes h));
+            ("leaves", Json.Int (List.length (History.leaves h)));
+            ("seconds", Json.Float dt);
+            ("verdict", Json.String verdict);
+          ] )
+      :: !rows
   in
   (* Dense conflicts: almost surely rejected (failures found early, at a low
      level); sparse conflicts: mostly accepted -- the reduction must run all
@@ -260,7 +295,8 @@ let e9 () =
       row
         (Fmt.str "general schedules=%d roots=%d" schedules roots)
         (Gen.general ~profile (Prng.create ~seed:42) ~schedules ~roots))
-    [ (4, 8); (6, 16); (8, 32); (8, 64) ]
+    [ (4, 8); (6, 16); (8, 32); (8, 64) ];
+  record_json "checker" (Json.Obj (List.rev !rows))
 
 (* ------------------------------------------------------------------ *)
 (* E10: concurrency-control protocols on the runtime                   *)
@@ -273,6 +309,66 @@ let protocols =
     ("open", Sim.Locking { closed = false });
     ("certify", Sim.Certify);
   ]
+
+(* perf: one instrumented run per workload x protocol, recorded to
+   BENCH_core.json — simulated throughput and latency percentiles, plus the
+   wall-clock cost of the run itself. *)
+let perf () =
+  section "perf" "Simulator throughput and latency percentiles per protocol";
+  Fmt.pr "  %-10s %-7s %9s %10s %7s %7s %7s %9s@." "workload" "proto" "committed"
+    "throughput" "p50" "p90" "p99" "wall-s";
+  let rows =
+    List.map
+      (fun (w : Workloads.workload) ->
+        let per_proto =
+          List.map
+            (fun (pname, protocol) ->
+              let metrics = Metrics.create () in
+              let params =
+                {
+                  Sim.default_params with
+                  Sim.protocol;
+                  clients = 6;
+                  txs_per_client = 8;
+                  seed = 1;
+                  lock_timeout = 10.0;
+                  backoff = 3.0;
+                }
+              in
+              let t0 = Sys.time () in
+              let st = Sim.run ~metrics params w.Workloads.topology ~gen:w.Workloads.gen in
+              let wall = Sys.time () -. t0 in
+              let throughput =
+                if st.Sim.makespan > 0.0 then
+                  float_of_int st.Sim.committed /. st.Sim.makespan
+                else 0.0
+              in
+              let lat q =
+                Option.value ~default:0.0 (Metrics.percentile metrics "sim.latency" q)
+              in
+              Fmt.pr "  %-10s %-7s %9d %10.3f %7.2f %7.2f %7.2f %9.3f@."
+                w.Workloads.name pname st.Sim.committed throughput (lat 0.5)
+                (lat 0.9) (lat 0.99) wall;
+              ( pname,
+                Json.Obj
+                  [
+                    ("committed", Json.Int st.Sim.committed);
+                    ("aborts", Json.Int st.Sim.aborts);
+                    ("given_up", Json.Int st.Sim.given_up);
+                    ("lock_waits", Json.Int st.Sim.lock_waits);
+                    ("makespan", Json.Float st.Sim.makespan);
+                    ("throughput", Json.Float throughput);
+                    ("latency_p50", Json.Float (lat 0.5));
+                    ("latency_p90", Json.Float (lat 0.9));
+                    ("latency_p99", Json.Float (lat 0.99));
+                    ("wall_s", Json.Float wall);
+                  ] ))
+            protocols
+        in
+        (w.Workloads.name, Json.Obj per_proto))
+      (Workloads.all ())
+  in
+  record_json "sim" (Json.Obj rows)
 
 let e10 () =
   section "e10" "Protocols x workloads: performance and safety of emitted histories";
@@ -474,12 +570,16 @@ let micro () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  let json_rows = ref [] in
   List.iter
     (fun (name, est) ->
       match Analyze.OLS.estimates est with
-      | Some [ t ] -> Fmt.pr "  %-28s %12.0f ns/run@." name t
+      | Some [ t ] ->
+        Fmt.pr "  %-28s %12.0f ns/run@." name t;
+        json_rows := (name, Json.Float t) :: !json_rows
       | _ -> Fmt.pr "  %-28s (no estimate)@." name)
-    (List.sort compare rows)
+    (List.sort compare rows);
+  record_json "micro_ns_per_run" (Json.Obj (List.rev !json_rows))
 
 (* ------------------------------------------------------------------ *)
 
@@ -487,7 +587,7 @@ let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("micro", micro);
+    ("e12", e12); ("perf", perf); ("micro", micro);
   ]
 
 let () =
@@ -504,4 +604,5 @@ let () =
         Fmt.epr "unknown experiment %S (known: %a)@." name
           Fmt.(list ~sep:comma string)
           (List.map fst all))
-    requested
+    requested;
+  write_bench_json ()

@@ -7,12 +7,19 @@ open Repro_model
 let read_history path =
   try
     if path = "-" then begin
+      (* [Buffer.add_channel] raises [End_of_file] on a short read and
+         discards the partial chunk, so read through [input], which returns
+         what is available and 0 only at end of file. *)
       let buf = Buffer.create 4096 in
-      (try
-         while true do
-           Buffer.add_channel buf stdin 4096
-         done
-       with End_of_file -> ());
+      let chunk = Bytes.create 4096 in
+      let rec slurp () =
+        let n = input stdin chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          slurp ()
+        end
+      in
+      slurp ();
       Ok (Repro_histlang.Syntax.parse (Buffer.contents buf))
     end
     else Ok (Repro_histlang.Syntax.parse_file path)
@@ -22,7 +29,61 @@ let read_history path =
   | Invalid_argument msg -> Error (Fmt.str "invalid history: %s" msg)
   | Sys_error msg -> Error msg
 
-let run path criterion explain skip_validation dot =
+(* --stats: re-run the Comp-C decision with telemetry attached and print a
+   per-level reduction profile from the recorded events and metrics. *)
+let print_stats h =
+  let module Trace = Repro_obs.Trace in
+  let module Metrics = Repro_obs.Metrics in
+  let module Json = Repro_obs.Json in
+  let trace = Trace.create () in
+  let metrics = Metrics.create () in
+  ignore (Repro_core.Compc.check ~trace ~metrics h);
+  let arg_int e k =
+    match List.assoc_opt k e.Trace.args with Some (Json.Int i) -> Some i | _ -> None
+  in
+  let arg_str e k =
+    match List.assoc_opt k e.Trace.args with
+    | Some (Json.String s) -> Some s
+    | _ -> None
+  in
+  let gauge name =
+    match Metrics.gauge_value metrics name with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  Fmt.pr "--- Comp-C reduction profile ---@.";
+  (match Metrics.summary metrics "compc.observed_wall_s" with
+  | Some s ->
+    Fmt.pr "observed order: %d base pairs -> %d pairs after closure, %d rounds, %.3f ms@."
+      (gauge "compc.obs_base_pairs") (gauge "compc.obs_pairs")
+      (gauge "compc.obs_rounds") (s.Metrics.sum *. 1e3)
+  | None -> ());
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.name with
+      | "front_init" ->
+        Fmt.pr "level-0 front: %d members@."
+          (Option.value ~default:0 (arg_int e "members"))
+      | "reduction_step" ->
+        let level = Option.value ~default:0 (arg_int e "level") in
+        let prev = Option.value ~default:0 (arg_int e "prev_front") in
+        let outcome = Option.value ~default:"?" (arg_str e "outcome") in
+        Fmt.pr "step %d: %d -> %s members, %s clusters, %.3f ms [%s]@." level prev
+          (match arg_int e "front" with Some n -> string_of_int n | None -> "-")
+          (match arg_int e "clusters" with Some n -> string_of_int n | None -> "-")
+          (e.Trace.dur /. 1e3) outcome
+      | "failure" ->
+        Fmt.pr "failure: %s@." (Option.value ~default:"?" (arg_str e "kind"))
+      | _ -> ())
+    (Trace.events trace);
+  (match Metrics.summary metrics "compc.check_wall_s" with
+  | Some s ->
+    Fmt.pr "total: %.3f ms, verdict %s@." (s.Metrics.sum *. 1e3)
+      (if Metrics.counter_value metrics "compc.accept" > 0 then "accept"
+       else "reject")
+  | None -> ())
+
+let run path criterion explain stats skip_validation dot =
   match read_history path with
   | Error msg ->
     Fmt.epr "compcheck: %s@." msg;
@@ -66,6 +127,7 @@ let run path criterion explain skip_validation dot =
           Fmt.pr "%-8s %s@." name (if verdict then "accept" else "reject"))
         report;
       if explain then Repro_core.Compc.explain Fmt.stdout (Repro_core.Compc.check h);
+      if stats then print_stats h;
       if List.assoc "Comp-C" report then 0 else 1
     | name -> (
       match List.assoc_opt name report with
@@ -79,6 +141,7 @@ let run path criterion explain skip_validation dot =
         Fmt.pr "%s: %s@." name (if verdict then "accept" else "reject");
         if explain && name = "Comp-C" then
           Repro_core.Compc.explain Fmt.stdout (Repro_core.Compc.check h);
+        if stats then print_stats h;
         if verdict then 0 else 1))
 
 let path_arg =
@@ -95,6 +158,14 @@ let criterion_arg =
 let explain_arg =
   let doc = "Print the full reduction trace (fronts, witness layouts, verdict)." in
   Arg.(value & flag & info [ "explain" ] ~doc)
+
+let stats_arg =
+  let doc =
+    "Print a reduction profile: observed-order closure sizing, then per \
+     level the front sizes, cluster counts and wall-clock step timings of \
+     the Comp-C decision."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
 
 let skip_validation_arg =
   let doc = "Check criteria even when the history violates the model." in
@@ -125,6 +196,8 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "compcheck" ~version:"1.0.0" ~doc ~man)
-    Term.(const run $ path_arg $ criterion_arg $ explain_arg $ skip_validation_arg $ dot_arg)
+    Term.(
+      const run $ path_arg $ criterion_arg $ explain_arg $ stats_arg
+      $ skip_validation_arg $ dot_arg)
 
 let () = exit (Cmd.eval' cmd)

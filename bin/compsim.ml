@@ -11,7 +11,17 @@ let protocol_of_string = function
   | "certify" -> Ok Sim.Certify
   | other -> Error other
 
-let run workload protocol_name clients txs seed check dump =
+let write_json path json =
+  match open_out path with
+  | exception Sys_error msg ->
+    Fmt.epr "compsim: %s@." msg;
+    exit 2
+  | oc ->
+    Repro_obs.Json.to_channel oc json;
+    output_char oc '\n';
+    close_out oc
+
+let run workload protocol_name clients txs seed check dump trace_out metrics_out =
   match (Workloads.find workload, protocol_of_string protocol_name) with
   | None, _ ->
     Fmt.epr "compsim: unknown workload %S (available: %a)@." workload
@@ -33,7 +43,14 @@ let run workload protocol_name clients txs seed check dump =
         backoff = 2.0;
       }
     in
-    let stats = Sim.run params w.Workloads.topology ~gen:w.Workloads.gen in
+    let trace =
+      if trace_out = None then Repro_obs.Trace.null else Repro_obs.Trace.create ()
+    in
+    let metrics =
+      if metrics_out = None then Repro_obs.Metrics.null
+      else Repro_obs.Metrics.create ()
+    in
+    let stats = Sim.run ~trace ~metrics params w.Workloads.topology ~gen:w.Workloads.gen in
     Fmt.pr "workload=%s protocol=%s clients=%d txs/client=%d seed=%d@." workload protocol_name
       clients txs seed;
     Fmt.pr
@@ -43,6 +60,17 @@ let run workload protocol_name clients txs seed check dump =
       (if stats.Sim.makespan > 0.0 then
          float_of_int stats.Sim.committed /. stats.Sim.makespan
        else 0.0);
+    (match trace_out with
+    | Some path ->
+      write_json path (Repro_obs.Trace.to_json trace);
+      Fmt.pr "trace written to %s (%d events; open in Perfetto / chrome://tracing)@."
+        path (Repro_obs.Trace.length trace)
+    | None -> ());
+    (match metrics_out with
+    | Some path ->
+      write_json path (Repro_obs.Metrics.to_json metrics);
+      Fmt.pr "metrics snapshot written to %s@." path
+    | None -> ());
     (match dump with
     | Some path ->
       let oc = open_out path in
@@ -88,6 +116,22 @@ let dump_arg =
   let doc = "Write the emitted history to $(docv) (history description language)." in
   Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record every scheduler event (dispatches, lock waits and grants, \
+     aborts, backoffs, retries, commits, certification checks) and write a \
+     Chrome trace-event JSON file to $(docv) — load it in Perfetto or \
+     chrome://tracing."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write a JSON metrics snapshot (counters, gauges, latency/lock-time \
+     histograms with p50/p90/p99) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let cmd =
   let doc = "simulate composite transactions over a component topology" in
   let man =
@@ -105,6 +149,6 @@ let cmd =
     (Cmd.info "compsim" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ workload_arg $ protocol_arg $ clients_arg $ txs_arg $ seed_arg
-      $ check_arg $ dump_arg)
+      $ check_arg $ dump_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,14 +7,23 @@ type verdict = {
   certificate : Reduction.certificate;
 }
 
-let check history =
-  let relations = Observed.compute history in
-  let certificate = Reduction.reduce ~rel:relations history in
+let check ?(trace = Repro_obs.Trace.null) ?(metrics = Repro_obs.Metrics.null)
+    history =
+  let telemetry =
+    Repro_obs.Trace.enabled trace || Repro_obs.Metrics.enabled metrics
+  in
+  let t0 = if telemetry then Sys.time () else 0.0 in
+  let relations = Observed.compute ~metrics history in
+  let certificate = Reduction.reduce ~rel:relations ~trace ~metrics history in
+  if telemetry then begin
+    Repro_obs.Metrics.incr metrics "compc.checks";
+    Repro_obs.Metrics.observe metrics "compc.check_wall_s" (Sys.time () -. t0)
+  end;
   { history; relations; certificate }
 
 let is_correct_verdict v = Reduction.is_correct v.certificate
 
-let is_correct h = is_correct_verdict (check h)
+let is_correct ?trace ?metrics h = is_correct_verdict (check ?trace ?metrics h)
 
 let serial_order v =
   match v.certificate.Reduction.outcome with

@@ -22,10 +22,16 @@ type verdict = {
   certificate : Reduction.certificate;
 }
 
-val check : History.t -> verdict
-(** Decide Comp-C for the history. *)
+val check :
+  ?trace:Repro_obs.Trace.t -> ?metrics:Repro_obs.Metrics.t -> History.t -> verdict
+(** Decide Comp-C for the history.  [trace] and [metrics] (defaulting to
+    the disabled null instances) are threaded through
+    {!Observed.compute} and {!Reduction.reduce} — see those for the event
+    and metric vocabulary; {!check} itself adds the counter [compc.checks]
+    and the end-to-end wall-time histogram [compc.check_wall_s]. *)
 
-val is_correct : History.t -> bool
+val is_correct :
+  ?trace:Repro_obs.Trace.t -> ?metrics:Repro_obs.Metrics.t -> History.t -> bool
 (** [is_correct h] is [Reduction.is_correct (check h).certificate]. *)
 
 val is_correct_verdict : verdict -> bool

@@ -68,13 +68,16 @@ let propagate variant h r =
     r r
 
 let fixpoint variant h base =
+  let rounds = ref 0 in
   let rec go r =
+    incr rounds;
     let r' = Rel.transitive_closure (propagate variant h r) in
     if Rel.cardinal r' = Rel.cardinal r then r' else go r'
   in
-  go (Rel.transitive_closure base)
+  let r = go (Rel.transitive_closure base) in
+  (r, !rounds)
 
-let compute_with variant h =
+let compute_with ?(metrics = Repro_obs.Metrics.null) variant h =
   let base_obs = base_rules h in
   let base_obs =
     match variant with
@@ -88,7 +91,15 @@ let compute_with variant h =
           || History.common_op_schedule h a b = None)
         base_obs
   in
-  let obs = fixpoint variant h base_obs in
+  let t0 = if Repro_obs.Metrics.enabled metrics then Sys.time () else 0.0 in
+  let obs, rounds = fixpoint variant h base_obs in
+  if Repro_obs.Metrics.enabled metrics then begin
+    let module M = Repro_obs.Metrics in
+    M.observe metrics "compc.observed_wall_s" (Sys.time () -. t0);
+    M.set metrics "compc.obs_base_pairs" (float_of_int (Rel.cardinal base_obs));
+    M.set metrics "compc.obs_pairs" (float_of_int (Rel.cardinal obs));
+    M.set metrics "compc.obs_rounds" (float_of_int rounds)
+  end;
   let inp, inp_strong =
     List.fold_left
       (fun (w, s) (sc : History.schedule) ->
@@ -97,7 +108,7 @@ let compute_with variant h =
   in
   { obs; inp; inp_strong; base_obs }
 
-let compute h = compute_with Final h
+let compute ?metrics h = compute_with ?metrics Final h
 
 let conflict h rel a b =
   a <> b

@@ -47,8 +47,14 @@ type relations = {
           and closure; useful for explanation output. *)
 }
 
-val compute : History.t -> relations
-(** Least fixpoint of the Def. 10 rules over the whole history. *)
+val compute : ?metrics:Repro_obs.Metrics.t -> History.t -> relations
+(** Least fixpoint of the Def. 10 rules over the whole history.
+
+    [metrics] (default {!Repro_obs.Metrics.null}) receives the
+    relation-closure sizing of the run: gauges [compc.obs_base_pairs] (base
+    pairs before propagation), [compc.obs_pairs] (pairs after closure) and
+    [compc.obs_rounds] (fixpoint rounds), plus the wall-time histogram
+    [compc.observed_wall_s]. *)
 
 (** {1 Ablation support}
 
@@ -70,7 +76,8 @@ val compute : History.t -> relations
 
 type variant = Final | No_forgetting | Eager_forgetting
 
-val compute_with : variant -> History.t -> relations
+val compute_with :
+  ?metrics:Repro_obs.Metrics.t -> variant -> History.t -> relations
 (** [compute_with Final] is {!compute}. *)
 
 val conflict : History.t -> relations -> Ids.id -> Ids.id -> bool

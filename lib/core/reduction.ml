@@ -31,8 +31,13 @@ let pp_failure h ppf f =
       "at step %d the intra-transaction order of %a contradicts the observed order: cycle %a"
       level pn tx pp_cycle cycle
 
+module Trace = Repro_obs.Trace
+module Metrics = Repro_obs.Metrics
+module Json = Repro_obs.Json
+
 (* One reduction step: isolate every level-[lvl] transaction inside the
-   previous front [prev] and produce the level-[lvl] front. *)
+   previous front [prev] and produce the level-[lvl] front.  On success
+   also returns the cluster count of the contracted graph (telemetry). *)
 let reduce_step h rel lvl (prev : Front.t) =
   let level_txs =
     History.schedules_at_level h lvl
@@ -99,19 +104,69 @@ let reduce_step h rel lvl (prev : Front.t) =
           cluster_order
       in
       let front = Front.make h rel lvl in
-      Ok { level = lvl; front; layout })
+      Ok ({ level = lvl; front; layout }, Int_set.cardinal cluster_universe))
 
-let reduce ?rel h =
-  let rel = match rel with Some r -> r | None -> Observed.compute h in
+let failure_kind = function
+  | Front_not_cc _ -> "front_not_cc"
+  | No_calculation _ -> "no_calculation"
+  | Intra_contradiction _ -> "intra_contradiction"
+
+let reduce ?rel ?(trace = Trace.null) ?(metrics = Metrics.null) h =
+  let rel = match rel with Some r -> r | None -> Observed.compute ~metrics h in
   let initial = Front.initial h rel in
   let order = History.order h in
+  let telemetry = Trace.enabled trace || Metrics.enabled metrics in
+  let record_step ~t0 ~level ~prev_size (step : step option) ~clusters outcome =
+    if telemetry then begin
+      let wall = Sys.time () -. t0 in
+      Metrics.incr metrics "compc.steps";
+      Metrics.observe metrics "compc.step_wall_s" wall;
+      if Trace.enabled trace then
+        Trace.complete trace ~cat:"compc" ~ts:(Trace.now_us () -. (wall *. 1e6))
+          ~dur:(wall *. 1e6)
+          ~args:
+            ([
+               ("level", Json.Int level);
+               ("prev_front", Json.Int prev_size);
+               ("outcome", Json.String outcome);
+             ]
+            @ (match step with
+              | Some s ->
+                [ ("front", Json.Int (Int_set.cardinal s.front.Front.members)) ]
+              | None -> [])
+            @ match clusters with
+              | Some n -> [ ("clusters", Json.Int n) ]
+              | None -> [])
+          "reduction_step"
+    end
+  in
+  let finish outcome =
+    (match outcome with
+    | Ok _ -> Metrics.incr metrics "compc.accept"
+    | Error f ->
+      Metrics.incr metrics "compc.reject";
+      Metrics.incr metrics ("compc.failure." ^ failure_kind f);
+      if Trace.enabled trace then
+        Trace.instant trace ~cat:"compc" ~ts:(Trace.now_us ())
+          ~args:[ ("kind", Json.String (failure_kind f)) ]
+          "failure");
+    outcome
+  in
   let check_cc (front : Front.t) =
     match Front.cc_cycle front with
     | Some cycle -> Some (Front_not_cc { index = front.Front.index; cycle })
     | None -> None
   in
+  if Trace.enabled trace then
+    Trace.instant trace ~cat:"compc" ~ts:(Trace.now_us ())
+      ~args:
+        [
+          ("members", Json.Int (Int_set.cardinal initial.Front.members));
+          ("order", Json.Int order);
+        ]
+      "front_init";
   match check_cc initial with
-  | Some f -> { initial; steps = []; outcome = Error f }
+  | Some f -> { initial; steps = []; outcome = finish (Error f) }
   | None ->
     let rec go lvl steps prev =
       if lvl > order then begin
@@ -119,16 +174,33 @@ let reduce ?rel h =
         match
           Rel.topo_sort ~nodes:final.Front.members (Front.constraint_graph final)
         with
-        | Some serial -> { initial; steps = List.rev steps; outcome = Ok serial }
+        | Some serial ->
+          { initial; steps = List.rev steps; outcome = finish (Ok serial) }
         | None -> assert false (* final front passed its CC check *)
       end
-      else
+      else begin
+        let t0 = if telemetry then Sys.time () else 0.0 in
+        let prev_size = Int_set.cardinal prev.Front.members in
         match reduce_step h rel lvl prev with
-        | Error f -> { initial; steps = List.rev steps; outcome = Error f }
-        | Ok step -> (
+        | Error f ->
+          record_step ~t0 ~level:lvl ~prev_size None ~clusters:None
+            (failure_kind f);
+          { initial; steps = List.rev steps; outcome = finish (Error f) }
+        | Ok (step, clusters) -> (
           match check_cc step.front with
-          | Some f -> { initial; steps = List.rev (step :: steps); outcome = Error f }
-          | None -> go (lvl + 1) (step :: steps) step.front)
+          | Some f ->
+            record_step ~t0 ~level:lvl ~prev_size (Some step)
+              ~clusters:(Some clusters) (failure_kind f);
+            {
+              initial;
+              steps = List.rev (step :: steps);
+              outcome = finish (Error f);
+            }
+          | None ->
+            record_step ~t0 ~level:lvl ~prev_size (Some step)
+              ~clusters:(Some clusters) "ok";
+            go (lvl + 1) (step :: steps) step.front)
+      end
     in
     go 1 [] initial
 

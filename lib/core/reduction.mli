@@ -51,9 +51,30 @@ type certificate = {
           Comp-C.  [Error f]: why the reduction got stuck. *)
 }
 
-val reduce : ?rel:Observed.relations -> History.t -> certificate
+val reduce :
+  ?rel:Observed.relations ->
+  ?trace:Repro_obs.Trace.t ->
+  ?metrics:Repro_obs.Metrics.t ->
+  History.t ->
+  certificate
 (** Run the full reduction.  [rel] may be supplied to reuse a previously
-    computed observed order. *)
+    computed observed order.
+
+    [trace] (default {!Repro_obs.Trace.null}) receives wall-clock-timed
+    events in category [compc]: one [front_init] instant, one
+    [reduction_step] span per level (args: [level], [prev_front] and
+    [front] member counts, [clusters] in the contracted graph, [outcome])
+    and a [failure] instant with the failure classification on rejection.
+    [metrics] receives counters [compc.steps], [compc.accept],
+    [compc.reject] and [compc.failure.<kind>] ([front_not_cc],
+    [no_calculation], [intra_contradiction]) plus the wall-time histogram
+    [compc.step_wall_s]; when [rel] is absent it is also passed to
+    {!Observed.compute}. *)
+
+val failure_kind : failure -> string
+(** Stable classification tag: ["front_not_cc"], ["no_calculation"] or
+    ["intra_contradiction"] — the suffix of the [compc.failure.*]
+    counters. *)
 
 val is_correct : certificate -> bool
 

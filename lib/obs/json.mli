@@ -1,0 +1,40 @@
+(** A minimal JSON tree, printer and parser.
+
+    The telemetry layer must stay dependency-free (ROADMAP: the simulator's
+    hot paths cannot drag a serialization stack along), so this module
+    implements exactly the JSON subset the layer emits — objects, arrays,
+    strings, numbers, booleans and null — plus a parser good enough to
+    round-trip that output in tests and downstream tooling.
+
+    Numbers are emitted so that they re-read exactly ([%.17g] for floats);
+    non-finite floats, which JSON cannot represent, print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented, human-oriented rendering. *)
+
+val to_channel : out_channel -> t -> unit
+(** Compact rendering straight to a channel (no intermediate string). *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a JSON document.  Numbers without [.], [e] or [E] become {!Int};
+    every other number becomes {!Float}.  Raises {!Parse_error}. *)
+
+val member : string -> t -> t option
+(** Field lookup in an {!Obj} ([None] on missing field or non-object). *)
+
+val to_list_exn : t -> t list
+(** The elements of a {!List}; raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,211 @@
+type histogram = {
+  bounds : float array; (* strictly increasing upper bounds *)
+  counts : int array; (* length = Array.length bounds + 1 (overflow) *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type t = {
+  on : bool;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    on = true;
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+  }
+
+let null =
+  {
+    on = false;
+    counters = Hashtbl.create 1;
+    gauges = Hashtbl.create 1;
+    histograms = Hashtbl.create 1;
+  }
+
+let enabled t = t.on
+
+(* 1e-6 .. ~1.1e13 in 64 geometric steps of x2: wide enough for wall-clock
+   seconds at the bottom and simulated-time latencies at the top. *)
+let default_buckets =
+  Array.init 64 (fun i -> 1e-6 *. (2.0 ** float_of_int i))
+
+let incr t ?(by = 1) name =
+  if t.on then
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace t.counters name (ref by)
+
+let set t name v =
+  if t.on then
+    match Hashtbl.find_opt t.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.replace t.gauges name (ref v)
+
+let bucket_index bounds v =
+  (* first index with v <= bounds.(i), or length bounds (overflow) *)
+  let n = Array.length bounds in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= bounds.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe t ?(buckets = default_buckets) name v =
+  if t.on then begin
+    let h =
+      match Hashtbl.find_opt t.histograms name with
+      | Some h -> h
+      | None ->
+        let n = Array.length buckets in
+        if n = 0 then invalid_arg "Metrics.observe: empty bucket array";
+        for i = 1 to n - 1 do
+          if buckets.(i) <= buckets.(i - 1) then
+            invalid_arg "Metrics.observe: buckets must be strictly increasing"
+        done;
+        let h =
+          {
+            bounds = Array.copy buckets;
+            counts = Array.make (n + 1) 0;
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = Float.infinity;
+            h_max = Float.neg_infinity;
+          }
+        in
+        Hashtbl.replace t.histograms name h;
+        h
+    in
+    let i = bucket_index h.bounds v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let gauge_value t name =
+  Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+(* Estimate the q-quantile: find the bucket holding the ceil(q*count)-th
+   observation, interpolate linearly between its bounds, clamp to the exact
+   observed extremes (so single-valued histograms report that value). *)
+let estimate h q =
+  let target = Float.max 1.0 (Float.round (q *. float_of_int h.h_count)) in
+  let n = Array.length h.bounds in
+  let rec go i cum =
+    if i > n then h.h_max
+    else
+      let cum' = cum +. float_of_int h.counts.(i) in
+      if cum' >= target then
+        if i = n then h.h_max
+        else
+          let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+          let hi = h.bounds.(i) in
+          let frac =
+            if h.counts.(i) = 0 then 1.0
+            else (target -. cum) /. float_of_int h.counts.(i)
+          in
+          lo +. ((hi -. lo) *. frac)
+      else go (i + 1) cum'
+  in
+  let raw = go 0 0.0 in
+  Float.min h.h_max (Float.max h.h_min raw)
+
+let percentile t name q =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h when h.h_count > 0 -> Some (estimate h q)
+  | _ -> None
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summary_of h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = h.h_min;
+    max = h.h_max;
+    p50 = estimate h 0.50;
+    p90 = estimate h 0.90;
+    p99 = estimate h 0.99;
+  }
+
+let summary t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h when h.h_count > 0 -> Some (summary_of h)
+  | _ -> None
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+
+let to_json t =
+  let counters =
+    List.map (fun k -> (k, Json.Int (counter_value t k))) (sorted_keys t.counters)
+  in
+  let gauges =
+    List.map
+      (fun k -> (k, Json.Float (Option.get (gauge_value t k))))
+      (sorted_keys t.gauges)
+  in
+  let histograms =
+    List.filter_map
+      (fun k ->
+        match summary t k with
+        | None -> None
+        | Some s ->
+          Some
+            ( k,
+              Json.Obj
+                [
+                  ("count", Json.Int s.count);
+                  ("sum", Json.Float s.sum);
+                  ("min", Json.Float s.min);
+                  ("max", Json.Float s.max);
+                  ("p50", Json.Float s.p50);
+                  ("p90", Json.Float s.p90);
+                  ("p99", Json.Float s.p99);
+                ] ))
+      (sorted_keys t.histograms)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("histograms", Json.Obj histograms);
+    ]
+
+let pp ppf t =
+  List.iter
+    (fun k -> Format.fprintf ppf "%-40s %d@." k (counter_value t k))
+    (sorted_keys t.counters);
+  List.iter
+    (fun k -> Format.fprintf ppf "%-40s %g@." k (Option.get (gauge_value t k)))
+    (sorted_keys t.gauges);
+  List.iter
+    (fun k ->
+      match summary t k with
+      | None -> ()
+      | Some s ->
+        Format.fprintf ppf "%-40s n=%d sum=%g min=%g p50=%g p90=%g p99=%g max=%g@."
+          k s.count s.sum s.min s.p50 s.p90 s.p99 s.max)
+    (sorted_keys t.histograms)

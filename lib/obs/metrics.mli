@@ -1,0 +1,79 @@
+(** Metrics registry: named counters, gauges and fixed-bucket histograms.
+
+    A registry is a flat namespace of metrics created on first use, so
+    instrumentation sites never need set-up code:
+
+    {[
+      let m = Metrics.create () in
+      Metrics.incr m "sim.committed";
+      Metrics.observe m "sim.latency" 3.7;
+      Json.to_string (Metrics.to_json m)
+    ]}
+
+    The {!null} registry is permanently disabled: every recording operation
+    returns immediately without allocating, so hot paths can be
+    unconditionally instrumented and pay (one load and branch) nothing when
+    metrics are off.
+
+    Histograms use fixed upper-bound buckets ({!default_buckets} spans
+    [1e-6 .. ~1e13] geometrically, fitting both sub-microsecond wall times
+    and simulated-time latencies); percentile summaries (p50/p90/p99) are
+    estimated by linear interpolation inside the covering bucket and
+    clamped to the exact observed [min]/[max]. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, enabled, empty registry. *)
+
+val null : t
+(** The disabled registry: all recording operations are no-ops, every
+    reading operation sees an empty registry. *)
+
+val enabled : t -> bool
+
+(** {1 Recording} *)
+
+val incr : t -> ?by:int -> string -> unit
+(** Increment a counter (created at 0). *)
+
+val set : t -> string -> float -> unit
+(** Set a gauge. *)
+
+val observe : t -> ?buckets:float array -> string -> float -> unit
+(** Record a value into a histogram.  [buckets] (strictly increasing upper
+    bounds) is honoured only when the histogram is first created; values
+    above the last bound land in an implicit overflow bucket. *)
+
+val default_buckets : float array
+
+(** {1 Reading} *)
+
+val counter_value : t -> string -> int
+(** Current value of a counter (0 when absent). *)
+
+val gauge_value : t -> string -> float option
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summary : t -> string -> summary option
+(** Percentile summary of a histogram ([None] when absent or empty). *)
+
+val percentile : t -> string -> float -> float option
+(** [percentile m name q] estimates the [q]-quantile ([0 <= q <= 1]). *)
+
+val to_json : t -> Json.t
+(** Snapshot: [{"counters": {...}, "gauges": {...}, "histograms": {name:
+    {"count", "sum", "min", "max", "p50", "p90", "p99"}}}].  Keys are
+    sorted, so snapshots are stable across runs. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-metric-per-line dump (sorted). *)

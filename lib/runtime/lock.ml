@@ -2,7 +2,7 @@ open Repro_model
 
 type key = int
 
-type entry = { owner : int; label : Label.t }
+type entry = { owner : int; label : Label.t; since : float }
 
 type t = {
   spec : Conflict.spec;
@@ -12,7 +12,7 @@ type t = {
 
 let create spec = { spec; entries = Hashtbl.create 32; next = 0 }
 
-let try_acquire t ~owner ~permits label =
+let try_acquire ?(now = 0.0) t ~owner ~permits label =
   let blockers =
     Hashtbl.fold
       (fun _ e acc ->
@@ -25,18 +25,24 @@ let try_acquire t ~owner ~permits label =
   | [] ->
     let key = t.next in
     t.next <- key + 1;
-    Hashtbl.replace t.entries key { owner; label };
+    Hashtbl.replace t.entries key { owner; label; since = now };
     Ok key
   | blockers -> Error blockers
 
 let release t key = Hashtbl.remove t.entries key
 
-let release_if t pred =
-  let keys =
-    Hashtbl.fold (fun k e acc -> if pred e.owner then k :: acc else acc) t.entries []
+let release_if ?on_release t pred =
+  let victims =
+    Hashtbl.fold (fun k e acc -> if pred e.owner then (k, e) :: acc else acc) t.entries []
   in
-  List.iter (Hashtbl.remove t.entries) keys;
-  keys <> []
+  List.iter
+    (fun (k, e) ->
+      Hashtbl.remove t.entries k;
+      match on_release with
+      | Some f -> f ~owner:e.owner ~label:e.label ~since:e.since
+      | None -> ())
+    victims;
+  victims <> []
 
 let change_owner_if t pred ~owner =
   let moved =

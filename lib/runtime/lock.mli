@@ -24,22 +24,36 @@ type key = int
 (** Identifies one granted lock. *)
 
 val try_acquire :
-  t -> owner:int -> permits:(int -> bool) -> Label.t -> (key, int list) result
+  ?now:float ->
+  t ->
+  owner:int ->
+  permits:(int -> bool) ->
+  Label.t ->
+  (key, int list) result
 (** [try_acquire t ~owner ~permits lbl] grants a lock unless some held lock
     with a conflicting label belongs to an owner for which [permits] is
     [false].  [permits] is the requester's ancestor test (it must accept
-    [owner] itself).  On refusal, returns the blocking owners. *)
+    [owner] itself).  On refusal, returns the blocking owners.  [now]
+    (default 0) stamps the grant so telemetry can measure hold times. *)
 
 val release : t -> key -> unit
 (** Release one granted lock; unknown keys are ignored. *)
 
-val release_if : t -> (int -> bool) -> bool
+val release_if :
+  ?on_release:(owner:int -> label:Label.t -> since:float -> unit) ->
+  t ->
+  (int -> bool) ->
+  bool
 (** Release every lock whose owner satisfies the predicate; returns whether
-    anything was released (so the caller knows to wake waiters). *)
+    anything was released (so the caller knows to wake waiters).
+    [on_release] is invoked once per released lock with its owner, label
+    and grant timestamp — the hook the simulator uses for lock-hold-time
+    histograms. *)
 
 val change_owner_if : t -> (int -> bool) -> owner:int -> bool
 (** Transfer every lock whose owner satisfies the predicate to a new owner
-    (closed-nesting inheritance); returns whether anything changed. *)
+    (closed-nesting inheritance; the grant timestamp is preserved — the
+    hold continues); returns whether anything changed. *)
 
 val held : t -> int
 (** Number of currently granted locks. *)

@@ -1,7 +1,20 @@
 open Repro_model
 open Repro_workload
+module Trace = Repro_obs.Trace
+module Metrics = Repro_obs.Metrics
+module Json = Repro_obs.Json
 
 type protocol = Serial | Locking of { closed : bool } | Certify
+
+let protocol_name = function
+  | Serial -> "serial"
+  | Locking { closed = true } -> "closed"
+  | Locking { closed = false } -> "open"
+  | Certify -> "certify"
+
+(* Telemetry timestamps: 1 simulated time unit renders as 1 ms (1000 µs in
+   the Chrome trace format) — a readable scale in Perfetto. *)
+let sim_us t = t *. 1000.0
 
 type params = {
   protocol : protocol;
@@ -77,6 +90,13 @@ type world = {
   mutable lock_waits : int;
   mutable latencies : float list;
   mutable last_commit : float;
+  (* telemetry (both default to the disabled null instances) *)
+  trace : Trace.t;
+  metrics : Metrics.t;
+  wait_hist : string; (* per-protocol histogram names, precomputed *)
+  hold_hist : string;
+  mutable on_release :
+    (owner:int -> label:Label.t -> since:float -> unit) option;
 }
 
 let at w time fn =
@@ -108,8 +128,8 @@ let wake_component w c =
 let release_attempt_locks w att =
   Array.iteri
     (fun c table ->
-      if Lock.release_if table (fun ow -> Hashtbl.mem att.insts ow) then
-        wake_component w c)
+      if Lock.release_if ?on_release:w.on_release table (fun ow -> Hashtbl.mem att.insts ow)
+      then wake_component w c)
     w.locks
 
 let new_instance w att ~parent =
@@ -133,8 +153,22 @@ let ancestor_chain w q =
 (* ------------------------------------------------------------------ *)
 
 let rec submit w ~client ~seq ~attempt_no ~first_submitted tmpl =
-  if attempt_no > w.p.max_attempts then w.given_up <- w.given_up + 1
+  if attempt_no > w.p.max_attempts then begin
+    w.given_up <- w.given_up + 1;
+    Metrics.incr w.metrics "sim.given_up";
+    if Trace.enabled w.trace then
+      Trace.instant w.trace ~cat:"sim" ~tid:client ~ts:(sim_us w.now)
+        ~args:[ ("seq", Json.Int seq); ("attempts", Json.Int attempt_no) ]
+        "give_up"
+  end
   else begin
+    if attempt_no > 0 then begin
+      Metrics.incr w.metrics "sim.retries";
+      if Trace.enabled w.trace then
+        Trace.instant w.trace ~cat:"sim" ~tid:client ~ts:(sim_us w.now)
+          ~args:[ ("seq", Json.Int seq); ("attempt", Json.Int attempt_no) ]
+          "retry"
+    end;
     let att =
       {
         aid =
@@ -167,7 +201,18 @@ and exec_node w att rpath parent_comp parent_inst (t : Template.t) ~k =
       exec_node_locked w att rpath parent_comp parent_inst self_inst t ~k
   in
   if parent_comp = None || w.p.dispatch_delay <= 0.0 then start ()
-  else at w (w.now +. (w.p.dispatch_delay *. (0.5 +. Prng.float w.rng 1.0))) start
+  else begin
+    Metrics.incr w.metrics "sim.dispatches";
+    if Trace.enabled w.trace then
+      Trace.instant w.trace ~cat:"sim" ~tid:att.client ~ts:(sim_us w.now)
+        ~args:
+          [
+            ("op", Json.String t.Template.label.Label.name);
+            ("component", Json.Int (Option.get parent_comp));
+          ]
+        "dispatch";
+    at w (w.now +. (w.p.dispatch_delay *. (0.5 +. Prng.float w.rng 1.0))) start
+  end
 
 and exec_node_locked w att rpath parent_comp parent_inst self_inst (t : Template.t) ~k =
   acquire w att parent_comp parent_inst t.Template.label ~k:(fun () ->
@@ -191,8 +236,8 @@ and exec_node_locked w att rpath parent_comp parent_inst self_inst (t : Template
         else
           Array.iteri
             (fun c table ->
-              if Lock.release_if table (fun ow -> ow = self_inst) then
-                wake_component w c)
+              if Lock.release_if ?on_release:w.on_release table (fun ow -> ow = self_inst)
+              then wake_component w c)
             w.locks;
         k ()
       in
@@ -239,20 +284,60 @@ and acquire w att parent_comp parent_inst label ~k =
   | Some c, Some owner ->
     let acquired = ref false in
     let blocked_once = ref false in
+    let wait_start = ref 0.0 in
+    (* Close the lock_wait span whichever way the wait ends. *)
+    let wait_over outcome =
+      let wait = w.now -. !wait_start in
+      Metrics.observe w.metrics w.wait_hist wait;
+      if Trace.enabled w.trace then
+        Trace.complete w.trace ~cat:"sim" ~pid:(c + 1) ~tid:att.client
+          ~ts:(sim_us !wait_start) ~dur:(sim_us wait)
+          ~args:
+            [
+              ("op", Json.String label.Label.name);
+              ("outcome", Json.String outcome);
+            ]
+          "lock_wait"
+    in
     let rec try_lock () =
       if att.alive && not !acquired then begin
         let chain = ancestor_chain w owner in
         let permits ow = List.mem ow chain in
-        match Lock.try_acquire (lock_table w c) ~owner ~permits label with
+        match Lock.try_acquire ~now:w.now (lock_table w c) ~owner ~permits label with
         | Ok _key ->
           acquired := true;
+          if !blocked_once then wait_over "acquired";
+          Metrics.incr w.metrics "sim.lock_acquires";
+          if Trace.enabled w.trace then
+            Trace.instant w.trace ~cat:"sim" ~pid:(c + 1) ~tid:att.client
+              ~ts:(sim_us w.now)
+              ~args:
+                [
+                  ("op", Json.String label.Label.name);
+                  ("owner", Json.Int owner);
+                ]
+              "lock_acquire";
           k ()
-        | Error _blockers ->
+        | Error blockers ->
           if not !blocked_once then begin
             blocked_once := true;
+            wait_start := w.now;
             w.lock_waits <- w.lock_waits + 1;
+            Metrics.incr w.metrics "sim.lock_waits";
+            if Trace.enabled w.trace then
+              Trace.instant w.trace ~cat:"sim" ~pid:(c + 1) ~tid:att.client
+                ~ts:(sim_us w.now)
+                ~args:
+                  [
+                    ("op", Json.String label.Label.name);
+                    ("blockers", Json.List (List.map (fun b -> Json.Int b) blockers));
+                  ]
+                "lock_blocked";
             at w (w.now +. w.p.lock_timeout) (fun () ->
-                if att.alive && not !acquired then abort w att)
+                if att.alive && not !acquired then begin
+                  wait_over "timeout";
+                  abort w att
+                end)
           end;
           w.waiters.(c) := try_lock :: !(w.waiters.(c))
       end
@@ -263,9 +348,20 @@ and abort w att =
   if att.alive then begin
     att.alive <- false;
     w.aborts <- w.aborts + 1;
+    Metrics.incr w.metrics "sim.aborts";
+    if Trace.enabled w.trace then
+      Trace.instant w.trace ~cat:"sim" ~tid:att.client ~ts:(sim_us w.now)
+        ~args:
+          [ ("aid", Json.Int att.aid); ("attempt", Json.Int att.attempt_no) ]
+        "abort";
     Repro_storage.Store.abort w.store att.store_tx;
     release_attempt_locks w att;
     let delay = w.p.backoff *. (0.5 +. Prng.float w.rng 1.0) in
+    if Trace.enabled w.trace then
+      Trace.complete w.trace ~cat:"sim" ~tid:att.client ~ts:(sim_us w.now)
+        ~dur:(sim_us delay)
+        ~args:[ ("aid", Json.Int att.aid) ]
+        "backoff";
     at w (w.now +. delay) (fun () ->
         submit w ~client:att.client ~seq:att.seq ~attempt_no:(att.attempt_no + 1)
           ~first_submitted:att.first_submitted att.tmpl)
@@ -279,8 +375,21 @@ and commit w att =
     Repro_storage.Store.commit w.store att.store_tx;
     release_attempt_locks w att;
     w.committed <- att :: w.committed;
-    w.latencies <- (w.now -. att.first_submitted) :: w.latencies;
+    let latency = w.now -. att.first_submitted in
+    w.latencies <- latency :: w.latencies;
     w.last_commit <- max w.last_commit w.now;
+    Metrics.incr w.metrics "sim.committed";
+    Metrics.observe w.metrics "sim.latency" latency;
+    if Trace.enabled w.trace then
+      Trace.instant w.trace ~cat:"sim" ~tid:att.client ~ts:(sim_us w.now)
+        ~args:
+          [
+            ("aid", Json.Int att.aid);
+            ("seq", Json.Int att.seq);
+            ("attempt", Json.Int att.attempt_no);
+            ("latency", Json.Float latency);
+          ]
+        "commit";
     (* The client session continues. *)
     let seq = att.seq + 1 in
     if seq < w.p.txs_per_client then begin
@@ -296,9 +405,33 @@ and commit w att =
    only if the committed prefix extended with it is still Comp-C.  Because
    every commit re-certifies the whole prefix, the finally emitted history
    is guaranteed correct. *)
+(* The certification check runs the real Comp-C decision procedure, so its
+   cost is wall-clock CPU time, not simulated time; the trace span starts at
+   the simulated commit point but its duration (and the metrics histogram)
+   report the wall cost.  The checker's own per-level telemetry is not
+   threaded through here — its wall-clock timestamps would not line up with
+   this sink's simulated clock — but its metrics (dimensionless counters and
+   durations) are shared. *)
 and certifies w att =
   let trial = assemble_attempts w (att :: w.committed) in
-  Repro_core.Compc.is_correct trial
+  let t0 = Sys.time () in
+  let ok = Repro_core.Compc.is_correct ~metrics:w.metrics trial in
+  let wall = Sys.time () -. t0 in
+  Metrics.incr w.metrics "sim.certify_checks";
+  if not ok then Metrics.incr w.metrics "sim.certify_rejects";
+  Metrics.observe w.metrics "sim.certify_wall_s" wall;
+  if Trace.enabled w.trace then
+    Trace.complete w.trace ~cat:"sim" ~tid:att.client ~ts:(sim_us w.now)
+      ~dur:(wall *. 1e6)
+      ~args:
+        [
+          ("aid", Json.Int att.aid);
+          ("prefix", Json.Int (List.length w.committed));
+          ("ok", Json.Bool ok);
+          ("wall_ms", Json.Float (wall *. 1e3));
+        ]
+      "certify_check";
+  ok
 
 (* ------------------------------------------------------------------ *)
 (* History assembly                                                    *)
@@ -379,8 +512,9 @@ let assemble w = assemble_attempts w w.committed
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run p topo ~gen =
+let run ?(trace = Trace.null) ?(metrics = Metrics.null) p topo ~gen =
   let n = Array.length topo.Template.components in
+  let proto = protocol_name p.protocol in
   let w =
     {
       p;
@@ -405,8 +539,28 @@ let run p topo ~gen =
       lock_waits = 0;
       latencies = [];
       last_commit = 0.0;
+      trace;
+      metrics;
+      wait_hist = "sim.lock_wait_time." ^ proto;
+      hold_hist = "sim.lock_hold_time." ^ proto;
+      on_release = None;
     }
   in
+  if Metrics.enabled metrics then
+    w.on_release <-
+      Some
+        (fun ~owner:_ ~label:_ ~since ->
+          Metrics.observe w.metrics w.hold_hist (w.now -. since));
+  if Trace.enabled trace then begin
+    Trace.set_process_name trace ~pid:0 "clients";
+    Array.iteri
+      (fun c (name, _) ->
+        Trace.set_process_name trace ~pid:(c + 1) ("component:" ^ name))
+      topo.Template.components;
+    for client = 0 to p.clients - 1 do
+      Trace.set_thread_name trace ~pid:0 ~tid:client (Fmt.str "client %d" client)
+    done
+  end;
   (* Initial submissions, slightly staggered for determinism. *)
   for client = 0 to p.clients - 1 do
     at w (0.001 *. float_of_int client) (fun () ->
@@ -428,15 +582,24 @@ let run p topo ~gen =
   in
   loop ();
   let committed = List.length w.committed in
+  let mean_latency =
+    match w.latencies with
+    | [] -> 0.0
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  if Metrics.enabled metrics then begin
+    Metrics.set metrics "sim.makespan" w.last_commit;
+    Metrics.set metrics "sim.mean_latency" mean_latency;
+    Metrics.set metrics "sim.throughput"
+      (if w.last_commit > 0.0 then float_of_int committed /. w.last_commit
+       else 0.0)
+  end;
   {
     committed;
     aborts = w.aborts;
     given_up = w.given_up;
     lock_waits = w.lock_waits;
     makespan = w.last_commit;
-    mean_latency =
-      (match w.latencies with
-      | [] -> 0.0
-      | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l));
+    mean_latency;
     history = assemble w;
   }

@@ -79,11 +79,34 @@ type stats = {
   history : History.t;  (** The committed composite execution. *)
 }
 
+val protocol_name : protocol -> string
+(** ["serial"], ["closed"], ["open"] or ["certify"] — the CLI spelling,
+    also used to suffix per-protocol metric names. *)
+
 val run :
+  ?trace:Repro_obs.Trace.t ->
+  ?metrics:Repro_obs.Metrics.t ->
   params ->
   Template.topology ->
   gen:(Repro_workload.Prng.t -> client:int -> seq:int -> Template.t) ->
   stats
 (** Run the simulation: client [k] submits [gen rng ~client:k ~seq:0],
     then [~seq:1] after that commits, and so on.  Deterministic for a given
-    [params.seed]. *)
+    [params.seed] — telemetry never draws from the random stream.
+
+    With [trace] (default {!Repro_obs.Trace.null}), every scheduler event is
+    recorded: [dispatch], [lock_blocked], [lock_wait] (span, closed with
+    outcome [acquired] or [timeout]), [lock_acquire], [abort], [backoff]
+    (span), [retry], [give_up], [commit] and — under {!Certify} —
+    [certify_check] (span whose duration is the checker's wall-clock cost).
+    Timestamps are simulated time scaled to 1 unit = 1 ms; pid 0 is the
+    client process, pid [c+1] is component [c].
+
+    With [metrics] (default {!Repro_obs.Metrics.null}), counters
+    [sim.committed], [sim.aborts], [sim.given_up], [sim.lock_waits],
+    [sim.lock_acquires], [sim.retries], [sim.dispatches],
+    [sim.certify_checks], [sim.certify_rejects] match the returned {!stats}
+    where they overlap; histograms [sim.latency],
+    [sim.lock_wait_time.<protocol>], [sim.lock_hold_time.<protocol>] and
+    [sim.certify_wall_s] record distributions; gauges [sim.makespan],
+    [sim.mean_latency] and [sim.throughput] summarize the run. *)

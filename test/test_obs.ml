@@ -1,0 +1,271 @@
+(* Tests for the telemetry layer: JSON round-trips, histogram bucket math
+   and percentile estimation, Chrome-trace well-formedness, null-sink
+   no-ops, and consistency between a simulator run's metrics snapshot and
+   its returned stats. *)
+open Repro_obs
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("int", Json.Int 42);
+        ("neg", Json.Int (-7));
+        ("float", Json.Float 2.5);
+        ("tiny", Json.Float 1.5e-6);
+        ("string", Json.String "a\"b\\c\nd\te");
+        ("ctrl", Json.String "\001\031");
+        ("bool", Json.Bool true);
+        ("null", Json.Null);
+        ("list", Json.List [ Json.Int 1; Json.List []; Json.Obj [] ]);
+      ]
+  in
+  let parsed = Json.of_string (Json.to_string doc) in
+  Alcotest.(check bool) "round-trips" true (parsed = doc);
+  (* floats that render without a fraction must still re-read as floats *)
+  let j = Json.List [ Json.Float 5.0; Json.Float 0.0 ] in
+  Alcotest.(check bool) "integral floats stay floats" true
+    (Json.of_string (Json.to_string j) = j)
+
+let test_json_parser_misc () =
+  Alcotest.(check bool) "whitespace" true
+    (Json.of_string "  { \"a\" : [ 1 , 2 ] }  " = Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ]);
+  Alcotest.(check bool) "exponent" true
+    (Json.of_string "1e3" = Json.Float 1000.0);
+  Alcotest.(check bool) "unicode escape" true
+    (Json.of_string "\"\\u0041\"" = Json.String "A");
+  Alcotest.(check bool) "non-finite prints null" true
+    (Json.to_string (Json.Float Float.nan) = "null");
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Fmt.str "parser accepted %S" bad))
+    [ "{"; "[1,]"; "\"unterminated"; "tru"; "1 2"; "" ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let buckets = [| 1.0; 2.0; 5.0; 10.0 |]
+
+let test_metrics_counters_gauges () =
+  let m = Metrics.create () in
+  Metrics.incr m "c";
+  Metrics.incr m ~by:4 "c";
+  Metrics.set m "g" 1.5;
+  Metrics.set m "g" 2.5;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value m "c");
+  Alcotest.(check int) "absent counter" 0 (Metrics.counter_value m "missing");
+  Alcotest.(check (option (float 1e-9))) "gauge" (Some 2.5) (Metrics.gauge_value m "g")
+
+let test_histogram_bucket_math () =
+  let m = Metrics.create () in
+  List.iter (Metrics.observe m ~buckets "h") [ 1.0; 2.0; 5.0; 10.0 ];
+  let s = Option.get (Metrics.summary m "h") in
+  Alcotest.(check int) "count" 4 s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 18.0 s.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max" 10.0 s.Metrics.max;
+  (* rank(0.5 * 4) = 2 falls at the top of the (1,2] bucket *)
+  Alcotest.(check (float 1e-9)) "p50" 2.0 s.Metrics.p50;
+  (* rank 4 is the last observation, in the (5,10] bucket *)
+  Alcotest.(check (float 1e-9)) "p99" 10.0 s.Metrics.p99
+
+let test_histogram_overflow_and_clamp () =
+  let m = Metrics.create () in
+  Metrics.observe m ~buckets "h" 100.0;
+  (* the overflow bucket reports the exact observed maximum *)
+  Alcotest.(check (option (float 1e-9))) "overflow p50" (Some 100.0)
+    (Metrics.percentile m "h" 0.5);
+  (* interpolation below the smallest observation clamps to the minimum *)
+  let m2 = Metrics.create () in
+  for _ = 1 to 10 do Metrics.observe m2 ~buckets "h" 1.0 done;
+  Alcotest.(check (option (float 1e-9))) "clamped to min" (Some 1.0)
+    (Metrics.percentile m2 "h" 0.5);
+  Alcotest.(check (option (float 1e-9))) "empty histogram" None
+    (Metrics.percentile m2 "missing" 0.5)
+
+let test_metrics_json_snapshot () =
+  let m = Metrics.create () in
+  Metrics.incr m "a.count";
+  Metrics.set m "a.gauge" 3.0;
+  Metrics.observe m ~buckets "a.hist" 2.0;
+  let j = Json.of_string (Json.to_string (Metrics.to_json m)) in
+  Alcotest.(check bool) "counter in snapshot" true
+    (Json.member "counters" j |> Option.get |> Json.member "a.count"
+    = Some (Json.Int 1));
+  let hist = Json.member "histograms" j |> Option.get |> Json.member "a.hist" in
+  Alcotest.(check bool) "histogram has p50" true
+    (Option.bind hist (Json.member "p50") <> None)
+
+let test_null_metrics_noop () =
+  let m = Metrics.null in
+  Metrics.incr m "c";
+  Metrics.set m "g" 1.0;
+  Metrics.observe m "h" 1.0;
+  Alcotest.(check bool) "disabled" false (Metrics.enabled m);
+  Alcotest.(check int) "no counter" 0 (Metrics.counter_value m "c");
+  Alcotest.(check bool) "no gauge" true (Metrics.gauge_value m "g" = None);
+  Alcotest.(check bool) "no histogram" true (Metrics.summary m "h" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_chrome_json () =
+  let t = Trace.create () in
+  Trace.set_process_name t ~pid:1 "component:bank";
+  Trace.set_thread_name t ~pid:0 ~tid:3 "client 3";
+  Trace.instant t ~cat:"sim" ~tid:3 ~ts:12.5
+    ~args:[ ("op", Json.String "withdraw \"x\"") ]
+    "commit";
+  Trace.complete t ~cat:"sim" ~pid:2 ~tid:3 ~ts:10.0 ~dur:2.5 "lock_wait";
+  Alcotest.(check int) "two events" 2 (Trace.length t);
+  let doc = Json.of_string (Json.to_string (Trace.to_json t)) in
+  let events = Json.to_list_exn (Option.get (Json.member "traceEvents" doc)) in
+  (* 2 metadata + 2 recorded *)
+  Alcotest.(check int) "traceEvents" 4 (List.length events);
+  let phases =
+    List.filter_map (fun e -> Json.member "ph" e) events
+  in
+  Alcotest.(check bool) "phases" true
+    (phases = [ Json.String "M"; Json.String "M"; Json.String "i"; Json.String "X" ]);
+  let span = List.nth events 3 in
+  Alcotest.(check bool) "dur" true (Json.member "dur" span = Some (Json.Float 2.5));
+  Alcotest.(check bool) "ts" true (Json.member "ts" span = Some (Json.Float 10.0));
+  (* every recorded event must carry the mandatory Chrome fields *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (Fmt.str "field %s present" k) true
+            (Json.member k e <> None))
+        [ "name"; "ph"; "pid" ])
+    events
+
+let test_null_trace_noop () =
+  let t = Trace.null in
+  Trace.instant t ~ts:1.0 "x";
+  Trace.complete t ~ts:1.0 ~dur:1.0 "y";
+  Trace.set_process_name t ~pid:0 "p";
+  Alcotest.(check bool) "disabled" false (Trace.enabled t);
+  Alcotest.(check int) "no events" 0 (Trace.length t);
+  Alcotest.(check bool) "empty json" true
+    (Json.member "traceEvents" (Trace.to_json t) = Some (Json.List []))
+
+(* ------------------------------------------------------------------ *)
+(* Simulator integration                                               *)
+(* ------------------------------------------------------------------ *)
+
+open Repro_runtime
+
+let bank_topology =
+  {
+    Template.components =
+      [| ("bank", Repro_model.Conflict.Always); ("store", Repro_model.Conflict.Rw) |];
+  }
+
+let bank_template rng ~client ~seq =
+  ignore client;
+  ignore seq;
+  let open Repro_model in
+  let a = Fmt.str "a%d" (Repro_workload.Prng.int rng 2) in
+  Template.call ~component:0 (Label.v "txn")
+    [
+      Template.call ~component:1 ~sequential:true (Label.v ~args:[ a ] "deposit")
+        [ Template.leaf (Label.read a); Template.leaf (Label.write a) ];
+    ]
+
+let run_closed ?trace ?metrics seed =
+  let params =
+    {
+      Sim.default_params with
+      Sim.protocol = Sim.Locking { closed = true };
+      clients = 5;
+      txs_per_client = 4;
+      seed;
+      lock_timeout = 4.0;
+      backoff = 2.0;
+    }
+  in
+  Sim.run ?trace ?metrics params bank_topology ~gen:bank_template
+
+let test_sim_metrics_match_stats () =
+  let metrics = Metrics.create () in
+  let trace = Trace.create () in
+  let st = run_closed ~trace ~metrics 11 in
+  Alcotest.(check int) "committed" st.Sim.committed
+    (Metrics.counter_value metrics "sim.committed");
+  Alcotest.(check int) "aborts" st.Sim.aborts
+    (Metrics.counter_value metrics "sim.aborts");
+  Alcotest.(check int) "given_up" st.Sim.given_up
+    (Metrics.counter_value metrics "sim.given_up");
+  Alcotest.(check int) "lock_waits" st.Sim.lock_waits
+    (Metrics.counter_value metrics "sim.lock_waits");
+  Alcotest.(check (option (float 1e-9))) "makespan gauge" (Some st.Sim.makespan)
+    (Metrics.gauge_value metrics "sim.makespan");
+  (* the trace's commit instants agree with the counter, and the whole
+     document survives a JSON round-trip *)
+  let commits =
+    List.length
+      (List.filter (fun e -> e.Trace.name = "commit") (Trace.events trace))
+  in
+  Alcotest.(check int) "commit events" st.Sim.committed commits;
+  let doc = Json.of_string (Json.to_string (Trace.to_json trace)) in
+  Alcotest.(check bool) "trace json parses" true
+    (Json.member "traceEvents" doc <> None)
+
+let test_sim_telemetry_is_transparent () =
+  (* Attaching telemetry must not perturb the simulation: identical seed,
+     identical outcome (telemetry never draws from the random stream). *)
+  let plain = run_closed 13 in
+  let st = run_closed ~trace:(Trace.create ()) ~metrics:(Metrics.create ()) 13 in
+  Alcotest.(check int) "committed" plain.Sim.committed st.Sim.committed;
+  Alcotest.(check int) "aborts" plain.Sim.aborts st.Sim.aborts;
+  Alcotest.(check bool) "makespan" true (plain.Sim.makespan = st.Sim.makespan)
+
+let test_checker_telemetry () =
+  let h = Repro_workload.Gen.stack (Repro_workload.Prng.create ~seed:6) ~levels:3 ~roots:2 in
+  let metrics = Metrics.create () in
+  let trace = Trace.create () in
+  let v = Repro_core.Compc.check ~trace ~metrics h in
+  let steps =
+    List.filter (fun e -> e.Trace.name = "reduction_step") (Trace.events trace)
+  in
+  Alcotest.(check int) "one span per attempted level"
+    (Metrics.counter_value metrics "compc.steps")
+    (List.length steps);
+  Alcotest.(check int) "accept+reject = checks"
+    (Metrics.counter_value metrics "compc.checks")
+    (Metrics.counter_value metrics "compc.accept"
+    + Metrics.counter_value metrics "compc.reject");
+  if not (Repro_core.Compc.is_correct_verdict v) then
+    Alcotest.(check bool) "failure classified" true
+      (List.exists
+         (fun k -> Metrics.counter_value metrics ("compc.failure." ^ k) > 0)
+         [ "front_not_cc"; "no_calculation"; "intra_contradiction" ])
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json parser misc" `Quick test_json_parser_misc;
+        Alcotest.test_case "metrics counters and gauges" `Quick test_metrics_counters_gauges;
+        Alcotest.test_case "histogram bucket math" `Quick test_histogram_bucket_math;
+        Alcotest.test_case "histogram overflow and clamping" `Quick
+          test_histogram_overflow_and_clamp;
+        Alcotest.test_case "metrics json snapshot" `Quick test_metrics_json_snapshot;
+        Alcotest.test_case "null metrics are no-ops" `Quick test_null_metrics_noop;
+        Alcotest.test_case "chrome trace json" `Quick test_trace_chrome_json;
+        Alcotest.test_case "null trace is a no-op" `Quick test_null_trace_noop;
+        Alcotest.test_case "sim metrics match stats" `Quick test_sim_metrics_match_stats;
+        Alcotest.test_case "telemetry does not perturb the simulation" `Quick
+          test_sim_telemetry_is_transparent;
+        Alcotest.test_case "checker telemetry" `Quick test_checker_telemetry;
+      ] );
+  ]
