@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fail when an E9 checker row regresses against the committed CI baseline.
+
+Usage: check_e9_regression.py BASELINE.json BENCH_core.json
+
+The baseline (bench/baselines/e9_ci.json) stores wall-clock seconds per E9
+row measured right after the dense-kernel change.  A row fails when its new
+wall time exceeds RATIO x the baseline AND the absolute growth exceeds
+FLOOR seconds — the floor keeps sub-hundredth-second rows, which sit at the
+single-shot measurement noise level, from flapping the build.  Rows present
+on only one side (e.g. a reduced REPRO_E9_ROOTS_MAX run) are skipped.
+"""
+
+import json
+import sys
+
+RATIO = 2.0
+FLOOR = 0.02  # seconds of absolute growth below which noise wins
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        baseline = json.load(f)["rows"]
+    with open(sys.argv[2]) as f:
+        current = json.load(f)["checker"]
+
+    compared = 0
+    failed = []
+    for name, base_row in sorted(baseline.items()):
+        row = current.get(name)
+        if row is None:
+            continue
+        old_s = float(base_row["wall_s"])
+        new_s = float(row["wall_s"])
+        compared += 1
+        regressed = new_s > RATIO * old_s and new_s - old_s > FLOOR
+        mark = "FAIL" if regressed else "ok"
+        print(f"  {name:<34} base {old_s:9.4f}s  now {new_s:9.4f}s  {mark}")
+        if regressed:
+            failed.append(name)
+
+    if compared == 0:
+        print("error: no E9 rows in common with the baseline", file=sys.stderr)
+        return 2
+    if failed:
+        print(
+            f"error: {len(failed)} E9 row(s) regressed more than "
+            f"{RATIO}x (+{FLOOR}s floor): {', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: {compared} row(s) within {RATIO}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

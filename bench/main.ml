@@ -14,6 +14,12 @@ module Workloads = Repro_runtime.Workloads
 
 module Json = Repro_obs.Json
 module Metrics = Repro_obs.Metrics
+module Pool = Repro_par.Pool
+
+(* Monotonic wall clock in seconds.  [Sys.time] is process CPU time, which
+   hides parallel speedups (n busy domains burn n CPU-seconds per wall
+   second), so timed experiments report both. *)
+let now_wall () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
 
 let section id title =
   Fmt.pr "@.==================================================================@.";
@@ -111,19 +117,29 @@ let e4 () =
 (* E5-E7: Theorems 2-4, empirically                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Each agreement probe generates its own history from its own seed, so the
+   batch is embarrassingly parallel: fan it out over the domain pool
+   (REPRO_JOBS; sequential on a single-core box) and fold the per-item
+   verdicts in input order. *)
 let agreement ~n gen special =
-  let agree = ref 0 and accept = ref 0 and special_accept = ref 0 and invalid = ref 0 in
-  for i = 0 to n - 1 do
-    let h = gen i in
-    if Validate.check h <> [] then incr invalid
-    else begin
-      let s = special h and c = Compc.is_correct h in
-      if s = c then incr agree;
-      if c then incr accept;
-      if s then incr special_accept
-    end
-  done;
-  (!agree, !accept, !special_accept, !invalid)
+  let verdicts =
+    Pool.parmap
+      (fun i ->
+        let h = gen i in
+        if Validate.check h <> [] then None
+        else Some (special h, Compc.is_correct h))
+      (List.init n (fun i -> i))
+  in
+  List.fold_left
+    (fun (agree, accept, special_accept, invalid) v ->
+      match v with
+      | None -> (agree, accept, special_accept, invalid + 1)
+      | Some (s, c) ->
+        ( (agree + if s = c then 1 else 0),
+          (accept + if c then 1 else 0),
+          (special_accept + if s then 1 else 0),
+          invalid ))
+    (0, 0, 0, 0) verdicts
 
 let pp_agreement name n (agree, accept, special_accept, invalid) =
   Fmt.pr
@@ -225,27 +241,63 @@ let e8 () =
 (* ------------------------------------------------------------------ *)
 
 let time f =
-  let t0 = Sys.time () in
+  let c0 = Sys.time () and w0 = now_wall () in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, Sys.time () -. c0, now_wall () -. w0)
+
+(* The committed pre-kernel baseline; rows carry cpu_s measured on a
+   single-threaded run, so cpu ~= wall there. *)
+let e9_baseline_path = "bench/baselines/e9_prechange.json"
+
+let e9_baseline () =
+  match open_in e9_baseline_path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    (match Json.of_string text with
+    | exception Json.Parse_error _ -> None
+    | doc -> (
+      match Json.member "rows" doc with
+      | Some (Json.Obj rows) ->
+        Some
+          (List.filter_map
+             (fun (name, row) ->
+               match Json.member "cpu_s" row with
+               | Some (Json.Float s) -> Some (name, s)
+               | Some (Json.Int s) -> Some (name, float_of_int s)
+               | _ -> None)
+             rows)
+      | _ -> None))
 
 let e9 () =
-  section "e9" "Checker scalability: CPU time of the full Comp-C decision";
-  Fmt.pr "  %-34s %8s %8s %10s %8s@." "history" "nodes" "leaves" "seconds" "verdict";
+  section "e9" "Checker scalability: cost of the full Comp-C decision";
+  (* REPRO_E9_ROOTS_MAX caps the root counts so CI smoke runs stay cheap;
+     the full ladder runs by default. *)
+  let roots_max =
+    match Sys.getenv_opt "REPRO_E9_ROOTS_MAX" with
+    | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> max_int)
+    | None -> max_int
+  in
+  let root_sizes = List.filter (fun r -> r <= roots_max) [ 2; 4; 8; 16; 32; 64 ] in
+  Fmt.pr "  %-34s %8s %8s %10s %10s %8s@." "history" "nodes" "leaves" "cpu_s"
+    "wall_s" "verdict";
   let rows = ref [] in
   let row name h =
-    let v, dt = time (fun () -> Compc.check h) in
+    let v, cpu, wall = time (fun () -> Compc.check h) in
     let verdict = if Compc.is_correct_verdict v then "accept" else "reject" in
-    Fmt.pr "  %-34s %8d %8d %10.4f %8s@." name (History.n_nodes h)
+    Fmt.pr "  %-34s %8d %8d %10.4f %10.4f %8s@." name (History.n_nodes h)
       (List.length (History.leaves h))
-      dt verdict;
+      cpu wall verdict;
     rows :=
       ( name,
         Json.Obj
           [
             ("nodes", Json.Int (History.n_nodes h));
             ("leaves", Json.Int (List.length (History.leaves h)));
-            ("seconds", Json.Float dt);
+            ("cpu_s", Json.Float cpu);
+            ("wall_s", Json.Float wall);
             ("verdict", Json.String verdict);
           ] )
       :: !rows
@@ -268,7 +320,7 @@ let e9 () =
           row
             (Fmt.str "stack levels=3 roots=%d (%s)" roots tag)
             (Gen.stack ~profile (Prng.create ~seed:42) ~levels:3 ~roots))
-        [ 2; 4; 8; 16; 32; 64 ])
+        root_sizes)
     [ ("dense", (fun _ -> 2)); ("sparse", (fun roots -> 8 * roots)) ];
   (* Serial clients: always accepted, so the reduction always runs to the
      top -- the worst case for the checker. *)
@@ -288,15 +340,54 @@ let e9 () =
       row
         (Fmt.str "stack levels=3 roots=%d (serial)" roots)
         (Gen.stack ~profile (Prng.create ~seed:42) ~levels:3 ~roots))
-    [ 2; 4; 8; 16; 32; 64 ];
+    root_sizes;
   let profile = { Gen.default_profile with Gen.ops_min = 2; ops_max = 2 } in
   List.iter
     (fun (schedules, roots) ->
       row
         (Fmt.str "general schedules=%d roots=%d" schedules roots)
         (Gen.general ~profile (Prng.create ~seed:42) ~schedules ~roots))
-    [ (4, 8); (6, 16); (8, 32); (8, 64) ];
-  record_json "checker" (Json.Obj (List.rev !rows))
+    (List.filter (fun (_, r) -> r <= roots_max) [ (4, 8); (6, 16); (8, 32); (8, 64) ]);
+  record_json "checker" (Json.Obj (List.rev !rows));
+  (* Before/after speedup against the committed pre-kernel baseline: every
+     row present in both runs gets an old/new/ratio record under
+     e9.speedup. *)
+  match e9_baseline () with
+  | None -> Fmt.pr "  (no baseline at %s; speedup section skipped)@." e9_baseline_path
+  | Some baseline ->
+    let wall_of row =
+      match Json.member "wall_s" row with Some (Json.Float w) -> Some w | _ -> None
+    in
+    let speedups =
+      List.filter_map
+        (fun (name, row) ->
+          match (List.assoc_opt name baseline, wall_of row) with
+          | Some old_s, Some new_s when new_s > 0.0 ->
+            Some
+              ( name,
+                Json.Obj
+                  [
+                    ("old_wall_s", Json.Float old_s);
+                    ("new_wall_s", Json.Float new_s);
+                    ("ratio", Json.Float (old_s /. new_s));
+                  ] )
+          | _ -> None)
+        (List.rev !rows)
+    in
+    if speedups <> [] then begin
+      Fmt.pr "@.  speedup vs pre-kernel baseline (%s):@." e9_baseline_path;
+      Fmt.pr "  %-34s %10s %10s %8s@." "history" "old_s" "new_s" "ratio";
+      List.iter
+        (fun (name, j) ->
+          match (Json.member "old_wall_s" j, Json.member "new_wall_s" j,
+                 Json.member "ratio" j)
+          with
+          | Some (Json.Float o), Some (Json.Float n), Some (Json.Float r) ->
+            Fmt.pr "  %-34s %10.4f %10.4f %7.1fx@." name o n r
+          | _ -> ())
+        speedups;
+      record_json "e9" (Json.Obj [ ("speedup", Json.Obj speedups) ])
+    end
 
 (* ------------------------------------------------------------------ *)
 (* E10: concurrency-control protocols on the runtime                   *)
@@ -335,9 +426,9 @@ let perf () =
                   backoff = 3.0;
                 }
               in
-              let t0 = Sys.time () in
+              let t0 = now_wall () in
               let st = Sim.run ~metrics params w.Workloads.topology ~gen:w.Workloads.gen in
-              let wall = Sys.time () -. t0 in
+              let wall = now_wall () -. t0 in
               let throughput =
                 if st.Sim.makespan > 0.0 then
                   float_of_int st.Sim.committed /. st.Sim.makespan

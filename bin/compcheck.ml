@@ -1,6 +1,8 @@
-(* compcheck: decide correctness criteria for a composite execution given in
-   the history description language.  Exit code 0 = accepted, 1 = rejected,
-   2 = usage/parse/validation trouble. *)
+(* compcheck: decide correctness criteria for composite executions given in
+   the history description language.  Exit code 0 = all accepted, 1 = some
+   history rejected, 2 = usage/parse/validation trouble.  With several FILE
+   arguments the checks run on a domain pool (--jobs) and print one verdict
+   line per file, in argument order. *)
 open Cmdliner
 open Repro_model
 
@@ -31,7 +33,7 @@ let read_history path =
 
 (* --stats: re-run the Comp-C decision with telemetry attached and print a
    per-level reduction profile from the recorded events and metrics. *)
-let print_stats h =
+let print_stats ppf h =
   let module Trace = Repro_obs.Trace in
   let module Metrics = Repro_obs.Metrics in
   let module Json = Repro_obs.Json in
@@ -51,10 +53,11 @@ let print_stats h =
     | Some v -> int_of_float v
     | None -> 0
   in
-  Fmt.pr "--- Comp-C reduction profile ---@.";
+  Fmt.pf ppf "--- Comp-C reduction profile ---@.";
   (match Metrics.summary metrics "compc.observed_wall_s" with
   | Some s ->
-    Fmt.pr "observed order: %d base pairs -> %d pairs after closure, %d rounds, %.3f ms@."
+    Fmt.pf ppf
+      "observed order: %d base pairs -> %d pairs after closure, %d rounds, %.3f ms@."
       (gauge "compc.obs_base_pairs") (gauge "compc.obs_pairs")
       (gauge "compc.obs_rounds") (s.Metrics.sum *. 1e3)
   | None -> ());
@@ -62,91 +65,163 @@ let print_stats h =
     (fun (e : Trace.event) ->
       match e.Trace.name with
       | "front_init" ->
-        Fmt.pr "level-0 front: %d members@."
+        Fmt.pf ppf "level-0 front: %d members@."
           (Option.value ~default:0 (arg_int e "members"))
       | "reduction_step" ->
         let level = Option.value ~default:0 (arg_int e "level") in
         let prev = Option.value ~default:0 (arg_int e "prev_front") in
         let outcome = Option.value ~default:"?" (arg_str e "outcome") in
-        Fmt.pr "step %d: %d -> %s members, %s clusters, %.3f ms [%s]@." level prev
+        Fmt.pf ppf "step %d: %d -> %s members, %s clusters, %.3f ms [%s]@." level
+          prev
           (match arg_int e "front" with Some n -> string_of_int n | None -> "-")
           (match arg_int e "clusters" with Some n -> string_of_int n | None -> "-")
           (e.Trace.dur /. 1e3) outcome
       | "failure" ->
-        Fmt.pr "failure: %s@." (Option.value ~default:"?" (arg_str e "kind"))
+        Fmt.pf ppf "failure: %s@." (Option.value ~default:"?" (arg_str e "kind"))
       | _ -> ())
     (Trace.events trace);
-  (match Metrics.summary metrics "compc.check_wall_s" with
+  match Metrics.summary metrics "compc.check_wall_s" with
   | Some s ->
-    Fmt.pr "total: %.3f ms, verdict %s@." (s.Metrics.sum *. 1e3)
+    Fmt.pf ppf "total: %.3f ms, verdict %s@." (s.Metrics.sum *. 1e3)
       (if Metrics.counter_value metrics "compc.accept" > 0 then "accept"
        else "reject")
-  | None -> ())
+  | None -> ()
 
-let run path criterion explain stats skip_validation dot =
+(* One file's complete run.  [brief] is batch mode: the verdict is a single
+   [path: ...] line (configuration summary suppressed) so a many-file run
+   reads as a table.  All output goes through [ppf]/[eppf] so batch mode can
+   buffer it per file and print blocks in argument order whatever the
+   domain-pool interleaving was. *)
+let check_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
+    stats skip_validation dot path =
   match read_history path with
   | Error msg ->
-    Fmt.epr "compcheck: %s@." msg;
+    if brief then Fmt.pf ppf "%s: error: %s@." path msg
+    else Fmt.pf eppf "compcheck: %s@." msg;
     2
-  | Ok h -> (
+  | Ok h ->
     let validation = Validate.check h in
     if validation <> [] then begin
-      Fmt.epr "history violates the composite-system model (Defs. 3-4):@.";
-      List.iter (fun e -> Fmt.epr "  %a@." (Validate.pp_error h) e) validation;
-      if not skip_validation then exit 2
+      if brief && not skip_validation then
+        Fmt.pf ppf "%s: invalid: %d model violation%s@." path
+          (List.length validation)
+          (if List.length validation = 1 then "" else "s")
+      else begin
+        Fmt.pf eppf "%s violates the composite-system model (Defs. 3-4):@."
+          (if path = "-" then "history" else path);
+        List.iter (fun e -> Fmt.pf eppf "  %a@." (Validate.pp_error h) e) validation
+      end
     end;
-    (match dot with
-    | Some prefix ->
-      let rel = Repro_core.Observed.compute h in
-      let write name text =
-        let oc = open_out (prefix ^ name) in
-        output_string oc text;
-        close_out oc;
-        Fmt.pr "wrote %s%s@." prefix name
+    if validation <> [] && not skip_validation then 2
+    else begin
+      (match dot with
+      | Some prefix ->
+        let rel = Repro_core.Observed.compute h in
+        let write name text =
+          let oc = open_out (prefix ^ name) in
+          output_string oc text;
+          close_out oc;
+          Fmt.pf ppf "wrote %s%s@." prefix name
+        in
+        write "-forest.dot"
+          (Repro_histlang.Dot.forest ~obs:rel.Repro_core.Observed.obs h);
+        write "-invocations.dot" (Repro_histlang.Dot.invocation_graph h)
+      | None -> ());
+      let report = Repro_criteria.Classic.accepted_by h in
+      let shape = Repro_criteria.Shapes.classify h in
+      if not brief then
+        Fmt.pf ppf
+          "configuration: %a, order %d, %d schedules, %d transactions, %d leaves@."
+          Repro_criteria.Shapes.pp shape (History.order h)
+          (History.n_schedules h)
+          (List.length (History.roots h) + List.length (History.internal_nodes h))
+          (List.length (History.leaves h));
+      let criterion =
+        (* case-insensitive convenience: comp-c, scc, ... all work *)
+        let lc = String.lowercase_ascii criterion in
+        match
+          List.find_opt (fun (n, _) -> String.lowercase_ascii n = lc) report
+        with
+        | Some (n, _) -> n
+        | None -> criterion
       in
-      write "-forest.dot"
-        (Repro_histlang.Dot.forest ~obs:rel.Repro_core.Observed.obs h);
-      write "-invocations.dot" (Repro_histlang.Dot.invocation_graph h)
-    | None -> ());
-    let report = Repro_criteria.Classic.accepted_by h in
-    let shape = Repro_criteria.Shapes.classify h in
-    Fmt.pr "configuration: %a, order %d, %d schedules, %d transactions, %d leaves@."
-      Repro_criteria.Shapes.pp shape (History.order h) (History.n_schedules h)
-      (List.length (History.roots h) + List.length (History.internal_nodes h))
-      (List.length (History.leaves h));
-    let criterion =
-      (* case-insensitive convenience: comp-c, scc, ... all work *)
-      let lc = String.lowercase_ascii criterion in
-      match List.find_opt (fun (n, _) -> String.lowercase_ascii n = lc) report with
-      | Some (n, _) -> n
-      | None -> criterion
-    in
-    match criterion with
-    | "all" | "ALL" | "All" ->
-      List.iter (fun (name, verdict) ->
-          Fmt.pr "%-8s %s@." name (if verdict then "accept" else "reject"))
-        report;
-      if explain then Repro_core.Compc.explain Fmt.stdout (Repro_core.Compc.check h);
-      if stats then print_stats h;
-      if List.assoc "Comp-C" report then 0 else 1
-    | name -> (
-      match List.assoc_opt name report with
-      | None ->
-        Fmt.epr "compcheck: criterion %S does not apply to this configuration (available: %a)@."
-          name
-          Fmt.(list ~sep:comma string)
-          (List.map fst report);
-        2
-      | Some verdict ->
-        Fmt.pr "%s: %s@." name (if verdict then "accept" else "reject");
-        if explain && name = "Comp-C" then
-          Repro_core.Compc.explain Fmt.stdout (Repro_core.Compc.check h);
-        if stats then print_stats h;
-        if verdict then 0 else 1))
+      let verdict v = if v then "accept" else "reject" in
+      match criterion with
+      | "all" | "ALL" | "All" ->
+        if brief then
+          Fmt.pf ppf "%s: %a@." path
+            Fmt.(
+              list ~sep:(any "  ") (fun ppf (n, v) ->
+                  Fmt.pf ppf "%s=%s" n (verdict v)))
+            report
+        else
+          List.iter
+            (fun (name, v) -> Fmt.pf ppf "%-8s %s@." name (verdict v))
+            report;
+        if explain then Repro_core.Compc.explain ppf (Repro_core.Compc.check h);
+        if stats then print_stats ppf h;
+        if List.assoc "Comp-C" report then 0 else 1
+      | name -> (
+        match List.assoc_opt name report with
+        | None ->
+          Fmt.pf eppf
+            "compcheck: criterion %S does not apply to this configuration \
+             (available: %a)@."
+            name
+            Fmt.(list ~sep:comma string)
+            (List.map fst report);
+          2
+        | Some v ->
+          if brief then Fmt.pf ppf "%s: %s: %s@." path name (verdict v)
+          else Fmt.pf ppf "%s: %s@." name (verdict v);
+          if explain && name = "Comp-C" then
+            Repro_core.Compc.explain ppf (Repro_core.Compc.check h);
+          if stats then print_stats ppf h;
+          if v then 0 else 1)
+    end
 
-let path_arg =
-  let doc = "History file in the description language ('-' for stdin)." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+let run paths criterion explain stats skip_validation dot jobs =
+  match paths with
+  | [ path ] ->
+    check_one ~brief:false criterion explain stats skip_validation dot path
+  | paths ->
+    if dot <> None then begin
+      Fmt.epr "compcheck: --dot requires a single FILE@.";
+      2
+    end
+    else begin
+      (* Each worker parses its own history (so the per-history conflict
+         cache is never shared between domains) and writes into private
+         buffers; the main domain prints the blocks in argument order. *)
+      let results =
+        Repro_par.Pool.parmap ?jobs
+          (fun path ->
+            let bo = Buffer.create 256 and be = Buffer.create 64 in
+            let ppf = Fmt.with_buffer bo and eppf = Fmt.with_buffer be in
+            let code =
+              check_one ~ppf ~eppf ~brief:true criterion explain stats
+                skip_validation None path
+            in
+            Format.pp_print_flush ppf ();
+            Format.pp_print_flush eppf ();
+            (Buffer.contents bo, Buffer.contents be, code))
+          paths
+      in
+      List.fold_left
+        (fun worst (out, err, code) ->
+          print_string out;
+          prerr_string err;
+          max worst code)
+        0 results
+    end
+
+let paths_arg =
+  let doc =
+    "History files in the description language ('-' for stdin).  With more \
+     than one FILE, compcheck prints one verdict line per file and exits \
+     non-zero if any history is rejected."
+  in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
 
 let criterion_arg =
   let doc =
@@ -174,9 +249,19 @@ let skip_validation_arg =
 let dot_arg =
   let doc =
     "Write Graphviz renderings ($(docv)-forest.dot with the observed order \
-     overlaid, and $(docv)-invocations.dot) of the history."
+     overlaid, and $(docv)-invocations.dot) of the history.  Single-FILE \
+     runs only."
   in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PREFIX" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for batch checking several FILEs (default: $(b,REPRO_JOBS) \
+     from the environment, else the machine's recommended domain count; 1 \
+     checks sequentially).  Verdicts and exit code are identical whatever \
+     the value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let cmd =
   let doc = "decide composite correctness (Comp-C) and related criteria" in
@@ -184,20 +269,23 @@ let cmd =
     [
       `S Manpage.s_description;
       `P
-        "Reads a composite execution in the history description language and \
+        "Reads composite executions in the history description language and \
          decides the correctness criteria of Alonso, Fe\xc3\x9fler, Pardon and \
          Schek, \"Correctness in General Configurations of Transactional \
          Components\" (PODS 1999): the general criterion Comp-C via \
          level-by-level reduction, plus the specialised and classical \
          criteria it subsumes.";
       `S Manpage.s_examples;
-      `Pre "  compcheck history.ct --criterion all\n  compgen --shape stack | compcheck - --explain";
+      `Pre
+        "  compcheck history.ct --criterion all\n\
+        \  compgen --shape stack | compcheck - --explain\n\
+        \  compcheck --jobs 4 histories/*.ct";
     ]
   in
   Cmd.v
     (Cmd.info "compcheck" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ path_arg $ criterion_arg $ explain_arg $ stats_arg
-      $ skip_validation_arg $ dot_arg)
+      const run $ paths_arg $ criterion_arg $ explain_arg $ stats_arg
+      $ skip_validation_arg $ dot_arg $ jobs_arg)
 
 let () = exit (Cmd.eval' cmd)

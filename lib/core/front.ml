@@ -10,14 +10,17 @@ let members_at h i =
      is a root kept by propagation, or a transaction of a schedule of level
      > i, or the node is itself a root). *)
   let done_at n = History.level_of_node h n <= i in
-  Array.to_list (Array.init (History.n_nodes h) Fun.id)
-  |> List.filter (fun n ->
-         done_at n
-         &&
-         match History.parent h n with
-         | None -> true
-         | Some p -> not (done_at p))
-  |> Int_set.of_list
+  let acc = ref Int_set.empty in
+  for n = History.n_nodes h - 1 downto 0 do
+    if
+      done_at n
+      &&
+      match History.parent h n with
+      | None -> true
+      | Some p -> not (done_at p)
+    then acc := Int_set.add n !acc
+  done;
+  !acc
 
 let make h (rel : Observed.relations) i =
   let members = members_at h i in
@@ -41,7 +44,14 @@ let layout_constraints h rel f =
      operations of a common schedule do not pin the layout down. *)
   Rel.union f.inp (Rel.filter (fun a b -> Observed.conflict h rel a b) f.obs)
 
-let cc_cycle f = Rel.find_cycle (constraint_graph f)
+(* The conflict-consistency check walks the whole constraint graph, so run
+   it dense over the member universe instead of unioning two persistent
+   relations first. *)
+let cc_cycle f =
+  let b = Bitrel.create f.members in
+  Rel.iter (fun a b' -> Bitrel.add b a b') f.obs;
+  Rel.iter (fun a b' -> Bitrel.add b a b') f.inp;
+  Bitrel.find_cycle b
 
 let is_cc f = cc_cycle f = None
 

@@ -45,37 +45,83 @@ type variant = Final | No_forgetting | Eager_forgetting
    transitive closure (SCC condensation) beat an incremental pair-at-a-time
    saturation here — dense observed orders approach n^2 pairs, and the
    batch closure's constants win by 3-4x on the E9 workloads. *)
-let propagate variant h r =
-  Rel.fold
-    (fun a b acc ->
-      let climbs =
-        match variant with
-        | No_forgetting -> true
-        | Final | Eager_forgetting -> (
-          match History.common_op_schedule h a b with
-          | Some s -> History.conflicts h s a b
-          | None -> true)
-      in
-      if climbs then begin
-        let p = History.parent_tx h a and p' = History.parent_tx h b in
-        if
-          p <> p'
-          && (variant <> Eager_forgetting || History.common_op_schedule h p p' = None)
-        then Rel.add p p' acc
-        else acc
-      end
-      else acc)
-    r r
-
+(* The fixpoint runs entirely in the dense representation: the universe is
+   the full node array of the history (identifiers are dense by
+   construction), propagation adds parent pairs in place into a copy, and
+   each round's transitive closure is the word-parallel kernel.  The
+   persistent [Rel.t] is produced once, at the boundary. *)
 let fixpoint variant h base =
-  let rounds = ref 0 in
-  let rec go r =
-    incr rounds;
-    let r' = Rel.transitive_closure (propagate variant h r) in
-    if Rel.cardinal r' = Rel.cardinal r then r' else go r'
+  (* Propagation only ever adds pairs between ancestors of already-related
+     nodes, so the dense universe is the base's nodes closed under
+     [parent_tx] — on sparsely conflicting histories this is a small
+     fraction of the forest and the closure rounds stay cheap. *)
+  let b0 =
+    let n = History.n_nodes h in
+    let mark = Bytes.make n '\000' in
+    let count = ref 0 in
+    let rec climb v =
+      if Bytes.unsafe_get mark v = '\000' then begin
+        Bytes.unsafe_set mark v '\001';
+        incr count;
+        let p = History.parent_tx h v in
+        if p <> v then climb p
+      end
+    in
+    Rel.iter
+      (fun a b ->
+        climb a;
+        climb b)
+      base;
+    let ids = Array.make (max 1 !count) 0 in
+    let j = ref 0 in
+    for v = 0 to n - 1 do
+      if Bytes.unsafe_get mark v = '\001' then begin
+        ids.(!j) <- v;
+        incr j
+      end
+    done;
+    let b = Bitrel.of_ids (if !count = 0 then [||] else ids) in
+    Rel.iter (fun a b' -> Bitrel.add b a b') base;
+    b
   in
-  let r = go (Rel.transitive_closure base) in
-  (r, !rounds)
+  let rounds = ref 0 in
+  (* One in-place pass; [false] means nothing new was added: [cur] is still
+     transitively closed, so the fixpoint is reached and the confirming
+     closure round is skipped.  Pairs added mid-pass are processed either
+     this pass or (since the pass reports a change) the next one. *)
+  let propagate_dense cur =
+    let changed = ref false in
+    Bitrel.iter
+      (fun a b ->
+        let climbs =
+          match variant with
+          | No_forgetting -> true
+          | Final | Eager_forgetting -> (
+            match History.common_op_schedule_id h a b with
+            | -1 -> true
+            | s -> History.conflicts h s a b)
+        in
+        if climbs then begin
+          let p = History.parent_tx h a and p' = History.parent_tx h b in
+          if
+            p <> p'
+            && (variant <> Eager_forgetting
+               || History.common_op_schedule_id h p p' = -1)
+            && not (Bitrel.mem cur p p')
+          then begin
+            Bitrel.add cur p p';
+            changed := true
+          end
+        end)
+      cur;
+    !changed
+  in
+  let rec go cur =
+    incr rounds;
+    if propagate_dense cur then go (Bitrel.transitive_closure cur) else cur
+  in
+  let r = go (Bitrel.transitive_closure b0) in
+  (Rel.of_bitrel r, !rounds)
 
 let compute_with ?(metrics = Repro_obs.Metrics.null) variant h =
   let base_obs = base_rules h in
@@ -113,9 +159,9 @@ let compute ?metrics h = compute_with ?metrics Final h
 let conflict h rel a b =
   a <> b
   &&
-  match History.common_op_schedule h a b with
-  | Some s -> History.conflicts h s a b
-  | None -> Rel.mem a b rel.obs || Rel.mem b a rel.obs
+  match History.common_op_schedule_id h a b with
+  | -1 -> Rel.mem a b rel.obs || Rel.mem b a rel.obs
+  | s -> History.conflicts h s a b
 
 let conflict_pairs h rel members =
   let elts = Int_set.elements members in

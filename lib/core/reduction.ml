@@ -54,32 +54,84 @@ let reduce_step h rel lvl (prev : Front.t) =
     level_txs;
   let cls n = match Hashtbl.find_opt cluster n with Some t -> t | None -> n in
   let constraints = Front.layout_constraints h rel prev in
+  (* The constraints restricted to one transaction's operations, probed by
+     successor set rather than by scanning the whole relation: the front's
+     constraint graph is dense (up to |members|² pairs) while a transaction
+     has only a handful of operations, so a per-transaction [Rel.restrict]
+     would make this step quadratic in the front size. *)
+  let local_constraints ops =
+    Int_set.fold
+      (fun a acc ->
+        Int_set.fold
+          (fun b acc -> Rel.add a b acc)
+          (Int_set.inter (Rel.succs constraints a) ops)
+          acc)
+      ops Rel.empty
+  in
   (* Intra-cluster feasibility (Def. 14): within one transaction, the
      observed/input orders joined with the transaction's weak
-     intra-transaction order must be acyclic. *)
+     intra-transaction order must be acyclic.  The per-transaction graphs
+     are node-disjoint, so their union is block-diagonal and one dense
+     cycle search decides every transaction at once; a cycle cannot leave
+     its block, so its nodes name the culprit transaction. *)
   let intra_failure =
-    List.find_map
+    let n = History.n_nodes h in
+    let mark = Bytes.make n '\000' in
+    let count = ref 0 in
+    List.iter
       (fun t ->
-        let ops = Int_set.of_list (History.children h t) in
-        let local =
-          Rel.union
-            (Rel.restrict ~keep:(fun n -> Int_set.mem n ops) constraints)
-            (History.node h t).History.intra_weak
-        in
-        match Rel.find_cycle local with
-        | Some cycle -> Some (Intra_contradiction { level = lvl; tx = t; cycle })
-        | None -> None)
-      level_txs
+        List.iter
+          (fun c ->
+            if Bytes.get mark c = '\000' then begin
+              Bytes.set mark c '\001';
+              incr count
+            end)
+          (History.children h t))
+      level_txs;
+    let ids = Array.make (max 1 !count) 0 in
+    let j = ref 0 in
+    for v = 0 to n - 1 do
+      if Bytes.get mark v = '\001' then begin
+        ids.(!j) <- v;
+        incr j
+      end
+    done;
+    let b = Bitrel.of_ids (if !count = 0 then [||] else ids) in
+    Rel.iter
+      (fun x y ->
+        match (Hashtbl.find_opt cluster x, Hashtbl.find_opt cluster y) with
+        | Some t1, Some t2 when t1 = t2 -> Bitrel.add b x y
+        | _ -> ())
+      constraints;
+    List.iter
+      (fun t -> Rel.iter (fun x y -> Bitrel.add b x y) (History.node h t).History.intra_weak)
+      level_txs;
+    match Bitrel.find_cycle b with
+    | Some cycle ->
+      Some
+        (Intra_contradiction
+           { level = lvl; tx = History.parent_tx h (List.hd cycle); cycle })
+    | None -> None
   in
   match intra_failure with
   | Some f -> Error f
   | None -> (
-    let quotient = Rel.quotient cls constraints in
-    let cluster_universe = Int_set.of_list (List.map cls (Int_set.elements prev.Front.members)) in
-    match Rel.topo_sort ~nodes:cluster_universe quotient with
+    (* Contract the constraint graph by the cluster map and sort it, both in
+       the dense representation: cluster identifiers form the universe, so
+       isolated clusters still appear in the calculation order. *)
+    let cluster_universe =
+      Int_set.of_list (List.map cls (Int_set.elements prev.Front.members))
+    in
+    let quotient = Bitrel.create cluster_universe in
+    Rel.iter
+      (fun a b ->
+        let ca = cls a and cb = cls b in
+        if ca <> cb then Bitrel.add quotient ca cb)
+      constraints;
+    match Bitrel.topo_sort quotient with
     | None ->
       let cycle =
-        match Rel.find_cycle quotient with Some c -> c | None -> assert false
+        match Bitrel.find_cycle quotient with Some c -> c | None -> assert false
       in
       Error (No_calculation { level = lvl; cluster_cycle = cycle })
     | Some cluster_order ->
@@ -93,9 +145,7 @@ let reduce_step h rel lvl (prev : Front.t) =
             if Int_set.mem c tx_set then begin
               let ops = Int_set.of_list (History.children h c) in
               let local =
-                Rel.union
-                  (Rel.restrict ~keep:(fun n -> Int_set.mem n ops) constraints)
-                  (History.node h c).History.intra_weak
+                Rel.union (local_constraints ops) (History.node h c).History.intra_weak
               in
               (* Acyclic: the intra-cluster check above succeeded. *)
               Option.get (Rel.topo_sort ~nodes:ops local)

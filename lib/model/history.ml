@@ -25,11 +25,30 @@ type schedule = {
   log : id list;
 }
 
+(* Per-history memoization of the conflict predicate (see [conflicts]):
+   operations get a dense index within their schedule, and each schedule
+   lazily fills a symmetric triangular bitmatrix of [Conflict.eval]
+   results — one "known" bit and one "value" bit per unordered pair.  The
+   observed-order fixpoint probes the same pairs over and over (every
+   propagation round re-examines every observed pair), so the label
+   interpretation must run at most once per pair.
+
+   The cache is created on first use and is invisible in the interface;
+   histories remain semantically immutable.  It is not domain-safe: the
+   batch drivers give each domain its own history values. *)
+type ccache = {
+  op_index : int array; (* node id -> index among its schedule's ops; -1 *)
+  op_sched : int array; (* node id -> schedule it is an operation of; -1 *)
+  op_count : int array; (* per schedule: number of operations *)
+  tables : (Bytes.t * Bytes.t) option array; (* per schedule: known, value *)
+}
+
 type t = {
   nodes : node array;
   scheds : schedule array;
   levels : int array; (* per schedule, Def. 9 *)
   ig : Rel.t; (* invocation graph over schedule ids *)
+  mutable ccache : ccache option;
 }
 
 let node h i = h.nodes.(i)
@@ -72,10 +91,39 @@ let sched_of_tx h i = h.nodes.(i).sched
 let sched_of_op h i =
   match h.nodes.(i).parent with None -> None | Some p -> h.nodes.(p).sched
 
+let cache h =
+  match h.ccache with
+  | Some c -> c
+  | None ->
+    let n = Array.length h.nodes and ns = Array.length h.scheds in
+    let op_index = Array.make n (-1) in
+    let op_sched = Array.make n (-1) in
+    let op_count = Array.make ns 0 in
+    Array.iter
+      (fun (s : schedule) ->
+        let i = ref 0 in
+        Int_set.iter
+          (fun t ->
+            List.iter
+              (fun c ->
+                op_index.(c) <- !i;
+                op_sched.(c) <- s.sid;
+                incr i)
+              h.nodes.(t).children)
+          s.transactions;
+        op_count.(s.sid) <- !i)
+      h.scheds;
+    let c = { op_index; op_sched; op_count; tables = Array.make ns None } in
+    h.ccache <- Some c;
+    c
+
+let common_op_schedule_id h a b =
+  let c = cache h in
+  let sa = c.op_sched.(a) in
+  if sa >= 0 && sa = c.op_sched.(b) then sa else -1
+
 let common_op_schedule h a b =
-  match (sched_of_op h a, sched_of_op h b) with
-  | Some sa, Some sb when sa = sb -> Some sa
-  | _ -> None
+  match common_op_schedule_id h a b with -1 -> None | s -> Some s
 
 let ops_of_schedule h s =
   Int_set.fold
@@ -83,9 +131,46 @@ let ops_of_schedule h s =
     h.scheds.(s).transactions []
   |> List.rev
 
-let conflicts h s a b =
+let conflicts_uncached h s a b =
   if parent h a = parent h b then false
   else Conflict.eval h.scheds.(s).conflict ~get_label:(label h) a b
+
+let conflicts h s a b =
+  if parent h a = parent h b then false
+  else begin
+    let c = cache h in
+    if c.op_sched.(a) <> s || c.op_sched.(b) <> s then
+      (* Not a pair of [s]'s operations: evaluate directly (callers that
+         respect the Def. 10/11 side conditions never take this path). *)
+      Conflict.eval h.scheds.(s).conflict ~get_label:(label h) a b
+    else begin
+      let known, value =
+        match c.tables.(s) with
+        | Some kv -> kv
+        | None ->
+          let m = c.op_count.(s) in
+          let bytes = max 1 (((m * (m - 1) / 2) + 7) / 8) in
+          let kv = (Bytes.make bytes '\000', Bytes.make bytes '\000') in
+          c.tables.(s) <- Some kv;
+          kv
+      in
+      let ia = c.op_index.(a) and ib = c.op_index.(b) in
+      let lo = min ia ib and hi = max ia ib in
+      let bit = (hi * (hi - 1) / 2) + lo in
+      let byte = bit lsr 3 and mask = 1 lsl (bit land 7) in
+      if Char.code (Bytes.unsafe_get known byte) land mask <> 0 then
+        Char.code (Bytes.unsafe_get value byte) land mask <> 0
+      else begin
+        let v = Conflict.eval h.scheds.(s).conflict ~get_label:(label h) a b in
+        Bytes.unsafe_set known byte
+          (Char.unsafe_chr (Char.code (Bytes.unsafe_get known byte) lor mask));
+        if v then
+          Bytes.unsafe_set value byte
+            (Char.unsafe_chr (Char.code (Bytes.unsafe_get value byte) lor mask));
+        v
+      end
+    end
+  end
 
 let descendants h i =
   let rec go acc = function
@@ -494,5 +579,5 @@ module Builder = struct
             log = s.blog;
           })
     in
-    { nodes; scheds; levels; ig }
+    { nodes; scheds; levels; ig; ccache = None }
 end

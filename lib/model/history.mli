@@ -93,6 +93,10 @@ val common_op_schedule : t -> id -> id -> sched_id option
     Defs. 10–11: observed order stops propagating, and conflicts are decided
     locally, at a common schedule. *)
 
+val common_op_schedule_id : t -> id -> id -> sched_id
+(** Allocation-free variant of {!common_op_schedule} for hot paths: the
+    common schedule, or [-1] when there is none. *)
+
 val ops_of_schedule : t -> sched_id -> id list
 (** All operations of a schedule (children of its transactions). *)
 
@@ -100,7 +104,18 @@ val conflicts : t -> sched_id -> id -> id -> bool
 (** [conflicts h s a b]: does schedule [s]'s own conflict predicate [CON_S]
     relate operations [a] and [b]?  Only meaningful when both are operations
     of [s] and belong to different transactions; returns [false] for
-    operations of the same transaction. *)
+    operations of the same transaction.
+
+    Results are memoized per history in a lazily filled symmetric bitmatrix
+    (one bit pair per unordered operation pair of [s]), so repeated probes —
+    the observed-order fixpoint revisits every pair each round — interpret
+    the labels at most once.  The cache is invisible semantically but makes
+    histories unsafe to probe from several domains at once; batch checkers
+    must give each domain its own history. *)
+
+val conflicts_uncached : t -> sched_id -> id -> id -> bool
+(** The direct, non-memoizing evaluation path.  Slow; exists as the
+    reference implementation for equivalence tests. *)
 
 val descendants : t -> id -> Int_set.t
 (** Proper descendants ([Act] of Def. 4.6, transitively). *)

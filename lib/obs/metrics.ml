@@ -93,6 +93,31 @@ let observe t ?(buckets = default_buckets) name v =
     if v > h.h_max then h.h_max <- v
   end
 
+(* Fold the contents of [src] into [into]: counters add, gauges overwrite,
+   histograms with identical bounds add bucket-wise.  Used to combine the
+   per-worker registries of a parallel run back into the caller's
+   registry. *)
+let merge ~into src =
+  if into.on then begin
+    Hashtbl.iter (fun k r -> incr into ~by:!r k) src.counters;
+    Hashtbl.iter (fun k r -> set into k !r) src.gauges;
+    Hashtbl.iter
+      (fun k h ->
+        match Hashtbl.find_opt into.histograms k with
+        | None ->
+          Hashtbl.replace into.histograms k
+            { h with bounds = Array.copy h.bounds; counts = Array.copy h.counts }
+        | Some dst ->
+          if dst.bounds <> h.bounds then
+            invalid_arg ("Metrics.merge: incompatible buckets for " ^ k);
+          Array.iteri (fun i c -> dst.counts.(i) <- dst.counts.(i) + c) h.counts;
+          dst.h_count <- dst.h_count + h.h_count;
+          dst.h_sum <- dst.h_sum +. h.h_sum;
+          if h.h_min < dst.h_min then dst.h_min <- h.h_min;
+          if h.h_max > dst.h_max then dst.h_max <- h.h_max)
+      src.histograms
+  end
+
 let counter_value t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 

@@ -47,6 +47,14 @@ val observe : t -> ?buckets:float array -> string -> float -> unit
 
 val default_buckets : float array
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src]'s contents into [into]: counters add,
+    gauges overwrite (last writer wins), histograms add bucket-wise.
+    Raises [Invalid_argument] if both registries hold a histogram of the
+    same name with different bucket bounds.  No-op when [into] is
+    disabled.  This is how per-worker registries of a parallel run are
+    combined back into the caller's registry. *)
+
 (** {1 Reading} *)
 
 val counter_value : t -> string -> int

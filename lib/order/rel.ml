@@ -68,6 +68,23 @@ let preds r b =
     (fun a s acc -> if Int_set.mem b s then Int_set.add a acc else acc)
     r Int_set.empty
 
+let inverse r =
+  (* One pass over the pairs: the predecessors of every node at once.
+     [succs (inverse r) b] is [preds r b], so a caller that probes
+     predecessors of more than one node should invert once instead of
+     paying the O(size) scan of [preds] per probe. *)
+  Int_map.fold
+    (fun a s acc ->
+      Int_set.fold
+        (fun b acc ->
+          Int_map.update b
+            (function
+              | Some pre -> Some (Int_set.add a pre)
+              | None -> Some (Int_set.singleton a))
+            acc)
+        s acc)
+    r Int_map.empty
+
 let filter f r =
   Int_map.filter_map
     (fun a s ->
@@ -99,96 +116,41 @@ let reachable r start =
   let init = succs r start in
   go init (Int_set.elements init)
 
-(* Tarjan's strongly-connected-components algorithm, iterative to survive
-   long chains.  Returns components in reverse topological order of the
-   condensation (a component is emitted after all components it reaches). *)
-let sccs r =
-  let index = Hashtbl.create 64 in
-  let lowlink = Hashtbl.create 64 in
-  let on_stack = Hashtbl.create 64 in
-  let stack = ref [] in
-  let counter = ref 0 in
-  let components = ref [] in
-  let rec strongconnect v =
-    Hashtbl.replace index v !counter;
-    Hashtbl.replace lowlink v !counter;
-    incr counter;
-    stack := v :: !stack;
-    Hashtbl.replace on_stack v true;
-    Int_set.iter
-      (fun w ->
-        if not (Hashtbl.mem index w) then begin
-          strongconnect w;
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
-        end
-        else if Hashtbl.find_opt on_stack w = Some true then
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
-      (succs r v);
-    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
-      let rec pop acc =
-        match !stack with
-        | [] -> acc
-        | w :: rest ->
-          stack := rest;
-          Hashtbl.replace on_stack w false;
-          if w = v then w :: acc else pop (w :: acc)
-      in
-      components := pop [] :: !components
-    end
+(* --- dense-representation boundary ---------------------------------- *)
+
+let to_bitrel ?(universe = Int_set.empty) r =
+  let b = Bitrel.create (Int_set.union universe (nodes r)) in
+  iter (fun x y -> Bitrel.add b x y) r;
+  b
+
+let of_bitrel b =
+  (* [Bitrel.iter] visits pairs in ascending lexicographic order, so the
+     successor set of each node arrives as one sorted run. *)
+  let m = ref Int_map.empty in
+  let cur_a = ref min_int and cur = ref [] in
+  let flush () =
+    match !cur with
+    | [] -> ()
+    | l -> m := Int_map.add !cur_a (Int_set.of_list (List.rev l)) !m
   in
-  Int_set.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) (nodes r);
-  !components
-(* Note: [!components] lists components such that earlier components cannot
-   reach later ones (Tarjan emits sinks first; we cons, so sources first). *)
+  Bitrel.iter
+    (fun a b' ->
+      if a <> !cur_a then begin
+        flush ();
+        cur_a := a;
+        cur := []
+      end;
+      cur := b' :: !cur)
+    b;
+  flush ();
+  !m
 
 let transitive_closure r =
-  (* Closure via condensation: within an SCC every ordered pair of distinct
-     nodes is related (and self-pairs if the SCC has a cycle); across SCCs we
-     merge successor reach-sets in reverse topological order. *)
-  let comps = sccs r in
-  (* Process in reverse topological order: sinks first. *)
-  let comps_rev = List.rev comps in
-  let comp_of = Hashtbl.create 64 in
-  List.iteri (fun i c -> List.iter (fun v -> Hashtbl.replace comp_of v i) c) comps_rev;
-  let n = List.length comps_rev in
-  let comp_arr = Array.make n [] in
-  List.iteri (fun i c -> comp_arr.(i) <- c) comps_rev;
-  (* reach.(i): set of nodes reachable from component i (including the
-     component's own nodes when it is cyclic). *)
-  let reach = Array.make n Int_set.empty in
-  for i = 0 to n - 1 do
-    let members = comp_arr.(i) in
-    let member_set = Int_set.of_list members in
-    let cyclic =
-      match members with
-      | [ v ] -> Int_set.mem v (succs r v)
-      | _ -> true
-    in
-    let out =
-      List.fold_left
-        (fun acc v ->
-          Int_set.fold
-            (fun w acc ->
-              let j = Hashtbl.find comp_of w in
-              if j = i then acc
-              else Int_set.union acc (Int_set.union (Int_set.of_list comp_arr.(j)) reach.(j)))
-            (succs r v) acc)
-        Int_set.empty members
-    in
-    reach.(i) <- (if cyclic then Int_set.union member_set out else out)
-  done;
-  let result = ref empty in
-  for i = 0 to n - 1 do
-    List.iter
-      (fun v ->
-        if not (Int_set.is_empty reach.(i)) then
-          result :=
-            Int_map.add v (Int_set.union (succs !result v) reach.(i)) !result)
-      comp_arr.(i)
-  done;
-  !result
+  (* The closure itself runs in the dense kernel (SCC condensation +
+     word-parallel row-OR, see {!Bitrel.transitive_closure}); only the
+     conversion at the boundary touches the persistent representation. *)
+  if Int_map.is_empty r then r
+  else of_bitrel (Bitrel.transitive_closure (to_bitrel r))
 
 let is_transitive r =
   try

@@ -52,7 +52,12 @@ val succs : t -> id -> Int_set.t
 (** Direct successors of a node (empty if unknown). *)
 
 val preds : t -> id -> Int_set.t
-(** Direct predecessors of a node.  O(size of relation). *)
+(** Direct predecessors of a node.  O(size of relation); callers probing
+    more than one node should use {!inverse} once instead. *)
+
+val inverse : t -> t
+(** The converse relation, computed in one pass: [mem b a (inverse r)] iff
+    [mem a b r], and [succs (inverse r) b] is [preds r b]. *)
 
 val fold : (id -> id -> 'a -> 'a) -> t -> 'a -> 'a
 
@@ -76,8 +81,18 @@ val reachable : t -> id -> Int_set.t
 (** Nodes reachable from a node by a non-empty path. *)
 
 val transitive_closure : t -> t
-(** Smallest transitive relation containing the argument.  Near-linear in the
-    size of the output (SCC condensation + reverse-topological merge). *)
+(** Smallest transitive relation containing the argument.  Runs in the dense
+    kernel ({!Bitrel.transitive_closure}: SCC condensation, then word-parallel
+    row-OR merges in reverse topological order) and converts back at the
+    boundary. *)
+
+val to_bitrel : ?universe:Int_set.t -> t -> Bitrel.t
+(** Dense snapshot over [universe ∪ nodes r].  Mutations of the result do not
+    affect the source. *)
+
+val of_bitrel : Bitrel.t -> t
+(** Persistent copy of a dense relation; universe nodes without pairs vanish
+    (a {!t} only knows nodes appearing in some pair). *)
 
 val is_transitive : t -> bool
 

@@ -1,0 +1,73 @@
+module Metrics = Repro_obs.Metrics
+
+let default_jobs () =
+  match Sys.getenv_opt "REPRO_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> n
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Each slot is written by exactly one worker (the one that claimed the
+   index) and read only after every domain has been joined, so the plain
+   array is race-free; [next] is the only contended word. *)
+let run_pool jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let slots = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (slots.(i) <-
+           (match f i arr.(i) with
+           | r -> Some (Ok r)
+           | exception e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Some (Error (e, bt))));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let domains =
+    List.init (max 0 (min (jobs - 1) (n - 1))) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join domains;
+  Array.to_list
+    (Array.map
+       (function
+         | Some (Ok r) -> r
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+       slots)
+
+let parmap ?jobs f items =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  match items with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+    if jobs <= 1 then List.map f items
+    else run_pool jobs (fun _ x -> f x) items
+
+let parmap_with ?jobs ~metrics f items =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if not (Metrics.enabled metrics) then
+    parmap ~jobs (fun x -> f ~metrics:Metrics.null x) items
+  else begin
+    let n = List.length items in
+    let regs = Array.init n (fun _ -> Metrics.create ()) in
+    let results =
+      match items with
+      | [] -> []
+      | [ x ] -> [ f ~metrics:regs.(0) x ]
+      | _ ->
+        if jobs <= 1 then List.mapi (fun i x -> f ~metrics:regs.(i) x) items
+        else run_pool jobs (fun i x -> f ~metrics:regs.(i) x) items
+    in
+    Array.iter (fun r -> Metrics.merge ~into:metrics r) regs;
+    results
+  end

@@ -1,0 +1,46 @@
+(** A small fork-join Domain pool for embarrassingly parallel batches.
+
+    The checker's batch workloads — one verdict per history file, one
+    agreement probe per generated history — are independent items of
+    uneven cost, so the pool is a plain work queue: items are claimed
+    one at a time with an atomic counter, each worker loops until the
+    queue is dry, and results land in a preallocated slot per item.
+    Result order is therefore always the input order, whatever the
+    claiming interleaving was, and a run with [jobs = n] computes
+    exactly what a sequential run computes.
+
+    Domains are spawned per call and joined before returning; the pool
+    keeps no global state.  The calling domain works too, so [jobs = n]
+    means [n] busy domains, not [n + 1], and [jobs <= 1] runs the plain
+    sequential loop with no domain machinery at all.
+
+    The items must not share mutable state — in particular each domain
+    needs its own {!Repro_model.History.t}, whose lazily filled conflict
+    cache is not domain-safe.  Telemetry obeys the same rule:
+    {!parmap_with} gives every item a private metrics registry and the
+    caller merges them in item order, keeping parallel runs
+    byte-identical to sequential ones. *)
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is omitted: [REPRO_JOBS] from the
+    environment if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val parmap : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parmap ~jobs f items] is [List.map f items], computed by [jobs]
+    domains claiming items off a shared queue.  Results are in input
+    order.  If any [f item] raises, the first raising item's exception
+    (in input order) is re-raised after all workers have joined. *)
+
+val parmap_with :
+  ?jobs:int ->
+  metrics:Repro_obs.Metrics.t ->
+  (metrics:Repro_obs.Metrics.t -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** Like {!parmap}, but [f] receives a metrics registry private to its
+    item; after the join they are merged into [metrics] in item order
+    (so the combined registry is deterministic and, counters and
+    histograms being commutative sums, equal to a sequential run's).
+    When [metrics] is disabled every item just gets
+    {!Repro_obs.Metrics.null}. *)

@@ -1,0 +1,298 @@
+(* Equivalence tests for the dense performance kernel: Bitrel against the
+   persistent Rel oracles, the memoized conflict cache against the direct
+   evaluation path, the domain pool against List.map, and metrics merging. *)
+open Repro_order
+open Repro_model
+open Ids
+module Pool = Repro_par.Pool
+module Metrics = Repro_obs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random relations over universes up to 150 nodes — several bit words per
+   row — with self-loops and cycles allowed, biased towards both sparse and
+   dense pair counts.  The empty relation appears naturally. *)
+let gen_rel =
+  let open QCheck.Gen in
+  int_range 1 150 >>= fun n ->
+  int_range 0 (3 * n) >>= fun pairs ->
+  list_size (return pairs) (map2 (fun a b -> (a, b)) (int_bound (n - 1)) (int_bound (n - 1)))
+  >|= Rel.of_list
+
+let arb_rel = QCheck.make ~print:(Fmt.str "%a" Rel.pp) gen_rel
+
+let bitrel_of r =
+  let b = Bitrel.create (Rel.nodes r) in
+  Rel.iter (fun a b' -> Bitrel.add b a b') r;
+  b
+
+let pairs_of_rel r = List.rev (Rel.fold (fun a b acc -> (a, b) :: acc) r [])
+
+(* ------------------------------------------------------------------ *)
+(* Bitrel = Rel properties                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"bitrel: to_list round-trips Rel" ~count:500 arb_rel
+    (fun r ->
+      let b = bitrel_of r in
+      Bitrel.to_list b = pairs_of_rel r
+      && Bitrel.cardinal b = Rel.cardinal r
+      && Rel.equal (Rel.of_bitrel b) r)
+
+let prop_mem =
+  QCheck.Test.make ~name:"bitrel: mem agrees with Rel.mem" ~count:500 arb_rel
+    (fun r ->
+      let b = bitrel_of r in
+      Rel.fold (fun a b' ok -> ok && Bitrel.mem b a b') r true
+      && (not (Bitrel.mem b 9999 0))
+      && Bitrel.mem b (-1) (-1) = false)
+
+let prop_closure_reachability =
+  QCheck.Test.make ~name:"bitrel: closure = reachability" ~count:500 arb_rel
+    (fun r ->
+      let c = Bitrel.transitive_closure (bitrel_of r) in
+      let succs_of a =
+        let acc = ref Int_set.empty in
+        Bitrel.iter (fun x y -> if x = a then acc := Int_set.add y !acc) c;
+        !acc
+      in
+      Int_set.for_all
+        (fun a -> Int_set.equal (succs_of a) (Rel.reachable r a))
+        (Rel.nodes r))
+
+let prop_cycle_agreement =
+  QCheck.Test.make ~name:"bitrel: find_cycle agrees and is real" ~count:500
+    arb_rel (fun r ->
+      let b = bitrel_of r in
+      match Bitrel.find_cycle b with
+      | None -> Rel.find_cycle r = None
+      | Some [] -> false
+      | Some (first :: _ as cycle) ->
+        Rel.find_cycle r <> None
+        &&
+        let rec edges = function
+          | [] -> true
+          | [ last ] -> Rel.mem last first r
+          | a :: (b' :: _ as rest) -> Rel.mem a b' r && edges rest
+        in
+        edges cycle)
+
+let prop_topo_exact =
+  QCheck.Test.make ~name:"bitrel: topo_sort = Rel.topo_sort" ~count:500 arb_rel
+    (fun r ->
+      Bitrel.topo_sort (bitrel_of r) = Rel.topo_sort ~nodes:(Rel.nodes r) r)
+
+let prop_restrict =
+  QCheck.Test.make ~name:"bitrel: restrict agrees" ~count:500 arb_rel (fun r ->
+      let keep n = n mod 2 = 0 in
+      Bitrel.to_list (Bitrel.restrict ~keep (bitrel_of r))
+      = pairs_of_rel (Rel.restrict ~keep r))
+
+let prop_quotient =
+  QCheck.Test.make ~name:"bitrel: quotient agrees" ~count:500 arb_rel (fun r ->
+      let cls n = n mod 7 in
+      let universe =
+        Int_set.of_list (List.map cls (Int_set.elements (Rel.nodes r)))
+      in
+      Bitrel.to_list (Bitrel.quotient ~universe cls (bitrel_of r))
+      = pairs_of_rel (Rel.quotient cls r))
+
+let prop_union_into =
+  QCheck.Test.make ~name:"bitrel: union_into agrees with Rel.union" ~count:500
+    (QCheck.pair arb_rel arb_rel) (fun (r1, r2) ->
+      (* Same universe for both sides: embed into the joint node set. *)
+      let us = Int_set.union (Rel.nodes r1) (Rel.nodes r2) in
+      let embed r =
+        let b = Bitrel.create us in
+        Rel.iter (fun a b' -> Bitrel.add b a b') r;
+        b
+      in
+      let b1 = embed r1 in
+      Bitrel.union_into ~into:b1 (embed r2);
+      Bitrel.to_list b1 = pairs_of_rel (Rel.union r1 r2))
+
+let prop_inverse =
+  QCheck.Test.make ~name:"rel: inverse flips pairs and preds" ~count:500 arb_rel
+    (fun r ->
+      let i = Rel.inverse r in
+      Rel.cardinal i = Rel.cardinal r
+      && Rel.fold (fun a b ok -> ok && Rel.mem b a i) r true
+      && Int_set.for_all
+           (fun n -> Int_set.equal (Rel.succs i n) (Rel.preds r n))
+           (Rel.nodes r))
+
+let test_of_ids () =
+  let b = Bitrel.of_ids [| 3; 7; 100 |] in
+  Bitrel.add b 3 100;
+  Alcotest.(check bool) "mem" true (Bitrel.mem b 3 100);
+  Alcotest.(check bool) "outside" false (Bitrel.mem b 4 100);
+  Alcotest.(check_raises) "unsorted" (Invalid_argument "Bitrel.of_ids: ids must be strictly increasing")
+    (fun () -> ignore (Bitrel.of_ids [| 3; 3 |]));
+  Alcotest.(check_raises) "add outside"
+    (Invalid_argument "Bitrel.add: node 4 outside the universe") (fun () ->
+      Bitrel.add b 4 7);
+  let empty = Bitrel.create Int_set.empty in
+  Alcotest.(check bool) "empty topo" true (Bitrel.topo_sort empty = Some []);
+  Alcotest.(check bool) "empty closure" true
+    (Bitrel.is_empty (Bitrel.transitive_closure empty))
+
+let test_sparse_universe () =
+  (* Ids far apart fall back to the hashtable index; semantics unchanged. *)
+  let b = Bitrel.of_ids [| 0; 5_000_000 |] in
+  Bitrel.add b 0 5_000_000;
+  Alcotest.(check bool) "mem far" true (Bitrel.mem b 0 5_000_000);
+  Alcotest.(check int) "cardinal" 1 (Bitrel.cardinal b);
+  Alcotest.(check bool) "topo" true
+    (Bitrel.topo_sort b = Some [ 0; 5_000_000 ])
+
+(* ------------------------------------------------------------------ *)
+(* Memoized conflicts = uncached conflicts                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_conflict_cache =
+  QCheck.Test.make ~name:"history: memoized conflicts = uncached" ~count:500
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let open Repro_workload in
+      let rng = Prng.create ~seed in
+      let h =
+        match seed mod 3 with
+        | 0 -> Gen.stack rng ~levels:2 ~roots:2
+        | 1 -> Gen.general rng ~schedules:3 ~roots:2
+        | _ -> Gen.flat rng ~roots:4
+      in
+      List.for_all
+        (fun (s : History.schedule) ->
+          let ops = History.ops_of_schedule h s.History.sid in
+          List.for_all
+            (fun a ->
+              List.for_all
+                (fun b ->
+                  History.conflicts h s.History.sid a b
+                  = History.conflicts_uncached h s.History.sid a b
+                  && History.conflicts h s.History.sid b a
+                     = History.conflicts_uncached h s.History.sid b a)
+                ops)
+            ops)
+        (History.schedules h))
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let items = List.init 100 Fun.id
+
+let test_parmap_order () =
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Fmt.str "jobs=%d" jobs)
+        (List.map f items)
+        (Pool.parmap ~jobs f items))
+    [ 1; 2; 4; 8 ];
+  Alcotest.(check (list int)) "empty" [] (Pool.parmap ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Pool.parmap ~jobs:4 (fun x -> x) [ 7 ])
+
+let test_parmap_exception () =
+  Alcotest.check_raises "first failure re-raised" (Failure "item 3") (fun () ->
+      ignore
+        (Pool.parmap ~jobs:4
+           (fun x -> if x >= 3 then failwith (Fmt.str "item %d" x) else x)
+           items))
+
+let test_parmap_with_metrics () =
+  let run jobs =
+    let metrics = Metrics.create () in
+    let r =
+      Pool.parmap_with ~jobs ~metrics
+        (fun ~metrics x ->
+          Metrics.incr metrics "pool.items";
+          Metrics.observe metrics "pool.value" (float_of_int x);
+          x)
+        items
+    in
+    Alcotest.(check (list int)) (Fmt.str "results jobs=%d" jobs) items r;
+    Repro_obs.Json.to_string (Metrics.to_json metrics)
+  in
+  let sequential = run 1 in
+  Alcotest.(check string) "metrics identical at jobs=4" sequential (run 4);
+  (* Disabled registry: workers get the null registry, nothing recorded. *)
+  let r =
+    Pool.parmap_with ~jobs:2 ~metrics:Metrics.null
+      (fun ~metrics x ->
+        Alcotest.(check bool) "null passed" false (Metrics.enabled metrics);
+        x)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "null results" [ 1; 2; 3 ] r
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.merge                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a "c" ~by:2;
+  Metrics.incr b "c" ~by:3;
+  Metrics.incr b "only_b";
+  Metrics.set a "g" 1.0;
+  Metrics.set b "g" 2.0;
+  Metrics.observe a "h" 0.5;
+  Metrics.observe b "h" 2.5;
+  Metrics.observe b "h" 0.25;
+  Metrics.merge ~into:a b;
+  Alcotest.(check int) "counter adds" 5 (Metrics.counter_value a "c");
+  Alcotest.(check int) "new counter copied" 1 (Metrics.counter_value a "only_b");
+  Alcotest.(check (option (float 1e-9))) "gauge overwritten" (Some 2.0)
+    (Metrics.gauge_value a "g");
+  (match Metrics.summary a "h" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some s ->
+    Alcotest.(check int) "histogram count" 3 s.Metrics.count;
+    Alcotest.(check (float 1e-9)) "histogram sum" 3.25 s.Metrics.sum;
+    Alcotest.(check (float 1e-9)) "histogram min" 0.25 s.Metrics.min;
+    Alcotest.(check (float 1e-9)) "histogram max" 2.5 s.Metrics.max);
+  (* Incompatible bucket bounds are refused. *)
+  let x = Metrics.create () and y = Metrics.create () in
+  Metrics.observe x ~buckets:[| 1.0; 2.0 |] "h" 0.5;
+  Metrics.observe y ~buckets:[| 1.0; 3.0 |] "h" 0.5;
+  Alcotest.check_raises "incompatible buckets"
+    (Invalid_argument "Metrics.merge: incompatible buckets for h") (fun () ->
+      Metrics.merge ~into:x y);
+  (* Merging into the disabled registry is a no-op. *)
+  Metrics.merge ~into:Metrics.null a;
+  Alcotest.(check int) "null untouched" 0 (Metrics.counter_value Metrics.null "c")
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+
+let suite =
+  [
+    ( "kernel",
+      [
+        Alcotest.test_case "bitrel of_ids and bounds" `Quick test_of_ids;
+        Alcotest.test_case "bitrel sparse universe" `Quick test_sparse_universe;
+        Alcotest.test_case "pool parmap order" `Quick test_parmap_order;
+        Alcotest.test_case "pool exception" `Quick test_parmap_exception;
+        Alcotest.test_case "pool metrics merge determinism" `Quick
+          test_parmap_with_metrics;
+        Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+      ] );
+    qsuite "kernel:props"
+      [
+        prop_roundtrip;
+        prop_mem;
+        prop_closure_reachability;
+        prop_cycle_agreement;
+        prop_topo_exact;
+        prop_restrict;
+        prop_quotient;
+        prop_union_into;
+        prop_inverse;
+        prop_conflict_cache;
+      ];
+  ]
