@@ -1,14 +1,21 @@
 #!/usr/bin/env python3
-"""Fail when an E9 checker row regresses against the committed CI baseline.
+"""Fail when a benchmark row regresses against a committed CI baseline.
 
-Usage: check_e9_regression.py BASELINE.json BENCH_core.json
+Usage: check_e9_regression.py BASELINE.json BENCH_core.json [SECTION [METRIC]]
 
-The baseline (bench/baselines/e9_ci.json) stores wall-clock seconds per E9
-row measured right after the dense-kernel change.  A row fails when its new
-wall time exceeds RATIO x the baseline AND the absolute growth exceeds
-FLOOR seconds — the floor keeps sub-hundredth-second rows, which sit at the
-single-shot measurement noise level, from flapping the build.  Rows present
-on only one side (e.g. a reduced REPRO_E9_ROOTS_MAX run) are skipped.
+The baseline (e.g. bench/baselines/e9_ci.json) stores wall-clock seconds
+per row.  SECTION is a dotted path into BENCH_core.json naming the object
+that holds the current rows (default "checker", the E9 section; E12 uses
+"e12.rows").  METRIC is the per-row field to compare (default "wall_s";
+E12 uses "monitor_wall_s").  Both can also be embedded in the baseline
+file as top-level "section" / "metric" keys, so CI invocations stay
+one-liners per experiment.
+
+A row fails when its new wall time exceeds RATIO x the baseline AND the
+absolute growth exceeds FLOOR seconds — the floor keeps
+sub-hundredth-second rows, which sit at the single-shot measurement noise
+level, from flapping the build.  Rows present on only one side (e.g. a
+reduced REPRO_E9_ROOTS_MAX / REPRO_E12_ROOTS_MAX run) are skipped.
 """
 
 import json
@@ -18,14 +25,27 @@ RATIO = 2.0
 FLOOR = 0.02  # seconds of absolute growth below which noise wins
 
 
+def lookup(doc, path):
+    for key in path.split("."):
+        doc = doc[key]
+    return doc
+
+
 def main() -> int:
-    if len(sys.argv) != 3:
+    if len(sys.argv) < 3 or len(sys.argv) > 5:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     with open(sys.argv[1]) as f:
-        baseline = json.load(f)["rows"]
+        baseline_doc = json.load(f)
+    section = sys.argv[3] if len(sys.argv) > 3 else baseline_doc.get("section", "checker")
+    metric = sys.argv[4] if len(sys.argv) > 4 else baseline_doc.get("metric", "wall_s")
+    baseline = baseline_doc["rows"]
     with open(sys.argv[2]) as f:
-        current = json.load(f)["checker"]
+        try:
+            current = lookup(json.load(f), section)
+        except KeyError:
+            print(f"error: section {section!r} not in {sys.argv[2]}", file=sys.stderr)
+            return 2
 
     compared = 0
     failed = []
@@ -33,26 +53,26 @@ def main() -> int:
         row = current.get(name)
         if row is None:
             continue
-        old_s = float(base_row["wall_s"])
-        new_s = float(row["wall_s"])
+        old_s = float(base_row[metric])
+        new_s = float(row[metric])
         compared += 1
         regressed = new_s > RATIO * old_s and new_s - old_s > FLOOR
         mark = "FAIL" if regressed else "ok"
-        print(f"  {name:<34} base {old_s:9.4f}s  now {new_s:9.4f}s  {mark}")
+        print(f"  {name:<38} base {old_s:9.4f}s  now {new_s:9.4f}s  {mark}")
         if regressed:
             failed.append(name)
 
     if compared == 0:
-        print("error: no E9 rows in common with the baseline", file=sys.stderr)
+        print(f"error: no {section} rows in common with the baseline", file=sys.stderr)
         return 2
     if failed:
         print(
-            f"error: {len(failed)} E9 row(s) regressed more than "
-            f"{RATIO}x (+{FLOOR}s floor): {', '.join(failed)}",
+            f"error: {len(failed)} {section} row(s) regressed more than "
+            f"{RATIO}x (+{FLOOR}s floor) on {metric}: {', '.join(failed)}",
             file=sys.stderr,
         )
         return 1
-    print(f"ok: {compared} row(s) within {RATIO}x of baseline")
+    print(f"ok: {compared} row(s) within {RATIO}x of baseline ({section}.{metric})")
     return 0
 
 

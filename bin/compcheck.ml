@@ -180,40 +180,148 @@ let check_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
           if v then 0 else 1)
     end
 
-let run paths criterion explain stats skip_validation dot jobs =
-  match paths with
-  | [ path ] ->
-    check_one ~brief:false criterion explain stats skip_validation dot path
-  | paths ->
-    if dot <> None then begin
-      Fmt.epr "compcheck: --dot requires a single FILE@.";
-      2
-    end
+(* --monitor: streaming certification of one history's root-prefix chain.
+   The k-prefix is certified by one incremental [Monitor.append] against the
+   (k-1)-prefix's warm state, and the loop stops at the first violating
+   prefix index — the monitoring story of the checker: "which commit broke
+   the execution", not just "is the final history correct". *)
+let monitor_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief skip_validation
+    path =
+  match read_history path with
+  | Error msg ->
+    if brief then Fmt.pf ppf "%s: error: %s@." path msg
+    else Fmt.pf eppf "compcheck: %s@." msg;
+    2
+  | Ok h ->
+    let validation = Validate.check h in
+    if validation <> [] then begin
+      if brief && not skip_validation then
+        Fmt.pf ppf "%s: invalid: %d model violation%s@." path
+          (List.length validation)
+          (if List.length validation = 1 then "" else "s")
+      else begin
+        Fmt.pf eppf "%s violates the composite-system model (Defs. 3-4):@."
+          (if path = "-" then "history" else path);
+        List.iter (fun e -> Fmt.pf eppf "  %a@." (Validate.pp_error h) e) validation
+      end
+    end;
+    if validation <> [] && not skip_validation then 2
     else begin
-      (* Each worker parses its own history (so the per-history conflict
-         cache is never shared between domains) and writes into private
-         buffers; the main domain prints the blocks in argument order. *)
-      let results =
-        Repro_par.Pool.parmap ?jobs
-          (fun path ->
-            let bo = Buffer.create 256 and be = Buffer.create 64 in
-            let ppf = Fmt.with_buffer bo and eppf = Fmt.with_buffer be in
-            let code =
+      let n = List.length (History.roots h) in
+      let m = Repro_core.Monitor.create () in
+      let rec go k =
+        if k > n then begin
+          let fast = (Repro_core.Monitor.stats m).Repro_core.Monitor.fastpath_hits in
+          if brief then
+            Fmt.pf ppf "%s: monitor: accept (%d prefix%s)@." path n
+              (if n = 1 then "" else "es")
+          else
+            Fmt.pf ppf
+              "monitor: accept - all %d prefixes Comp-C (%d reductions skipped \
+               on the fast path)@."
+              n fast;
+          0
+        end
+        else begin
+          let p = History.prefix_by_roots h k in
+          match Repro_core.Monitor.append m p with
+          | Repro_core.Monitor.Accepted _ ->
+            if not brief then Fmt.pf ppf "prefix %d/%d: accept@." k n;
+            go (k + 1)
+          | Repro_core.Monitor.Rejected f ->
+            if brief then
+              Fmt.pf ppf "%s: monitor: reject at prefix %d/%d@." path k n
+            else begin
+              Fmt.pf ppf "prefix %d/%d: reject@." k n;
+              Fmt.pf ppf "first violating prefix: %d; %a@." k
+                (Repro_core.Reduction.pp_failure p) f
+            end;
+            1
+        end
+      in
+      go 1
+    end
+
+let rec take n = function
+  | x :: rest when n > 0 ->
+    let hd, tl = take (n - 1) rest in
+    (x :: hd, tl)
+  | rest -> ([], rest)
+
+let run paths criterion explain stats skip_validation dot jobs monitor fail_fast
+    =
+  let monitor_conflict =
+    monitor
+    && (explain || stats || dot <> None
+       || String.lowercase_ascii criterion <> "comp-c")
+  in
+  if monitor_conflict then begin
+    Fmt.epr
+      "compcheck: --monitor decides Comp-C prefix by prefix and cannot be \
+       combined with --explain, --stats, --dot or another --criterion@.";
+    2
+  end
+  else
+    match paths with
+    | [ path ] ->
+      if monitor then monitor_one ~brief:false skip_validation path
+      else check_one ~brief:false criterion explain stats skip_validation dot path
+    | paths ->
+      if dot <> None then begin
+        Fmt.epr "compcheck: --dot requires a single FILE@.";
+        2
+      end
+      else begin
+        (* Each worker parses its own history (so the per-history conflict
+           cache is never shared between domains) and writes into private
+           buffers; the main domain prints the blocks in argument order. *)
+        let worker path =
+          let bo = Buffer.create 256 and be = Buffer.create 64 in
+          let ppf = Fmt.with_buffer bo and eppf = Fmt.with_buffer be in
+          let code =
+            if monitor then monitor_one ~ppf ~eppf ~brief:true skip_validation path
+            else
               check_one ~ppf ~eppf ~brief:true criterion explain stats
                 skip_validation None path
-            in
-            Format.pp_print_flush ppf ();
-            Format.pp_print_flush eppf ();
-            (Buffer.contents bo, Buffer.contents be, code))
-          paths
-      in
-      List.fold_left
-        (fun worst (out, err, code) ->
-          print_string out;
-          prerr_string err;
-          max worst code)
-        0 results
-    end
+          in
+          Format.pp_print_flush ppf ();
+          Format.pp_print_flush eppf ();
+          (Buffer.contents bo, Buffer.contents be, code)
+        in
+        let print_wave worst results =
+          List.fold_left
+            (fun worst (out, err, code) ->
+              print_string out;
+              prerr_string err;
+              max worst code)
+            worst results
+        in
+        if not fail_fast then
+          print_wave 0 (Repro_par.Pool.parmap ?jobs worker paths)
+        else begin
+          (* Fail-fast: dispatch job-sized waves and stop after the first
+             wave containing a reject or error.  Output stays buffered and
+             in argument order within each wave, so up to jobs-1 files after
+             the first failing one may still be checked and reported; files
+             in later waves are not touched at all. *)
+          let j =
+            max 1 (match jobs with Some j -> j | None -> Repro_par.Pool.default_jobs ())
+          in
+          let rec go worst remaining =
+            match remaining with
+            | [] -> worst
+            | remaining when worst > 0 ->
+              flush stdout;
+              Fmt.epr "compcheck: fail-fast: %d file(s) not checked@."
+                (List.length remaining);
+              worst
+            | remaining ->
+              let wave, rest = take j remaining in
+              go (print_wave worst (Repro_par.Pool.parmap ~jobs:j worker wave)) rest
+          in
+          go 0 paths
+        end
+      end
 
 let paths_arg =
   let doc =
@@ -254,6 +362,26 @@ let dot_arg =
   in
   Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PREFIX" ~doc)
 
+let monitor_arg =
+  let doc =
+    "Streaming mode: certify the history's committed prefixes incrementally \
+     (one monitor append per root transaction, in id order) and report the \
+     first violating prefix index instead of one verdict for the whole \
+     history.  Comp-C only; incompatible with $(b,--explain), $(b,--stats), \
+     $(b,--dot) and other criteria."
+  in
+  Arg.(value & flag & info [ "monitor" ] ~doc)
+
+let fail_fast_arg =
+  let doc =
+    "Batch mode: stop dispatching remaining FILEs after the first wave of \
+     $(b,--jobs) files containing a reject or error (per-file output stays \
+     buffered and in argument order within a wave, so up to jobs-1 files \
+     after the failing one may still be reported).  Exit codes are \
+     unchanged; skipped files are announced on stderr."
+  in
+  Arg.(value & flag & info [ "fail-fast" ] ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for batch checking several FILEs (default: $(b,REPRO_JOBS) \
@@ -279,13 +407,15 @@ let cmd =
       `Pre
         "  compcheck history.ct --criterion all\n\
         \  compgen --shape stack | compcheck - --explain\n\
-        \  compcheck --jobs 4 histories/*.ct";
+        \  compcheck --jobs 4 histories/*.ct\n\
+        \  compcheck --monitor history.ct\n\
+        \  compcheck --fail-fast --jobs 4 histories/*.ct";
     ]
   in
   Cmd.v
     (Cmd.info "compcheck" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ paths_arg $ criterion_arg $ explain_arg $ stats_arg
-      $ skip_validation_arg $ dot_arg $ jobs_arg)
+      $ skip_validation_arg $ dot_arg $ jobs_arg $ monitor_arg $ fail_fast_arg)
 
 let () = exit (Cmd.eval' cmd)

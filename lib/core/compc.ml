@@ -12,12 +12,16 @@ let check ?(trace = Repro_obs.Trace.null) ?(metrics = Repro_obs.Metrics.null)
   let telemetry =
     Repro_obs.Trace.enabled trace || Repro_obs.Metrics.enabled metrics
   in
-  let t0 = if telemetry then Sys.time () else 0.0 in
+  let t0w = if telemetry then Repro_obs.Clock.now_wall () else 0.0 in
+  let t0c = if telemetry then Repro_obs.Clock.now_cpu () else 0.0 in
   let relations = Observed.compute ~metrics history in
   let certificate = Reduction.reduce ~rel:relations ~trace ~metrics history in
   if telemetry then begin
     Repro_obs.Metrics.incr metrics "compc.checks";
-    Repro_obs.Metrics.observe metrics "compc.check_wall_s" (Sys.time () -. t0)
+    Repro_obs.Metrics.observe metrics "compc.check_wall_s"
+      (Repro_obs.Clock.now_wall () -. t0w);
+    Repro_obs.Metrics.observe metrics "compc.check_cpu_s"
+      (Repro_obs.Clock.now_cpu () -. t0c)
   end;
   { history; relations; certificate }
 

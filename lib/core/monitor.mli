@@ -1,0 +1,97 @@
+(** Incremental Comp-C monitor: amortized prefix certification.
+
+    A monitor holds a growing execution and re-certifies it after each
+    extension for the cost of the {e delta}, not the whole history.  The
+    batch pipeline ({!Compc.check}) pays, per call: conflict-memo
+    interpretation of every label pair, the observed-order fixpoint from
+    the base rules, and a full reduction.  When an execution is certified
+    after every commit — the simulator's certification oracle, the
+    [compcheck --monitor] streaming mode — those costs are re-paid for an
+    almost-identical history each time.  The monitor instead:
+
+    - carries the triangular conflict memos of the previous snapshot into
+      the new one by blit ({!History.extend_cache});
+    - re-seeds the observed-order fixpoint from the previous {e closed}
+      relation plus only the new base pairs ({!Observed.extend}), skipping
+      the dense rounds entirely when no base pair appeared;
+    - skips the reduction when the delta provably cannot change the
+      verdict (observed and input orders unchanged, schedule levels
+      stable, new subtrees disjoint from old ones with acyclic
+      intra-transaction orders — new front members are then isolated
+      nodes of every constraint graph);
+    - re-reduces only the {e new block} when every added observed/input
+      pair points into the new nodes (the common case: logs and sessions
+      only append, so old operations precede new ones).  The constraint
+      graphs are then block upper-triangular — no edge returns from the
+      new block to the old one — so cycles cannot mix blocks: a
+      previously accepted prefix needs only the fronts, feasibility
+      graphs and cluster quotients induced by the new nodes re-checked,
+      and a previously rejected one keeps its witness;
+    - otherwise falls back to a full reduction over the
+      already-extended relations.
+
+    Verdict equivalence: after any sequence of appends the monitor's
+    verdict equals {!Compc.is_correct} on the current history — pinned by
+    the qcheck property in [test/test_monitor.ml].  The reported witness
+    may differ in inessentials (the serial order places delta roots last;
+    a rejection may cite a different — but equally real — cycle).
+
+    {b Extension contract.}  Each appended history must {e extend} the
+    previous one: same schedules in the same order; shared nodes keep
+    their identifiers, labels, parents and children; new nodes have
+    strictly larger identifiers; relations and logs restricted to shared
+    nodes are unchanged.  {!History.prefix_by_roots} chains and the
+    simulator's deterministic assembly produce exactly this shape.  The
+    cheap violations (shrinking, schedule mismatch) raise
+    [Invalid_argument]; the rest is the caller's responsibility.
+
+    Values are single-domain, like the history memos they warm. *)
+
+open Repro_order
+open Repro_model
+open Ids
+
+type t
+
+type verdict =
+  | Accepted of id list
+      (** Comp-C, with a witness serial order of the root transactions
+          (a valid one; not necessarily the batch checker's). *)
+  | Rejected of Reduction.failure
+
+val create : ?metrics:Repro_obs.Metrics.t -> unit -> t
+(** A monitor over the empty prefix (vacuously accepted).  [metrics]
+    (default null) receives counters [monitor.appends],
+    [monitor.fastpath_hits], [monitor.delta_hits], histogram
+    [monitor.append_wall_s], and the per-append checker metrics of the
+    underlying {!Observed} / {!Reduction} calls. *)
+
+val append : t -> History.t -> verdict
+(** [append t h] advances the monitor to [h] — which must extend the
+    current snapshot (see the contract above) — and returns the verdict
+    for [h].  The previous state is retained for one {!undo}. *)
+
+val verdict : t -> verdict option
+(** Current verdict; [None] before the first append (empty prefix). *)
+
+val accepted : t -> bool
+(** Current prefix is Comp-C ([true] before the first append). *)
+
+val undo : t -> unit
+(** Roll back the last {!append} — the certify-reject path of the
+    simulator.  Undo depth is one: raises [Invalid_argument] when no
+    snapshot is held (before any append, or twice in a row). *)
+
+val history : t -> History.t option
+(** Current snapshot. *)
+
+val obs_pairs : t -> int
+(** Pairs in the current observed order (0 on the empty prefix) — exposed
+    so tests can pin that {!undo} restores state exactly. *)
+
+type stats = { appends : int; fastpath_hits : int; delta_hits : int }
+
+val stats : t -> stats
+(** Lifetime counters (not rolled back by {!undo}): total appends, how
+    many skipped the reduction entirely on the delta-empty fast path, and
+    how many re-reduced only the new block. *)

@@ -45,6 +45,10 @@ type relations = {
   base_obs : Rel.t;
       (** The base pairs (union of weak output orders) before propagation
           and closure; useful for explanation output. *)
+  obs_inv : Rel.t;
+      (** The inverse of [obs], maintained alongside it so {!extend} can
+          join new pairs against predecessors without scanning the whole
+          relation. *)
 }
 
 val compute : ?metrics:Repro_obs.Metrics.t -> History.t -> relations
@@ -53,8 +57,31 @@ val compute : ?metrics:Repro_obs.Metrics.t -> History.t -> relations
     [metrics] (default {!Repro_obs.Metrics.null}) receives the
     relation-closure sizing of the run: gauges [compc.obs_base_pairs] (base
     pairs before propagation), [compc.obs_pairs] (pairs after closure) and
-    [compc.obs_rounds] (fixpoint rounds), plus the wall-time histogram
-    [compc.observed_wall_s]. *)
+    [compc.obs_rounds] (fixpoint rounds), plus the time histograms
+    [compc.observed_wall_s] (monotonic wall clock) and [compc.observed_cpu_s]
+    (process CPU clock — these diverge under the parallel batch drivers). *)
+
+val extend :
+  ?metrics:Repro_obs.Metrics.t ->
+  prev:relations ->
+  n_old:int ->
+  History.t ->
+  relations
+(** [extend ~prev ~n_old h] recomputes {!relations} for [h] given that [h]
+    {e extends} the history [prev] was computed from — [n_old] nodes, same
+    schedules, shared nodes keep identifiers/labels/parents, relations
+    only grow (the {!History.prefix_by_roots} chain shape).  The base
+    rules only ever add pairs under extension and every new weak-output
+    pair touches a node [>= n_old], so the delta base pairs are replayed
+    from the new endpoints' adjacency alone; the Def. 10 rules are
+    monotone, so the closure is then grown from [prev.obs] by worklist
+    saturation — joining each genuinely new pair against current
+    successors/predecessors and climbing it — instead of restarting the
+    dense fixpoint.  When no new base pair appeared the closed relation is
+    reused as-is.  Equals {!compute} [h] (the [Final] variant); across a
+    monitored run the total saturation work is proportional to the final
+    closure size.  [metrics] additionally receives the histograms
+    [compc.obs_delta_base_pairs] and [compc.obs_saturated_pairs]. *)
 
 (** {1 Ablation support}
 
@@ -62,7 +89,7 @@ val compute : ?metrics:Repro_obs.Metrics.t -> History.t -> relations
     pairs interact with a common schedule's commutativity knowledge; the
     reading implemented by {!compute} is the one under which the paper's
     Theorems 2-4 and figure narratives hold (validated empirically, see
-    DESIGN.md section 4 and experiment E12).  The rejected readings remain
+    DESIGN.md section 4 and experiment E13).  The rejected readings remain
     available so the ablation experiment can quantify how each one breaks:
 
     - {!No_forgetting}: every observed pair climbs to the parents, even

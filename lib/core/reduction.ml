@@ -168,7 +168,7 @@ let reduce ?rel ?(trace = Trace.null) ?(metrics = Metrics.null) h =
   let telemetry = Trace.enabled trace || Metrics.enabled metrics in
   let record_step ~t0 ~level ~prev_size (step : step option) ~clusters outcome =
     if telemetry then begin
-      let wall = Sys.time () -. t0 in
+      let wall = Repro_obs.Clock.now_wall () -. t0 in
       Metrics.incr metrics "compc.steps";
       Metrics.observe metrics "compc.step_wall_s" wall;
       if Trace.enabled trace then
@@ -229,7 +229,7 @@ let reduce ?rel ?(trace = Trace.null) ?(metrics = Metrics.null) h =
         | None -> assert false (* final front passed its CC check *)
       end
       else begin
-        let t0 = if telemetry then Sys.time () else 0.0 in
+        let t0 = if telemetry then Repro_obs.Clock.now_wall () else 0.0 in
         let prev_size = Int_set.cardinal prev.Front.members in
         match reduce_step h rel lvl prev with
         | Error f ->

@@ -172,6 +172,51 @@ let conflicts h s a b =
     end
   end
 
+(* Carry a previous snapshot's conflict memo into an extension of it.  The
+   monitor certifies a growing prefix: each snapshot repeats every node of
+   the previous one (same ids, labels, parents, children) and appends new
+   nodes with strictly larger ids.  Under that shape the dense per-schedule
+   operation indices are stable — [cache] walks transactions in ascending
+   id order and new transactions sort after every old one — and the
+   triangular bitmatrix layout ([bit (hi, lo) = hi*(hi-1)/2 + lo]) makes
+   the old table a bit-prefix of the new one, so the memo transfers with
+   one blit per schedule.  No-op when [h] already has a cache (both caches
+   memoize the same pure predicate, so nothing would be gained) or when
+   [from] has none. *)
+let extend_cache ~from h =
+  if Array.length h.nodes < Array.length from.nodes then
+    invalid_arg "History.extend_cache: target has fewer nodes than source";
+  if Array.length h.scheds <> Array.length from.scheds then
+    invalid_arg "History.extend_cache: schedule counts differ";
+  match (from.ccache, h.ccache) with
+  | None, _ | _, Some _ -> ()
+  | Some old, None ->
+    let c = cache h in
+    Array.iter
+      (fun (s : schedule) ->
+        let sid = s.sid in
+        match old.tables.(sid) with
+        | None -> ()
+        | Some (oknown, ovalue) ->
+          let m_old = old.op_count.(sid) in
+          let m_new = c.op_count.(sid) in
+          if m_new < m_old then
+            invalid_arg "History.extend_cache: schedule shrank";
+          let bits = m_old * (m_old - 1) / 2 in
+          let bytes = (bits + 7) / 8 in
+          let known, value =
+            match c.tables.(sid) with
+            | Some kv -> kv
+            | None ->
+              let nbytes = max 1 (((m_new * (m_new - 1) / 2) + 7) / 8) in
+              let kv = (Bytes.make nbytes '\000', Bytes.make nbytes '\000') in
+              c.tables.(sid) <- Some kv;
+              kv
+          in
+          Bytes.blit oknown 0 known 0 bytes;
+          Bytes.blit ovalue 0 value 0 bytes)
+      h.scheds
+
 let descendants h i =
   let rec go acc = function
     | [] -> acc
@@ -581,3 +626,74 @@ module Builder = struct
     in
     { nodes; scheds; levels; ig; ccache = None }
 end
+
+(* ------------------------------------------------------------------ *)
+(* Root-prefix extraction                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The sub-execution of the first [k] root transactions (ascending id),
+   rebuilt through the Builder in root-major depth-first order.  That
+   order gives prefix histories the extension shape the incremental
+   monitor relies on: [prefix_by_roots h k] and [prefix_by_roots h (k+1)]
+   assign identical ids to shared nodes, and the larger prefix only
+   appends nodes and grows relations.  Schedules are all retained (an
+   empty schedule is a valid prefix state); explicit output orders, logs,
+   intra orders and root input orders are restricted to kept nodes and
+   re-sealed — seal's completion rules are monotone and idempotent on the
+   restriction of an already-completed history, so [prefix_by_roots h
+   (List.length (roots h))] is the whole of [h] up to the id relabelling
+   (criteria verdicts are invariant under it). *)
+let prefix_by_roots h k =
+  let module B = Builder in
+  let all_roots = roots h in
+  if k < 0 || k > List.length all_roots then
+    invalid_arg
+      (Fmt.str "History.prefix_by_roots: %d not within 0..%d roots" k
+         (List.length all_roots));
+  let b = B.create () in
+  Array.iter
+    (fun (s : schedule) -> ignore (B.schedule b ~conflict:s.conflict s.sname))
+    h.scheds;
+  let kept_roots = List.filteri (fun i _ -> i < k) all_roots in
+  let idmap = Hashtbl.create 64 in
+  let rec build parent i =
+    let n = h.nodes.(i) in
+    let nid =
+      match (parent, n.sched) with
+      | None, Some s -> B.root b ~sched:s n.label
+      | Some p, Some s -> B.tx b ~parent:p ~sched:s n.label
+      | Some p, None -> B.leaf b ~parent:p n.label
+      | None, None ->
+        invalid_arg "History.prefix_by_roots: root without a schedule"
+    in
+    Hashtbl.replace idmap i nid;
+    List.iter (fun c -> build (Some nid) c) n.children
+  in
+  List.iter (fun r -> build None r) kept_roots;
+  let kept i = Hashtbl.mem idmap i in
+  let m i = Hashtbl.find idmap i in
+  let replay rel emit =
+    Rel.iter (fun a b' -> if kept a && kept b' then emit ~a:(m a) ~b:(m b')) rel
+  in
+  Array.iter
+    (fun (n : node) ->
+      if n.children <> [] && kept n.id then begin
+        replay n.intra_strong (B.intra_strong b);
+        replay (Rel.diff n.intra_weak n.intra_strong) (B.intra_weak b)
+      end)
+    h.nodes;
+  Array.iter
+    (fun (s : schedule) ->
+      let root_pair rel =
+        Rel.filter (fun a b' -> is_root h a && is_root h b') rel
+      in
+      replay (root_pair s.strong_in) (B.input_strong b);
+      replay (Rel.diff (root_pair s.weak_in) (root_pair s.strong_in))
+        (B.input_weak b);
+      replay s.strong_out (B.strong_out b);
+      replay (Rel.diff s.weak_out s.strong_out) (B.weak_out b);
+      if s.log <> [] then
+        B.log b ~sched:s.sid
+          (List.filter_map (fun i -> if kept i then Some (m i) else None) s.log))
+    h.scheds;
+  B.seal b

@@ -117,6 +117,19 @@ val conflicts_uncached : t -> sched_id -> id -> id -> bool
 (** The direct, non-memoizing evaluation path.  Slow; exists as the
     reference implementation for equivalence tests. *)
 
+val extend_cache : from:t -> t -> unit
+(** [extend_cache ~from h] seeds [h]'s conflict memo with every pair
+    already decided in [from], assuming [h] {e extends} [from]: same
+    schedules, shared nodes keep their identifiers and labels, new
+    operations get strictly larger identifiers (the shape produced by
+    {!prefix_by_roots} chains and by the simulator's deterministic history
+    assembly).  Because each schedule's triangular bitmatrix is indexed by
+    per-schedule operation rank, the old matrix is a bit-prefix of the new
+    one and transfers by blit.  No-op when [from] has no cache yet or [h]
+    already has one; raises [Invalid_argument] when [h] has fewer nodes,
+    fewer operations in some schedule, or a different schedule count.
+    Semantically invisible — only the memo warmth changes. *)
+
 val descendants : t -> id -> Int_set.t
 (** Proper descendants ([Act] of Def. 4.6, transitively). *)
 
@@ -141,6 +154,19 @@ val level_of_node : t -> id -> int
 (** Level of the schedule a node is a transaction of; 0 for leaves. *)
 
 val schedules_at_level : t -> int -> sched_id list
+
+val prefix_by_roots : t -> int -> t
+(** [prefix_by_roots h k] is the sub-execution spanned by the first [k]
+    root transactions of [h] (ascending identifier): their subtrees, all
+    schedules (possibly left empty), and every explicit order and log
+    entry restricted to the kept nodes, re-sealed.  Nodes are rebuilt in
+    root-major depth-first order, so the prefixes of one history form an
+    extension chain — [prefix_by_roots h k] and [prefix_by_roots h (k+1)]
+    agree on the identifiers and labels of shared nodes, which is the
+    contract {!extend_cache} and the incremental monitor's delta
+    computation rely on.  [prefix_by_roots h (List.length (roots h))]
+    equals [h] up to that relabelling.  Raises [Invalid_argument] when [k]
+    is outside [0..#roots]. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable rendering of the whole history. *)

@@ -1,0 +1,5 @@
+(* [Monotonic_clock] (bechamel's clock stub, a single C call to
+   clock_gettime(CLOCK_MONOTONIC)) returns nanoseconds as int64. *)
+let now_wall () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let now_cpu () = Sys.time ()

@@ -1,0 +1,18 @@
+(** Time sources for telemetry.
+
+    Every metric named [*_wall_s] in this codebase is measured with
+    {!now_wall}; CPU time stays available as {!now_cpu} under [*_cpu_s]
+    names.  The distinction matters under parallelism: [Sys.time] is
+    {e process} CPU time, so [n] busy domains burn [n] CPU-seconds per
+    wall-clock second and a "wall" metric measured with it overstates
+    elapsed time by up to the domain count (and understates it for a
+    domain blocked on others). *)
+
+val now_wall : unit -> float
+(** Monotonic wall-clock seconds ([CLOCK_MONOTONIC]; arbitrary origin).
+    Differences of two readings are elapsed real time, immune to
+    system-clock adjustments. *)
+
+val now_cpu : unit -> float
+(** Process CPU seconds ({!Sys.time}): the sum over all domains of time
+    actually spent executing. *)

@@ -24,7 +24,7 @@ let null = { on = false; rev_events = []; n = 0; rev_meta = [] }
 
 let enabled t = t.on
 
-let now_us () = Sys.time () *. 1e6
+let now_us () = Clock.now_wall () *. 1e6
 
 let push t ev =
   t.rev_events <- ev :: t.rev_events;

@@ -45,8 +45,9 @@ val null : t
 val enabled : t -> bool
 
 val now_us : unit -> float
-(** Wall-clock microseconds ({!Sys.time}-based CPU clock — monotonic for
-    the single-threaded uses here, and dependency-free). *)
+(** Monotonic wall-clock microseconds ({!Clock.now_wall}; arbitrary
+    origin).  Span timestamps taken with this clock line up across domains
+    in Perfetto, unlike the CPU clock it replaced. *)
 
 (** {1 Recording} *)
 

@@ -74,6 +74,15 @@ val restrict : keep:(id -> bool) -> t -> t
 (** Sub-relation (and sub-universe) induced by the nodes satisfying
     [keep]. *)
 
+val extend : t -> id array -> t
+(** [extend t ids] is a fresh relation over [universe t] enlarged with
+    [ids] (strictly increasing, every one greater than the largest node of
+    [t] — raises [Invalid_argument] otherwise), holding the same pairs.
+    Because appended identifiers are larger than every existing one,
+    compact indices of existing nodes are preserved and rows are copied
+    word-wise; [t] itself is untouched, so a monitor can keep the previous
+    value for rollback.  Cost: O(size · words). *)
+
 val transitive_closure : t -> t
 (** Smallest transitive super-relation, over the same universe: SCC
     condensation (Purdom), then word-parallel row-OR accumulation of reach

@@ -64,10 +64,19 @@ type params = {
           the cross-component races open nesting is prone to. *)
   max_attempts : int;  (** Retries before a transaction is dropped (counted in [given_up]). *)
   seed : int;
+  certify_full_recheck : bool;
+      (** {!Certify} only.  [false] (the default): certification keeps an
+          incremental {!Repro_core.Monitor} over the committed prefix —
+          append the candidate, take the verdict, undo on reject.
+          [true]: the legacy oracle — re-run the full batch checker on the
+          whole prefix at every commit attempt.  Identical verdicts (the
+          monitor's pinned equivalence), so identical simulations; the flag
+          exists for the E12 end-to-end comparison and equivalence tests. *)
 }
 
 val default_params : params
-(** Serial protocol, 4 clients x 5 transactions, unit service time. *)
+(** Serial protocol, 4 clients x 5 transactions, unit service time,
+    incremental certification. *)
 
 type stats = {
   committed : int;
@@ -107,6 +116,9 @@ val run :
     [sim.lock_acquires], [sim.retries], [sim.dispatches],
     [sim.certify_checks], [sim.certify_rejects] match the returned {!stats}
     where they overlap; histograms [sim.latency],
-    [sim.lock_wait_time.<protocol>], [sim.lock_hold_time.<protocol>] and
-    [sim.certify_wall_s] record distributions; gauges [sim.makespan],
-    [sim.mean_latency] and [sim.throughput] summarize the run. *)
+    [sim.lock_wait_time.<protocol>], [sim.lock_hold_time.<protocol>],
+    [sim.certify_wall_s] (monotonic wall clock) and [sim.certify_cpu_s]
+    record distributions; gauges [sim.makespan], [sim.mean_latency] and
+    [sim.throughput] summarize the run.  The incremental certification
+    path additionally feeds the [monitor.*] metrics of
+    {!Repro_core.Monitor}. *)

@@ -38,8 +38,12 @@ let service_table =
 (* ------------------------------------------------------------------ *)
 
 (* A uniformly random linear extension: Kahn's algorithm picking a random
-   ready node at each step. *)
-let linear_extension rng rel nodes =
+   ready node at each step.  With [stream] the smallest ready identifier is
+   picked instead — identifiers are assigned root-major, so the log orders
+   operations by root arrival, modelling an execution that grows at the
+   end (the shape the incremental monitor is built for) instead of a batch
+   interleaving. *)
+let linear_extension ?(stream = false) rng rel nodes =
   let indeg = Hashtbl.create 16 in
   List.iter (fun n -> Hashtbl.replace indeg n 0) nodes;
   Rel.iter
@@ -52,7 +56,10 @@ let linear_extension rng rel nodes =
   let count = ref 0 in
   while !ready <> [] do
     let arr = Array.of_list !ready in
-    let n = Prng.pick_arr rng arr in
+    let n =
+      if stream then List.fold_left min (List.hd !ready) !ready
+      else Prng.pick_arr rng arr
+    in
     ready := List.filter (fun x -> x <> n) !ready;
     out := n :: !out;
     incr count;
@@ -69,7 +76,7 @@ let linear_extension rng rel nodes =
     invalid_arg "Gen.linear_extension: constraints are cyclic";
   List.rev !out
 
-let populate rng history =
+let populate ?(stream = false) rng history =
   (* Work on the structural skeleton: any previous logs' consequences must
      not constrain the fresh draw. *)
   let proto = Clone.strip_logs history in
@@ -117,7 +124,7 @@ let populate rng history =
               then constraints := Rel.add o o' !constraints)
             ops)
         ops;
-      let log = linear_extension rng !constraints ops in
+      let log = linear_extension ~stream rng !constraints ops in
       logs.(sid) <- Some log;
       (* Minimal weak output this log induces; push it down (Def. 4.7). *)
       let wmin = ref !constraints in
@@ -181,7 +188,7 @@ let chain_children b rng p kids =
       else B.intra_weak b ~a:arr.(i) ~b:arr.(i + 1)
   done
 
-let flat ?(profile = default_profile) rng ~roots =
+let flat ?(profile = default_profile) ?(stream = false) rng ~roots =
   let p = profile in
   let b = B.create () in
   let s = B.schedule b ~conflict:Conflict.Rw "S" in
@@ -198,9 +205,9 @@ let flat ?(profile = default_profile) rng ~roots =
         r)
   in
   add_root_inputs b rng p rs;
-  populate rng (B.seal b)
+  populate ~stream rng (B.seal b)
 
-let stack ?(profile = default_profile) rng ~levels ~roots =
+let stack ?(profile = default_profile) ?(stream = false) rng ~levels ~roots =
   if levels < 1 then invalid_arg "Gen.stack: levels must be >= 1";
   let p = profile in
   let b = B.create () in
@@ -242,9 +249,9 @@ let stack ?(profile = default_profile) rng ~levels ~roots =
         r)
   in
   add_root_inputs b rng p rs;
-  populate rng (B.seal b)
+  populate ~stream rng (B.seal b)
 
-let fork ?(profile = default_profile) rng ~branches ~roots =
+let fork ?(profile = default_profile) ?(stream = false) rng ~branches ~roots =
   if branches < 2 then invalid_arg "Gen.fork: need at least two branches";
   let p = profile in
   let b = B.create () in
@@ -271,9 +278,9 @@ let fork ?(profile = default_profile) rng ~branches ~roots =
         r)
   in
   add_root_inputs b rng p rs;
-  populate rng (B.seal b)
+  populate ~stream rng (B.seal b)
 
-let join ?(profile = default_profile) rng ~branches ~roots =
+let join ?(profile = default_profile) ?(stream = false) rng ~branches ~roots =
   if branches < 2 then invalid_arg "Gen.join: need at least two branches";
   if roots < branches then invalid_arg "Gen.join: need at least one root per branch";
   let p = profile in
@@ -301,9 +308,9 @@ let join ?(profile = default_profile) rng ~branches ~roots =
     root_lists.(branch) <- r :: root_lists.(branch)
   done;
   Array.iter (fun rs -> add_root_inputs b rng p (List.rev rs)) root_lists;
-  populate rng (B.seal b)
+  populate ~stream rng (B.seal b)
 
-let general ?(profile = default_profile) rng ~schedules ~roots =
+let general ?(profile = default_profile) ?(stream = false) rng ~schedules ~roots =
   if schedules < 1 then invalid_arg "Gen.general: need at least one schedule";
   let p = profile in
   let b = B.create () in
@@ -366,4 +373,4 @@ let general ?(profile = default_profile) rng ~schedules ~roots =
       let mine = List.filter_map (fun (s, r) -> if s = src then Some r else None) assigned in
       add_root_inputs b rng p mine)
     sources;
-  populate rng (B.seal b)
+  populate ~stream rng (B.seal b)

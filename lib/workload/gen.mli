@@ -44,25 +44,34 @@ val service_table : (string * string) list
     a read-write on its item, [get] as a read; [r]/[w] leaves are included
     so mixed schedules judge them correctly. *)
 
-val populate : Prng.t -> History.t -> History.t
+val populate : ?stream:bool -> Prng.t -> History.t -> History.t
 (** Phase two alone: draw fresh execution logs (top-down, as described
     above) for an already-built structure and rebuild the history.  The
-    input's own logs are ignored. *)
+    input's own logs are ignored.
 
-val flat : ?profile:profile -> Prng.t -> roots:int -> History.t
+    With [stream] (default [false]) each log is the {e identifier-minimal}
+    linear extension of its constraints instead of a uniformly random one.
+    Identifiers are assigned root-major, so operations of earlier roots
+    execute before operations of later ones wherever the constraints
+    allow: the history looks like an execution that grew at the end, one
+    root at a time — the shape the simulator emits and the incremental
+    {!Repro_core.Monitor} is built for — rather than a batch
+    interleaving.  All generators below pass [stream] through. *)
+
+val flat : ?profile:profile -> ?stream:bool -> Prng.t -> roots:int -> History.t
 (** One read/write leaf schedule holding all roots. *)
 
-val stack : ?profile:profile -> Prng.t -> levels:int -> roots:int -> History.t
+val stack : ?profile:profile -> ?stream:bool -> Prng.t -> levels:int -> roots:int -> History.t
 (** An n-level stack (Def. 21). *)
 
-val fork : ?profile:profile -> Prng.t -> branches:int -> roots:int -> History.t
+val fork : ?profile:profile -> ?stream:bool -> Prng.t -> branches:int -> roots:int -> History.t
 (** A fork (Def. 23): the branches own disjoint item pools, so operations of
     different branches commute as the definition requires. *)
 
-val join : ?profile:profile -> Prng.t -> branches:int -> roots:int -> History.t
+val join : ?profile:profile -> ?stream:bool -> Prng.t -> branches:int -> roots:int -> History.t
 (** A join (Def. 25): all branches delegate to one shared leaf schedule. *)
 
-val general : ?profile:profile -> Prng.t -> schedules:int -> roots:int -> History.t
+val general : ?profile:profile -> ?stream:bool -> Prng.t -> schedules:int -> roots:int -> History.t
 (** An arbitrary recursion-free configuration: a random invocation DAG whose
     source schedules hold the roots and whose transactions mix leaf
     operations with subtransactions on randomly chosen invoked schedules. *)

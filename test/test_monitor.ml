@@ -1,0 +1,189 @@
+(* The incremental monitor against the batch checker: prefix-equivalence
+   on generated executions, undo semantics, and the extension edge cases
+   (empty delta, first delta into a previously empty schedule, universe
+   growth from the empty prefix). *)
+open Repro_model
+open Repro_workload
+module Compc = Repro_core.Compc
+module Monitor = Repro_core.Monitor
+
+let history_of_seed seed =
+  let rng = Prng.create ~seed in
+  match seed mod 5 with
+  | 0 -> Gen.flat rng ~roots:(2 + (seed mod 4))
+  | 1 -> Gen.stack rng ~levels:(2 + (seed mod 3)) ~roots:(2 + (seed mod 3))
+  | 2 -> Gen.fork rng ~branches:2 ~roots:(3 + (seed mod 2))
+  | 3 -> Gen.join rng ~branches:2 ~roots:3
+  | _ -> Gen.general rng ~schedules:(3 + (seed mod 3)) ~roots:(3 + (seed mod 2))
+
+let arb_seed = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000)
+
+let accepted_verdict = function
+  | Monitor.Accepted _ -> true
+  | Monitor.Rejected _ -> false
+
+let n_roots h = List.length (History.roots h)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A deterministic 2-level stack used by the unit tests. *)
+let stack_history () = Gen.stack (Prng.create ~seed:42) ~levels:2 ~roots:4
+
+let test_prefix_chain_shape () =
+  let h = stack_history () in
+  let k = n_roots h in
+  let prev = ref (History.prefix_by_roots h 0) in
+  for i = 1 to k do
+    let cur = History.prefix_by_roots h i in
+    Alcotest.(check bool)
+      "node count grows" true
+      (History.n_nodes cur > History.n_nodes !prev);
+    (* Shared nodes keep identifiers and labels across the chain. *)
+    for v = 0 to History.n_nodes !prev - 1 do
+      Alcotest.(check bool)
+        "shared label stable" true
+        (Label.equal (History.label cur v) (History.label !prev v))
+    done;
+    prev := cur
+  done;
+  Alcotest.(check int)
+    "full prefix spans the history" (History.n_nodes h)
+    (History.n_nodes !prev)
+
+let test_full_prefix_verdict () =
+  let h = stack_history () in
+  let p = History.prefix_by_roots h (n_roots h) in
+  Alcotest.(check bool)
+    "verdict invariant under prefix relabelling" (Compc.is_correct h)
+    (Compc.is_correct p)
+
+let test_monitor_from_empty () =
+  (* Universe growth from the empty prefix: every schedule starts empty,
+     so the first real append is a delta into fresh schedules. *)
+  let h = stack_history () in
+  let m = Monitor.create () in
+  Alcotest.(check bool) "empty prefix accepted" true (Monitor.accepted m);
+  Alcotest.(check int) "no pairs yet" 0 (Monitor.obs_pairs m);
+  for k = 0 to n_roots h do
+    let p = History.prefix_by_roots h k in
+    let v = Monitor.append m p in
+    Alcotest.(check bool)
+      (Printf.sprintf "prefix %d verdict" k)
+      (Compc.is_correct p) (accepted_verdict v)
+  done
+
+let test_empty_delta_fastpath () =
+  let h = stack_history () in
+  let m = Monitor.create () in
+  let p = History.prefix_by_roots h 2 in
+  let v1 = Monitor.append m p in
+  let pairs = Monitor.obs_pairs m in
+  (* Re-appending the same prefix is an extension with an empty delta: the
+     verdict must be carried on the fast path without a reduction. *)
+  let v2 = Monitor.append m (History.prefix_by_roots h 2) in
+  Alcotest.(check bool)
+    "verdict unchanged" (accepted_verdict v1) (accepted_verdict v2);
+  Alcotest.(check int) "pairs unchanged" pairs (Monitor.obs_pairs m);
+  Alcotest.(check bool)
+    "fast path taken" true
+    ((Monitor.stats m).Monitor.fastpath_hits >= 1)
+
+let test_undo_restores () =
+  let h = stack_history () in
+  let m = Monitor.create () in
+  ignore (Monitor.append m (History.prefix_by_roots h 2));
+  let acc2 = Monitor.accepted m in
+  let pairs2 = Monitor.obs_pairs m in
+  let v3 = Monitor.append m (History.prefix_by_roots h 3) in
+  Monitor.undo m;
+  Alcotest.(check bool) "verdict restored" acc2 (Monitor.accepted m);
+  Alcotest.(check int) "pairs restored" pairs2 (Monitor.obs_pairs m);
+  Alcotest.(check int)
+    "history restored" 2
+    (match Monitor.history m with Some p -> n_roots p | None -> -1);
+  (* Replaying the rolled-back candidate reproduces its verdict. *)
+  let v3' = Monitor.append m (History.prefix_by_roots h 3) in
+  Alcotest.(check bool)
+    "replay agrees" (accepted_verdict v3) (accepted_verdict v3')
+
+let test_undo_depth () =
+  let m = Monitor.create () in
+  Alcotest.check_raises "undo before any append"
+    (Invalid_argument "Monitor.undo: no snapshot held (undo depth is one)")
+    (fun () -> Monitor.undo m);
+  let h = stack_history () in
+  ignore (Monitor.append m (History.prefix_by_roots h 1));
+  Monitor.undo m;
+  Alcotest.(check bool) "back to empty" true (Monitor.history m = None);
+  Alcotest.check_raises "second undo"
+    (Invalid_argument "Monitor.undo: no snapshot held (undo depth is one)")
+    (fun () -> Monitor.undo m)
+
+let test_non_extension_rejected () =
+  let h = stack_history () in
+  let m = Monitor.create () in
+  ignore (Monitor.append m (History.prefix_by_roots h 3));
+  Alcotest.check_raises "shrinking append"
+    (Invalid_argument
+       "History.extend_cache: target has fewer nodes than source") (fun () ->
+      ignore (Monitor.append m (History.prefix_by_roots h 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The pinning property of the whole PR: after k appends the monitor's
+   verdict equals the batch checker on the k-prefix, for every k. *)
+let prop_prefix_equivalence =
+  QCheck.Test.make ~name:"monitor verdict = batch checker on every prefix"
+    ~count:500 arb_seed (fun seed ->
+      let h = history_of_seed seed in
+      let m = Monitor.create () in
+      let ok = ref true in
+      for k = 0 to n_roots h do
+        let p = History.prefix_by_roots h k in
+        let v = Monitor.append m p in
+        if accepted_verdict v <> Compc.is_correct p then ok := false
+      done;
+      !ok)
+
+let prop_undo_roundtrip =
+  QCheck.Test.make ~name:"undo restores exact verdict and pair counts"
+    ~count:200 arb_seed (fun seed ->
+      let h = history_of_seed seed in
+      let k = n_roots h in
+      let cut = 1 + (seed mod k) in
+      let m = Monitor.create () in
+      for i = 0 to cut - 1 do
+        ignore (Monitor.append m (History.prefix_by_roots h i))
+      done;
+      let acc = Monitor.accepted m in
+      let pairs = Monitor.obs_pairs m in
+      let v = Monitor.append m (History.prefix_by_roots h cut) in
+      Monitor.undo m;
+      let restored = Monitor.accepted m = acc && Monitor.obs_pairs m = pairs in
+      let v' = Monitor.append m (History.prefix_by_roots h cut) in
+      restored && accepted_verdict v = accepted_verdict v')
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests)
+
+let suite =
+  [
+    ( "monitor",
+      [
+        Alcotest.test_case "prefix chain shape" `Quick test_prefix_chain_shape;
+        Alcotest.test_case "full-prefix verdict" `Quick test_full_prefix_verdict;
+        Alcotest.test_case "growth from empty prefix" `Quick
+          test_monitor_from_empty;
+        Alcotest.test_case "empty delta fast path" `Quick
+          test_empty_delta_fastpath;
+        Alcotest.test_case "undo restores state" `Quick test_undo_restores;
+        Alcotest.test_case "undo depth is one" `Quick test_undo_depth;
+        Alcotest.test_case "non-extension rejected" `Quick
+          test_non_extension_rejected;
+      ] );
+    qsuite "monitor:props" [ prop_prefix_equivalence; prop_undo_roundtrip ];
+  ]

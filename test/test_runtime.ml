@@ -251,6 +251,36 @@ let test_determinism () =
   Alcotest.(check int) "same aborts" s1.Sim.aborts s2.Sim.aborts;
   Alcotest.(check bool) "same makespan" true (s1.Sim.makespan = s2.Sim.makespan)
 
+let test_certify_monitor_matches_full_recheck () =
+  (* The incremental monitor and the legacy full-recheck oracle return the
+     same verdict on every commit attempt, so the whole (deterministic)
+     simulation trajectory — including the rejects the federated topology
+     provokes — must be identical. *)
+  for seed = 1 to 6 do
+    let go full =
+      let params =
+        {
+          Sim.default_params with
+          Sim.protocol = Sim.Certify;
+          seed;
+          clients = 5;
+          txs_per_client = 4;
+          lock_timeout = 4.0;
+          backoff = 2.0;
+          certify_full_recheck = full;
+        }
+      in
+      Sim.run params federated_topology ~gen:federated_template
+    in
+    let m = go false and f = go true in
+    Alcotest.(check int) "same commits" f.Sim.committed m.Sim.committed;
+    Alcotest.(check int) "same aborts" f.Sim.aborts m.Sim.aborts;
+    Alcotest.(check bool) "same makespan" true (f.Sim.makespan = m.Sim.makespan);
+    Alcotest.(check int) "same history"
+      (History.n_nodes f.Sim.history)
+      (History.n_nodes m.Sim.history)
+  done
+
 let test_deadlock_gives_up () =
   (* A guaranteed cross-component deadlock (two clients locking two
      exclusive components in opposite orders, sequentially, with long
@@ -334,6 +364,8 @@ let suite =
           test_certify_always_correct;
         Alcotest.test_case "certify protocol rejects attempts" `Slow
           test_certify_aborts_on_conflict;
+        Alcotest.test_case "certify monitor matches full recheck" `Slow
+          test_certify_monitor_matches_full_recheck;
         Alcotest.test_case "closed nesting safe on federated topology" `Slow
           test_closed_nesting_safe_federated;
         Alcotest.test_case "open nesting unsafe on federated topology" `Slow
