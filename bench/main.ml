@@ -823,6 +823,115 @@ let e13 () =
      while accepting fig4@."
 
 (* ------------------------------------------------------------------ *)
+(* E14: verdict forensics — explain/shrink cost, accept path untouched  *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  section "e14" "Verdict forensics: provenance replay, shrinking, evidence cost";
+  Fmt.pr
+    "  Forensics run only on the --explain path after a rejection; the@.\
+     accept path never calls into them.  Per rejected history: the plain@.\
+     decision, the provenance replay, the delta-debugging shrink and the@.\
+     JSON evidence rendering, all wall-clock:@.";
+  (* The simulator rejection compsim --check surfaces: the federated
+     workload under open nesting leaks subtransaction orders across
+     autonomous front-ends (seed 5 is a known violating run). *)
+  let sim_reject =
+    let w = Option.get (Workloads.find "federated") in
+    let params =
+      {
+        Sim.default_params with
+        Sim.protocol = Sim.Locking { closed = false };
+        clients = 6;
+        txs_per_client = 8;
+        seed = 5;
+        lock_timeout = 6.0;
+        backoff = 2.0;
+      }
+    in
+    (Sim.run params w.Workloads.topology ~gen:w.Workloads.gen).Sim.history
+  in
+  let corpus =
+    [
+      ("figure3", (F.figure3 ()).F.ht);
+      ("figure4-conflict", (F.figure4 ~conflicting_top:true ()).F.ht);
+      ("input-order-chain", F.input_order_chain ());
+      ("sim-federated-open", sim_reject);
+    ]
+  in
+  Fmt.pr "  %-20s %6s %9s %9s %12s %9s %14s@." "history" "nodes" "check-ms"
+    "prov-ms" "shrink-ms" "json-ms" "shrunk";
+  let rows =
+    List.map
+      (fun (name, h) ->
+        let v, _, check_w = time (fun () -> Compc.check h) in
+        assert (not (Compc.is_correct_verdict v));
+        let prov, _, prov_w =
+          time (fun () ->
+              Repro_core.Provenance.build h v.Compc.relations)
+        in
+        assert (Repro_core.Provenance.consistent prov);
+        let shr, _, shrink_w = time (fun () -> Shrink.shrink h) in
+        let shr = Option.get shr in
+        let ev, _, json_w =
+          time (fun () ->
+              Repro_obs.Json.to_string
+                (Repro_forensics.Evidence.to_json
+                   (Repro_forensics.Evidence.build v)))
+        in
+        ignore ev;
+        Fmt.pr "  %-20s %6d %9.3f %9.3f %6.1f(%4d) %9.3f %8d -> %d@." name
+          (History.n_nodes h) (check_w *. 1e3) (prov_w *. 1e3)
+          (shrink_w *. 1e3) shr.Shrink.probes (json_w *. 1e3)
+          (History.n_nodes h)
+          (History.n_nodes shr.Shrink.history);
+        ( name,
+          Json.Obj
+            [
+              ("nodes", Json.Int (History.n_nodes h));
+              ("check_wall_s", Json.Float check_w);
+              ("provenance_wall_s", Json.Float prov_w);
+              ("provenance_pairs", Json.Int (Repro_core.Provenance.cardinal prov));
+              ("shrink_wall_s", Json.Float shrink_w);
+              ("shrink_probes", Json.Int shr.Shrink.probes);
+              ("shrunk_nodes", Json.Int (History.n_nodes shr.Shrink.history));
+              ("json_wall_s", Json.Float json_w);
+            ] ))
+      corpus
+  in
+  (* Accept-path control: the same decision entry point over an accepted
+     corpus, with the forensics library linked in.  Nothing on this path
+     constructs a provenance index, a shrinker or an evidence object, so
+     the per-check cost is the figure future PRs compare against the e9
+     checker trajectory to confirm zero forensic overhead. *)
+  let accepted =
+    List.init 40 (fun i ->
+        Gen.stack (Prng.create ~seed:(4_000 + i)) ~levels:2 ~roots:4)
+  in
+  let n_acc = List.length accepted in
+  let (), _, accept_w =
+    time (fun () -> List.iter (fun h -> ignore (Compc.check h)) accepted)
+  in
+  Fmt.pr
+    "  accept-path control: %d accepted checks in %.3f ms (%.3f ms each); no@.\
+     forensic code runs on this path@."
+    n_acc (accept_w *. 1e3)
+    (accept_w *. 1e3 /. float_of_int n_acc);
+  record_json "e14"
+    (Json.Obj
+       [
+         ("reject", Json.Obj rows);
+         ( "accept_path",
+           Json.Obj
+             [
+               ("checks", Json.Int n_acc);
+               ("total_wall_s", Json.Float accept_w);
+               ( "per_check_wall_s",
+                 Json.Float (accept_w /. float_of_int n_acc) );
+             ] );
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -879,7 +988,7 @@ let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("perf", perf); ("micro", micro);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("perf", perf); ("micro", micro);
   ]
 
 let () =

@@ -87,13 +87,32 @@ let print_stats ppf h =
        else "reject")
   | None -> ()
 
+(* --explain rendering: the forensic evidence report in the requested
+   format.  Text is [Compc.explain] plus the provenance derivation chain of
+   every witness-cycle edge and the shrink summary; json/dot are the
+   machine renderings of {!Repro_forensics.Evidence}. *)
+let explain_report ?extra ppf format shrink v =
+  let ev = Repro_forensics.Evidence.build ~shrink ?extra v in
+  match format with
+  | `Text -> Repro_forensics.Evidence.pp ppf ev
+  | `Json ->
+    Fmt.pf ppf "%s@."
+      (Repro_obs.Json.to_string (Repro_forensics.Evidence.to_json ev))
+  | `Dot -> Fmt.pf ppf "%s" (Repro_forensics.Evidence.dot ev)
+
 (* One file's complete run.  [brief] is batch mode: the verdict is a single
    [path: ...] line (configuration summary suppressed) so a many-file run
    reads as a table.  All output goes through [ppf]/[eppf] so batch mode can
    buffer it per file and print blocks in argument order whatever the
    domain-pool interleaving was. *)
 let check_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
-    stats skip_validation dot path =
+    format shrink stats skip_validation dot path =
+  (* A forensic request is an explain request: --shrink and the machine
+     formats only make sense on the evidence report. *)
+  let explain = explain || shrink || format <> `Text in
+  (* With a machine format the human verdict lines move to stderr so
+     stdout is exactly one JSON document / DOT graph, pipeable as is. *)
+  let hpf = if format = `Text then ppf else eppf in
   match read_history path with
   | Error msg ->
     if brief then Fmt.pf ppf "%s: error: %s@." path msg
@@ -121,7 +140,7 @@ let check_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
           let oc = open_out (prefix ^ name) in
           output_string oc text;
           close_out oc;
-          Fmt.pf ppf "wrote %s%s@." prefix name
+          Fmt.pf hpf "wrote %s%s@." prefix name
         in
         write "-forest.dot"
           (Repro_histlang.Dot.forest ~obs:rel.Repro_core.Observed.obs h);
@@ -130,7 +149,7 @@ let check_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
       let report = Repro_criteria.Classic.accepted_by h in
       let shape = Repro_criteria.Shapes.classify h in
       if not brief then
-        Fmt.pf ppf
+        Fmt.pf hpf
           "configuration: %a, order %d, %d schedules, %d transactions, %d leaves@."
           Repro_criteria.Shapes.pp shape (History.order h)
           (History.n_schedules h)
@@ -156,10 +175,11 @@ let check_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
             report
         else
           List.iter
-            (fun (name, v) -> Fmt.pf ppf "%-8s %s@." name (verdict v))
+            (fun (name, v) -> Fmt.pf hpf "%-8s %s@." name (verdict v))
             report;
-        if explain then Repro_core.Compc.explain ppf (Repro_core.Compc.check h);
-        if stats then print_stats ppf h;
+        if explain then
+          explain_report ppf format shrink (Repro_core.Compc.check h);
+        if stats then print_stats hpf h;
         if List.assoc "Comp-C" report then 0 else 1
       | name -> (
         match List.assoc_opt name report with
@@ -173,10 +193,10 @@ let check_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
           2
         | Some v ->
           if brief then Fmt.pf ppf "%s: %s: %s@." path name (verdict v)
-          else Fmt.pf ppf "%s: %s@." name (verdict v);
+          else Fmt.pf hpf "%s: %s@." name (verdict v);
           if explain && name = "Comp-C" then
-            Repro_core.Compc.explain ppf (Repro_core.Compc.check h);
-          if stats then print_stats ppf h;
+            explain_report ppf format shrink (Repro_core.Compc.check h);
+          if stats then print_stats hpf h;
           if v then 0 else 1)
     end
 
@@ -185,8 +205,26 @@ let check_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
    (k-1)-prefix's warm state, and the loop stops at the first violating
    prefix index — the monitoring story of the checker: "which commit broke
    the execution", not just "is the final history correct". *)
-let monitor_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief skip_validation
-    path =
+(* Assemble a [Compc.verdict] for the monitor's current prefix without
+   recomputing the observed-order closure: the incrementally maintained
+   relations are warm, only the (cold-path) reduction is re-run to obtain a
+   certificate for the evidence report. *)
+let verdict_of_monitor m fallback =
+  match
+    (Repro_core.Monitor.history m, Repro_core.Monitor.relations m)
+  with
+  | Some p, Some rel ->
+    {
+      Repro_core.Compc.history = p;
+      relations = rel;
+      certificate = Repro_core.Reduction.reduce ~rel p;
+    }
+  | _ -> Repro_core.Compc.check fallback
+
+let monitor_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief explain format
+    shrink skip_validation path =
+  let explain = explain || shrink || format <> `Text in
+  let hpf = if format = `Text then ppf else eppf in
   match read_history path with
   | Error msg ->
     if brief then Fmt.pf ppf "%s: error: %s@." path msg
@@ -216,25 +254,42 @@ let monitor_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief skip_validation
             Fmt.pf ppf "%s: monitor: accept (%d prefix%s)@." path n
               (if n = 1 then "" else "es")
           else
-            Fmt.pf ppf
+            Fmt.pf hpf
               "monitor: accept - all %d prefixes Comp-C (%d reductions skipped \
                on the fast path)@."
               n fast;
+          if explain then
+            explain_report ppf format shrink (verdict_of_monitor m h);
           0
         end
         else begin
           let p = History.prefix_by_roots h k in
           match Repro_core.Monitor.append m p with
           | Repro_core.Monitor.Accepted _ ->
-            if not brief then Fmt.pf ppf "prefix %d/%d: accept@." k n;
+            if not brief then Fmt.pf hpf "prefix %d/%d: accept@." k n;
             go (k + 1)
           | Repro_core.Monitor.Rejected f ->
+            let rel = Repro_core.Monitor.relations m in
             if brief then
               Fmt.pf ppf "%s: monitor: reject at prefix %d/%d@." path k n
             else begin
-              Fmt.pf ppf "prefix %d/%d: reject@." k n;
-              Fmt.pf ppf "first violating prefix: %d; %a@." k
-                (Repro_core.Reduction.pp_failure p) f
+              Fmt.pf hpf "prefix %d/%d: reject@." k n;
+              Fmt.pf hpf "first violating prefix: %d; %a@." k
+                (Repro_core.Reduction.pp_failure ?rel p)
+                f
+            end;
+            if explain then begin
+              let extra =
+                [
+                  ( "prefix",
+                    Repro_obs.Json.Obj
+                      [
+                        ("index", Repro_obs.Json.Int k);
+                        ("of", Repro_obs.Json.Int n);
+                      ] );
+                ]
+              in
+              explain_report ~extra ppf format shrink (verdict_of_monitor m p)
             end;
             1
         end
@@ -248,24 +303,30 @@ let rec take n = function
     (x :: hd, tl)
   | rest -> ([], rest)
 
-let run paths criterion explain stats skip_validation dot jobs monitor fail_fast
-    =
+let run paths criterion explain format shrink stats skip_validation dot jobs
+    monitor fail_fast =
   let monitor_conflict =
     monitor
-    && (explain || stats || dot <> None
-       || String.lowercase_ascii criterion <> "comp-c")
+    && (stats || dot <> None || String.lowercase_ascii criterion <> "comp-c")
   in
   if monitor_conflict then begin
     Fmt.epr
       "compcheck: --monitor decides Comp-C prefix by prefix and cannot be \
-       combined with --explain, --stats, --dot or another --criterion@.";
+       combined with --stats, --dot or another --criterion@.";
+    2
+  end
+  else if format = `Dot && List.length paths > 1 then begin
+    Fmt.epr "compcheck: --format dot requires a single FILE@.";
     2
   end
   else
     match paths with
     | [ path ] ->
-      if monitor then monitor_one ~brief:false skip_validation path
-      else check_one ~brief:false criterion explain stats skip_validation dot path
+      if monitor then
+        monitor_one ~brief:false explain format shrink skip_validation path
+      else
+        check_one ~brief:false criterion explain format shrink stats
+          skip_validation dot path
     | paths ->
       if dot <> None then begin
         Fmt.epr "compcheck: --dot requires a single FILE@.";
@@ -279,10 +340,12 @@ let run paths criterion explain stats skip_validation dot jobs monitor fail_fast
           let bo = Buffer.create 256 and be = Buffer.create 64 in
           let ppf = Fmt.with_buffer bo and eppf = Fmt.with_buffer be in
           let code =
-            if monitor then monitor_one ~ppf ~eppf ~brief:true skip_validation path
+            if monitor then
+              monitor_one ~ppf ~eppf ~brief:true explain format shrink
+                skip_validation path
             else
-              check_one ~ppf ~eppf ~brief:true criterion explain stats
-                skip_validation None path
+              check_one ~ppf ~eppf ~brief:true criterion explain format shrink
+                stats skip_validation None path
           in
           Format.pp_print_flush ppf ();
           Format.pp_print_flush eppf ();
@@ -339,8 +402,32 @@ let criterion_arg =
   Arg.(value & opt string "Comp-C" & info [ "c"; "criterion" ] ~docv:"NAME" ~doc)
 
 let explain_arg =
-  let doc = "Print the full reduction trace (fronts, witness layouts, verdict)." in
+  let doc =
+    "Print the full reduction trace (fronts, witness layouts, verdict) and, \
+     on a rejection, the forensic evidence: the witness cycle with each \
+     observed-order edge's Def. 10 derivation chain down to base pairs."
+  in
   Arg.(value & flag & info [ "explain" ] ~doc)
+
+let format_arg =
+  let doc =
+    "Evidence format for $(b,--explain): $(b,text) (default), $(b,json) \
+     (machine-readable evidence/1 report), or $(b,dot) (execution forest \
+     with the witness cycle highlighted; single FILE only).  A non-text \
+     format implies $(b,--explain)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json); ("dot", `Dot) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let shrink_arg =
+  let doc =
+    "On a rejection, delta-debug the history down to a 1-minimal \
+     sub-history with the same failure kind and include it in the evidence \
+     report.  Implies $(b,--explain)."
+  in
+  Arg.(value & flag & info [ "shrink" ] ~doc)
 
 let stats_arg =
   let doc =
@@ -367,8 +454,10 @@ let monitor_arg =
     "Streaming mode: certify the history's committed prefixes incrementally \
      (one monitor append per root transaction, in id order) and report the \
      first violating prefix index instead of one verdict for the whole \
-     history.  Comp-C only; incompatible with $(b,--explain), $(b,--stats), \
-     $(b,--dot) and other criteria."
+     history.  Comp-C only; incompatible with $(b,--stats), $(b,--dot) and \
+     other criteria.  With $(b,--explain) (and $(b,--format)/$(b,--shrink)) \
+     the full forensic evidence report is emitted for the first violating \
+     prefix."
   in
   Arg.(value & flag & info [ "monitor" ] ~doc)
 
@@ -407,15 +496,18 @@ let cmd =
       `Pre
         "  compcheck history.ct --criterion all\n\
         \  compgen --shape stack | compcheck - --explain\n\
+        \  compcheck history.ct --explain --shrink --format json\n\
+        \  compcheck history.ct --format dot > forensics.dot\n\
         \  compcheck --jobs 4 histories/*.ct\n\
-        \  compcheck --monitor history.ct\n\
+        \  compcheck --monitor --explain history.ct\n\
         \  compcheck --fail-fast --jobs 4 histories/*.ct";
     ]
   in
   Cmd.v
     (Cmd.info "compcheck" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ paths_arg $ criterion_arg $ explain_arg $ stats_arg
-      $ skip_validation_arg $ dot_arg $ jobs_arg $ monitor_arg $ fail_fast_arg)
+      const run $ paths_arg $ criterion_arg $ explain_arg $ format_arg
+      $ shrink_arg $ stats_arg $ skip_validation_arg $ dot_arg $ jobs_arg
+      $ monitor_arg $ fail_fast_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -21,7 +21,8 @@ let write_json path json =
     output_char oc '\n';
     close_out oc
 
-let run workload protocol_name clients txs seed check dump trace_out metrics_out =
+let run workload protocol_name clients txs seed check dump evidence_out
+    trace_out metrics_out =
   match (Workloads.find workload, protocol_of_string protocol_name) with
   | None, _ ->
     Fmt.epr "compsim: unknown workload %S (available: %a)@." workload
@@ -83,8 +84,20 @@ let run workload protocol_name clients txs seed check dump trace_out metrics_out
       List.iter
         (fun e -> Fmt.pr "VALIDATION: %a@." (Repro_model.Validate.pp_error stats.Sim.history) e)
         errs;
-      let correct = Repro_core.Compc.is_correct stats.Sim.history in
+      let verdict = Repro_core.Compc.check stats.Sim.history in
+      let correct = Repro_core.Compc.is_correct_verdict verdict in
       Fmt.pr "model-valid=%b comp-c=%b@." (errs = []) correct;
+      (match evidence_out with
+      | Some path when errs = [] && not correct ->
+        (* The forensic dump of the rejection: witness cycle with per-edge
+           observed-order provenance and a shrunken reproducer. *)
+        let ev = Repro_forensics.Evidence.build ~shrink:true verdict in
+        write_json path (Repro_forensics.Evidence.to_json ev);
+        Fmt.pr "evidence written to %s@." path
+      | Some _ ->
+        Fmt.pr "evidence skipped (history %s)@."
+          (if errs <> [] then "violates the model" else "accepted")
+      | None -> ());
       if errs <> [] || not correct then 1 else 0
     end
     else 0
@@ -115,6 +128,14 @@ let check_arg =
 let dump_arg =
   let doc = "Write the emitted history to $(docv) (history description language)." in
   Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
+
+let evidence_arg =
+  let doc =
+    "With $(b,--check), on a Comp-C rejection write the evidence/1 JSON \
+     report (witness cycle, per-edge observed-order provenance, shrunken \
+     reproducing history) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "evidence" ] ~docv:"FILE" ~doc)
 
 let trace_arg =
   let doc =
@@ -149,6 +170,6 @@ let cmd =
     (Cmd.info "compsim" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ workload_arg $ protocol_arg $ clients_arg $ txs_arg $ seed_arg
-      $ check_arg $ dump_arg $ trace_arg $ metrics_arg)
+      $ check_arg $ dump_arg $ evidence_arg $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -75,4 +75,7 @@ let explain ppf v =
     Fmt.pf ppf "verdict: Comp-C; serial root order: %a@."
       Fmt.(list ~sep:(any " << ") pn)
       serial
-  | Error f -> Fmt.pf ppf "verdict: NOT Comp-C; %a@." (Reduction.pp_failure h) f
+  | Error f ->
+    Fmt.pf ppf "verdict: NOT Comp-C; %a@."
+      (Reduction.pp_failure ~rel:v.relations h)
+      f

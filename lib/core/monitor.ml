@@ -310,6 +310,8 @@ let undo t =
 
 let history t = Option.map (fun f -> f.h) t.cur
 
+let relations t = Option.map (fun f -> f.rel) t.cur
+
 let obs_pairs t =
   match t.cur with None -> 0 | Some f -> Rel.cardinal f.rel.Observed.obs
 

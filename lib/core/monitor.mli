@@ -85,6 +85,12 @@ val undo : t -> unit
 val history : t -> History.t option
 (** Current snapshot. *)
 
+val relations : t -> Observed.relations option
+(** The incrementally maintained observed/input relations of the current
+    snapshot ([None] before the first append).  Forensic consumers reuse
+    them to re-derive a rejected prefix's certificate and provenance
+    without recomputing the closure from scratch. *)
+
 val obs_pairs : t -> int
 (** Pairs in the current observed order (0 on the empty prefix) — exposed
     so tests can pin that {!undo} restores state exactly. *)

@@ -1,0 +1,87 @@
+(** Provenance of the observed order: why is a pair in [<_o]?
+
+    {!Observed.compute} returns only the closed relation — enough to decide
+    Comp-C, useless for explaining a rejection.  This module re-derives the
+    closure with the {e reason} for every pair recorded at the moment it
+    first appears: which Def. 10 base rule seeded it, which pair it climbed
+    from (rule 2 over a conflict, rule 3 across schedules), or which
+    mid-point chained it by transitivity.  The replay mirrors
+    {!Observed.saturate} exactly (Final reading), so the derived pair set
+    equals the batch closure — {!consistent} checks that equality and the
+    test suite pins it against both the persistent and the dense [Bitrel]
+    paths.
+
+    Everything here is on-demand forensic machinery: nothing in the accept
+    fast path ({!Observed.compute}, {!Reduction.reduce}, the dense kernel)
+    calls into it. *)
+
+open Repro_order
+open Repro_model
+open Ids
+
+type reason =
+  | Base_output of { sched : History.sched_id }
+      (** Rule 1: a weak-output pair of [sched] involving a leaf. *)
+  | Base_conflict of { sched : History.sched_id; op_a : id; op_b : id }
+      (** Rule 2 seed: the conflicting weak-output pair [(op_a, op_b)] of
+          [sched] ordered the parents. *)
+  | Climb of { from_a : id; from_b : id; sched : History.sched_id option }
+      (** The pair climbed from [(from_a, from_b)]: over a conflict their
+          common schedule [Some s] sees (rule 2), or unconditionally because
+          they share no schedule ([None], rule 3). *)
+  | Trans of { mid : id }
+      (** Transitivity through [mid]: premises [(a, mid)] and [(mid, b)]. *)
+
+type entry = { a : id; b : id; reason : reason }
+(** One derived pair with the first reason that produced it. *)
+
+type t
+(** The provenance index of one history's full observed-order closure. *)
+
+val build : History.t -> Observed.relations -> t
+(** Replay the Def. 10 saturation (Final reading) from the base rules,
+    recording each pair's first derivation.  Cost is comparable to one
+    {!Observed.compute}; intended for the rejection/explain path only. *)
+
+val consistent : t -> bool
+(** Did the replay derive exactly [rel.obs]?  Always true when [rel] came
+    from {!Observed.compute}/{!Observed.extend} on the same history; exposed
+    so tests (and the evidence report) can assert the cross-validation. *)
+
+val cardinal : t -> int
+(** Number of derived pairs (= [Rel.cardinal rel.obs] when consistent). *)
+
+val mem : t -> id -> id -> bool
+
+val reason : t -> id -> id -> reason option
+(** The recorded first reason for [(a, b)], if the pair was derived. *)
+
+val is_base : reason -> bool
+(** [Base_output] or [Base_conflict] — a Def. 10 seed, premise-free. *)
+
+val premises : entry -> (id * id) list
+(** The premise pairs a reason rests on ([[]] exactly for base reasons).
+    Every premise was recorded strictly before its conclusion, so premise
+    chains are well-founded. *)
+
+val chain : t -> id -> id -> entry list
+(** The full derivation of [(a, b)] in dependency order: the conclusion
+    first, every entry's premises appearing later, the last entry a base
+    pair.  Entries are deduplicated (the derivation DAG, not the expanded
+    tree, so the size is bounded by the closure).  [[]] when the pair was
+    not derived. *)
+
+type derivation = { concl : id * id; rule : reason; premises : derivation list }
+(** A derivation tree; shared sub-derivations are physically shared, so the
+    in-memory value is DAG-sized even when the unfolded tree is not. *)
+
+val derive : t -> id -> id -> derivation option
+(** The derivation tree of [(a, b)] down to Def. 10 base pairs. *)
+
+val pp_reason : History.t -> Format.formatter -> reason -> unit
+(** One-line human rendering of a reason, with operation labels and owning
+    schedules. *)
+
+val pp_chain : t -> Format.formatter -> id * id -> unit
+(** Multi-line rendering of {!chain}: one [a <_o b — reason] line per
+    entry. *)

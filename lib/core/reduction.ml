@@ -15,9 +15,106 @@ type certificate = {
   outcome : (id list, failure) result;
 }
 
-let pp_failure h ppf f =
-  let pn = History.pp_node h in
-  let pp_cycle = Fmt.(list ~sep:(any " -> ") pn) in
+let failure_cycle = function
+  | Front_not_cc { cycle; _ } -> cycle
+  | No_calculation { cluster_cycle; _ } -> cluster_cycle
+  | Intra_contradiction { cycle; _ } -> cycle
+
+let failure_level = function
+  | Front_not_cc { index; _ } -> index
+  | No_calculation { level; _ } -> level
+  | Intra_contradiction { level; _ } -> level
+
+type edge =
+  | Obs_edge of { via : id * id }
+  | Inp_edge of { via : id * id }
+  | Intra_edge of { via : id * id }
+  | Unexplained
+
+(* Classify each consecutive (and the closing) edge of a failure's witness
+   cycle against the relations the cycle was found in.  A [No_calculation]
+   cycle runs over cluster representatives — level-[lvl] transactions
+   standing for their operations — so the witness pair [via] justifying a
+   quotient edge may be an operation pair one level below the
+   representatives.  Preference order: an observed pair explains the most
+   (it has a Def. 10 derivation), then input orders, then the transaction's
+   own weak intra order (Intra_contradiction cycles only). *)
+let cycle_edges h (rel : Observed.relations) f =
+  let lvl = failure_level f in
+  let members v =
+    match f with
+    | No_calculation _ -> (
+      match History.sched_of_tx h v with
+      | Some s
+        when History.level h s = lvl && History.children h v <> [] ->
+        History.children h v
+      | _ -> [ v ])
+    | Front_not_cc _ | Intra_contradiction _ -> [ v ]
+  in
+  let obs_counts x y =
+    Rel.mem x y rel.Observed.obs
+    && (match f with
+       | Front_not_cc _ -> true
+       | No_calculation _ | Intra_contradiction _ ->
+         (* Layout constraints keep only the generalized conflicts. *)
+         Observed.conflict h rel x y)
+  in
+  let intra_counts x y =
+    match f with
+    | Intra_contradiction { tx; _ } ->
+      Rel.mem x y (History.node h tx).History.intra_weak
+    | _ -> false
+  in
+  let witness a b =
+    let xs = members a and ys = members b in
+    let probe pred ctor =
+      List.find_map
+        (fun x ->
+          List.find_map (fun y -> if pred x y then Some (ctor x y) else None) ys)
+        xs
+    in
+    match probe obs_counts (fun x y -> Obs_edge { via = (x, y) }) with
+    | Some e -> e
+    | None -> (
+      match
+        probe
+          (fun x y -> Rel.mem x y rel.Observed.inp)
+          (fun x y -> Inp_edge { via = (x, y) })
+      with
+      | Some e -> e
+      | None -> (
+        match probe intra_counts (fun x y -> Intra_edge { via = (x, y) }) with
+        | Some e -> e
+        | None -> Unexplained))
+  in
+  match failure_cycle f with
+  | [] -> []
+  | first :: _ as cycle ->
+    let rec go = function
+      | [] -> []
+      | [ last ] -> [ ((last, first), witness last first) ]
+      | a :: (b :: _ as rest) -> ((a, b), witness a b) :: go rest
+    in
+    go cycle
+
+let pp_failure ?rel h ppf f =
+  let pn = History.pp_node_sched h in
+  let pp_cycle ppf cycle =
+    match rel with
+    | None -> Fmt.(list ~sep:(any " -> ") pn) ppf cycle
+    | Some rel ->
+      (* Annotated rendering, closing the cycle: the separator names the
+         relation each edge came from. *)
+      let arrow = function
+        | Obs_edge _ -> "-obs->"
+        | Inp_edge _ -> "-inp->"
+        | Intra_edge _ -> "-intra->"
+        | Unexplained -> "->"
+      in
+      let edges = cycle_edges h rel f in
+      List.iter (fun ((a, _), e) -> Fmt.pf ppf "%a %s " pn a (arrow e)) edges;
+      (match cycle with v :: _ -> pn ppf v | [] -> ())
+  in
   match f with
   | Front_not_cc { index; cycle } ->
     Fmt.pf ppf "level %d front is not conflict consistent: cycle %a" index

@@ -76,6 +76,36 @@ val failure_kind : failure -> string
     ["intra_contradiction"] — the suffix of the [compc.failure.*]
     counters. *)
 
+val failure_cycle : failure -> id list
+(** The witness cycle of any failure, uniformly. *)
+
+val failure_level : failure -> int
+(** The front index / step level the failure occurred at. *)
+
+type edge =
+  | Obs_edge of { via : id * id }
+      (** The edge holds because [via] is in the observed order (for
+          [No_calculation]/[Intra_contradiction] cycles, additionally a
+          generalized conflict — only those pairs constrain the layout). *)
+  | Inp_edge of { via : id * id }  (** [via] is an input-order pair. *)
+  | Intra_edge of { via : id * id }
+      (** [via] is in the transaction's weak intra order
+          ([Intra_contradiction] cycles only). *)
+  | Unexplained  (** Should not occur; a defensive fallback. *)
+
+val cycle_edges :
+  History.t -> Observed.relations -> failure -> ((id * id) * edge) list
+(** The witness cycle as a closed edge list (consecutive members plus the
+    closing edge), each edge classified against the relations the cycle was
+    found in.  For [No_calculation] cluster cycles the witness pair [via]
+    may connect {e operations} of the cluster representatives — the pair one
+    level below that induced the quotient edge. *)
+
 val is_correct : certificate -> bool
 
-val pp_failure : History.t -> Format.formatter -> failure -> unit
+val pp_failure :
+  ?rel:Observed.relations -> History.t -> Format.formatter -> failure -> unit
+(** Render a failure.  Cycle members print as [label#id@schedule]
+    ({!History.pp_node_sched}).  With [rel], each cycle edge is annotated
+    with its origin ([-obs->], [-inp->], [-intra->] per {!cycle_edges}) and
+    the cycle is closed back to its first member. *)

@@ -1,0 +1,59 @@
+(** Machine-readable evidence reports for Comp-C verdicts.
+
+    An evidence value bundles everything forensic about one verdict: the
+    witness cycle classified edge by edge ({!Repro_core.Reduction.cycle_edges}),
+    the observed-order provenance of each cycle edge
+    ({!Repro_core.Provenance}), the optional 1-minimal shrunken
+    counterexample ({!Repro_workload.Shrink}), and per-level front sizes.
+    Three renderings share the one value: {!to_json} (schema ["evidence/1"],
+    built on {!Repro_obs.Json}), {!dot} (the execution forest with the
+    witness cycle highlighted), and {!pp} (the human transcript —
+    {!Repro_core.Compc.explain} plus derivation chains and the shrink
+    summary).
+
+    Strictly cold-path machinery: {!build} does real work only on a
+    rejection, and nothing in the accept fast path depends on this
+    library. *)
+
+open Repro_order.Ids
+
+type t
+
+val build :
+  ?shrink:bool ->
+  ?max_probes:int ->
+  ?extra:(string * Repro_obs.Json.t) list ->
+  Repro_core.Compc.verdict ->
+  t
+(** [build v] assembles the evidence for [v].  On a rejection it replays
+    the observed-order provenance and classifies the witness cycle's edges;
+    with [shrink] (default [false]) it additionally runs the delta-debugging
+    shrinker ([max_probes] forwarded, default 2000).  [extra] fields are
+    appended verbatim to the JSON object — the monitor uses this to record
+    the violating prefix.  On an accepted verdict the evidence is just the
+    verdict and the serial order. *)
+
+val provenance : t -> Repro_core.Provenance.t option
+(** The replayed provenance index ([None] on accepted verdicts). *)
+
+val edges : t -> ((id * id) * Repro_core.Reduction.edge) list
+(** The classified witness-cycle edges ([[]] on accepted verdicts). *)
+
+val shrunk : t -> Repro_workload.Shrink.result option
+
+val to_json : t -> Repro_obs.Json.t
+(** Schema ["evidence/1"]: verdict, history sizes, per-level fronts, and —
+    on rejection — the failure (kind, level, cycle members with labels and
+    owning schedules, edges with witness pairs and full provenance
+    derivation chains), a provenance cross-check, and the shrunken history
+    in histlang syntax when shrinking ran. *)
+
+val dot : t -> string
+(** The execution forest with the observed order overlaid; on a rejection
+    the witness cycle's nodes and edges are highlighted and members are
+    annotated with their cycle position. *)
+
+val pp : Format.formatter -> t -> unit
+(** Full human transcript: {!Repro_core.Compc.explain}, then per-edge
+    provenance derivation chains and the shrink summary (with the shrunken
+    history printed in histlang syntax). *)

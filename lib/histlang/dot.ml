@@ -20,7 +20,10 @@ let fill sid =
   in
   palette.(sid mod Array.length palette)
 
-let forest ?obs h =
+let highlight_color = "#c0392b"
+
+let forest ?obs ?(highlight_nodes = Repro_order.Ids.Int_set.empty)
+    ?(highlight_edges = []) ?(annotate = fun _ -> None) h =
   let buf = Buffer.create 1024 in
   let pf fmt = Fmt.kstr (Buffer.add_string buf) fmt in
   pf "digraph forest {\n  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
@@ -38,21 +41,42 @@ let forest ?obs h =
       | Some s -> Fmt.str "\\n@%s" (escape (History.schedule h s).History.sname)
       | None -> ""
     in
-    pf "  n%d [label=\"%s%s\", shape=%s, style=%s, fillcolor=\"%s\"];\n" i
-      (node_label h i) sched_note shape style color
+    let note =
+      match annotate i with
+      | Some text -> Fmt.str "\\n%s" (escape text)
+      | None -> ""
+    in
+    let extra =
+      if Repro_order.Ids.Int_set.mem i highlight_nodes then
+        Fmt.str ", color=\"%s\", penwidth=2.5" highlight_color
+      else ""
+    in
+    pf "  n%d [label=\"%s%s%s\", shape=%s, style=%s, fillcolor=\"%s\"%s];\n" i
+      (node_label h i) sched_note note shape style color extra
   done;
   for i = 0 to History.n_nodes h - 1 do
     List.iter (fun c -> pf "  n%d -> n%d;\n" i c) (History.children h i)
   done;
+  let highlighted a b = List.mem (a, b) highlight_edges in
   (match obs with
   | None -> ()
   | Some r ->
     (* Render the transitive reduction: the closure would bury the trees in
-       implied edges. *)
+       implied edges.  Pairs drawn below as highlights are skipped here so
+       the bold edge is not doubled by a dashed one. *)
     Repro_order.Rel.iter
       (fun a b ->
-        pf "  n%d -> n%d [style=dashed, color=\"#c0392b\", constraint=false];\n" a b)
+        if not (highlighted a b) then
+          pf "  n%d -> n%d [style=dashed, color=\"%s\", constraint=false];\n" a
+            b highlight_color)
       (Repro_order.Rel.transitive_reduction r));
+  List.iter
+    (fun (a, b) ->
+      pf
+        "  n%d -> n%d [style=bold, color=\"%s\", penwidth=2.0, \
+         constraint=false];\n"
+        a b highlight_color)
+    highlight_edges;
   pf "}\n";
   Buffer.contents buf
 

@@ -13,8 +13,21 @@
 
 open Repro_model
 
-val forest : ?obs:Repro_order.Rel.t -> History.t -> string
+val forest :
+  ?obs:Repro_order.Rel.t ->
+  ?highlight_nodes:Repro_order.Ids.Int_set.t ->
+  ?highlight_edges:(Repro_order.Ids.id * Repro_order.Ids.id) list ->
+  ?annotate:(Repro_order.Ids.id -> string option) ->
+  History.t ->
+  string
 (** [forest ?obs h] is a DOT digraph of the execution trees; when [obs] is
-    given, its pairs are drawn as dashed constraint edges. *)
+    given, its pairs are drawn as dashed constraint edges (the transitive
+    reduction, so trees stay readable).
+
+    Forensic decorations, all off by default: [highlight_nodes] draw with a
+    bold red border (keeping their schedule fill), [highlight_edges] as
+    solid bold red non-constraint edges — a witness cycle, typically — and
+    [annotate] appends an extra label line to the nodes it is [Some] for.
+    An [obs] pair also listed in [highlight_edges] is drawn once, bold. *)
 
 val invocation_graph : History.t -> string

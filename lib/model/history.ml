@@ -243,6 +243,15 @@ let schedules_at_level h l =
 
 let pp_node h ppf i = Fmt.pf ppf "%a#%d" Label.pp h.nodes.(i).label i
 
+let pp_node_sched h ppf i =
+  (* The owning schedule: the one the node is an operation of; a root is
+     nobody's operation, so fall back to the schedule it is a transaction
+     of.  Leaves always have an owner, so the bare fallback never fires. *)
+  match (sched_of_op h i, sched_of_tx h i) with
+  | Some s, _ | None, Some s ->
+    Fmt.pf ppf "%a@@%s" (pp_node h) i h.scheds.(s).sname
+  | None, None -> pp_node h ppf i
+
 let pp ppf h =
   let pp_rel_named name ppf r =
     if not (Rel.is_empty r) then Fmt.pf ppf "@ %s: %a" name Rel.pp r

@@ -174,6 +174,12 @@ val pp : Format.formatter -> t -> unit
 val pp_node : t -> Format.formatter -> id -> unit
 (** Renders a node as [name(args)#id]. *)
 
+val pp_node_sched : t -> Format.formatter -> id -> unit
+(** Renders a node as [name(args)#id@schedule], where the schedule is the
+    one the node is an {e operation} of (for roots: the schedule they are a
+    transaction of).  The forensic rendering — a bare id means nothing once
+    a cycle spans several components. *)
+
 (** {1 Construction} *)
 
 module Builder : sig

@@ -1,0 +1,219 @@
+open Repro_order
+open Repro_model
+open Ids
+module B = History.Builder
+module Compc = Repro_core.Compc
+module Reduction = Repro_core.Reduction
+
+let restrict h ~keep =
+  let n = History.n_nodes h in
+  (* Downward closure: parents have smaller ids than their children (builder
+     allocation order), so one ascending pass settles survival. *)
+  let kept = Array.make n false in
+  for i = 0 to n - 1 do
+    kept.(i) <-
+      Int_set.mem i keep
+      && (match History.parent h i with None -> true | Some p -> kept.(p))
+  done;
+  let map = Array.make n (-1) in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    if kept.(i) then begin
+      map.(i) <- !next;
+      incr next
+    end
+  done;
+  let both x y = x < n && y < n && kept.(x) && kept.(y) in
+  let b = B.create () in
+  List.iter
+    (fun (s : History.schedule) ->
+      let conflict =
+        match s.History.conflict with
+        | Conflict.Explicit pairs ->
+          (* Explicit specs carry node ids; pairs with a dropped endpoint
+             are gone along with the endpoint. *)
+          Conflict.Explicit
+            (List.filter_map
+               (fun (x, y) ->
+                 if both x y then Some (map.(x), map.(y)) else None)
+               pairs)
+        | spec -> spec
+      in
+      let sid = B.schedule b ~conflict s.History.sname in
+      assert (sid = s.History.sid))
+    (History.schedules h);
+  for i = 0 to n - 1 do
+    if kept.(i) then begin
+      let nd = History.node h i in
+      let id =
+        match (nd.History.parent, nd.History.sched) with
+        | None, Some sched -> B.root b ~sched nd.History.label
+        | Some p, Some sched -> B.tx b ~parent:map.(p) ~sched nd.History.label
+        | Some p, None -> B.leaf b ~parent:map.(p) nd.History.label
+        | None, None -> assert false
+      in
+      assert (id = map.(i))
+    end
+  done;
+  for i = 0 to n - 1 do
+    if kept.(i) then begin
+      let nd = History.node h i in
+      Rel.iter
+        (fun x y -> if both x y then B.intra_weak b ~a:map.(x) ~b:map.(y))
+        nd.History.intra_weak;
+      Rel.iter
+        (fun x y -> if both x y then B.intra_strong b ~a:map.(x) ~b:map.(y))
+        nd.History.intra_strong
+    end
+  done;
+  List.iter
+    (fun (s : History.schedule) ->
+      (* Root input orders; non-root input orders are re-derived by seal. *)
+      let root_pair x y = History.is_root h x && History.is_root h y in
+      Rel.iter
+        (fun x y ->
+          if root_pair x y && both x y then B.input_weak b ~a:map.(x) ~b:map.(y))
+        s.History.weak_in;
+      Rel.iter
+        (fun x y ->
+          if root_pair x y && both x y then
+            B.input_strong b ~a:map.(x) ~b:map.(y))
+        s.History.strong_in;
+      if s.History.log <> [] then begin
+        (* The shrunken execution's log: the kept operations in the original
+           serialization order.  Explicit outputs are dropped and re-derived
+           from it — a stale output restriction next to a changed log is the
+           same hazard {!Clone.with_logs} guards against. *)
+        match
+          List.filter_map
+            (fun v -> if kept.(v) then Some map.(v) else None)
+            s.History.log
+        with
+        | [] -> ()
+        | log -> B.log b ~sched:s.History.sid log
+      end
+      else begin
+        Rel.iter
+          (fun x y -> if both x y then B.weak_out b ~a:map.(x) ~b:map.(y))
+          s.History.weak_out;
+        Rel.iter
+          (fun x y -> if both x y then B.strong_out b ~a:map.(x) ~b:map.(y))
+          s.History.strong_out
+      end)
+    (History.schedules h);
+  B.seal b
+
+type result = {
+  history : History.t;
+  kind : string;
+  probes : int;
+  dropped_roots : int;
+  dropped_nodes : int;
+}
+
+let failure_kind_of h =
+  match (Compc.check h).Compc.certificate.Reduction.outcome with
+  | Ok _ -> None
+  | Error f -> Some (Reduction.failure_kind f)
+
+let subtree h r = Int_set.add r (History.descendants h r)
+
+let keep_of_roots h roots =
+  List.fold_left (fun acc r -> Int_set.union acc (subtree h r)) Int_set.empty roots
+
+let all_nodes h =
+  Int_set.of_list (List.init (History.n_nodes h) (fun i -> i))
+
+(* Classic ddmin over a list: try removing complement chunks at increasing
+   granularity until no chunk can go.  [test] decides whether a {e subset}
+   still reproduces; the result is 1-minimal w.r.t. removing any single
+   element [test] was allowed to probe within the budget. *)
+let ddmin test xs =
+  let remove_chunk xs start len =
+    List.filteri (fun i _ -> i < start || i >= start + len) xs
+  in
+  let rec go xs n =
+    let len = List.length xs in
+    if len <= 1 || n > len then xs
+    else begin
+      let chunk = (len + n - 1) / n in
+      let rec try_chunks start =
+        if start >= len then None
+        else
+          let candidate = remove_chunk xs start (min chunk (len - start)) in
+          if candidate <> [] && test candidate then Some candidate
+          else try_chunks (start + chunk)
+      in
+      match try_chunks 0 with
+      | Some candidate -> go candidate (max 2 (n - 1))
+      | None -> if n >= len then xs else go xs (min len (2 * n))
+    end
+  in
+  go xs 2
+
+let shrink ?(max_probes = 2000) h =
+  match failure_kind_of h with
+  | None -> None
+  | Some kind ->
+    let probes = ref 0 in
+    let reproduces cand =
+      Validate.check cand = [] && failure_kind_of cand = Some kind
+    in
+    (* Probe a keep-set against the current history; [None] when the budget
+       is spent or the candidate loses the failure. *)
+    let try_keep cur keep =
+      if !probes >= max_probes then None
+      else begin
+        incr probes;
+        let cand = restrict cur ~keep in
+        if reproduces cand then Some cand else None
+      end
+    in
+    (* Phase 1 on each round: ddmin over the root list (root ids are stable
+       while the base history [cur] is fixed; the survivor set is committed
+       once, at the end of the phase). *)
+    let ddmin_roots cur =
+      let roots = History.roots cur in
+      let surviving =
+        ddmin
+          (fun subset -> try_keep cur (keep_of_roots cur subset) <> None)
+          roots
+      in
+      if List.length surviving = List.length roots then cur
+      else restrict cur ~keep:(keep_of_roots cur surviving)
+    in
+    (* Phase 2: greedy single-subtree drops over non-root nodes.  Each
+       commit renumbers ids, so restart the scan on the new history; the
+       scan runs high-to-low so freshly declared (deep) nodes go first. *)
+    let rec drop_subtrees cur =
+      let n = History.n_nodes cur in
+      let rec scan v =
+        if v < 0 then cur
+        else if History.is_root cur v then scan (v - 1)
+        else
+          match try_keep cur (Int_set.diff (all_nodes cur) (subtree cur v)) with
+          | Some cand -> drop_subtrees cand
+          | None -> scan (v - 1)
+      in
+      scan (n - 1)
+    in
+    (* Alternate until a whole round changes nothing: dropping operations
+       can unlock further root drops and vice versa.  At the fixpoint no
+       single root subtree and no single node subtree can be removed — the
+       1-minimality the caller gets (modulo an exhausted budget). *)
+    let rec rounds cur =
+      let cur' = drop_subtrees (ddmin_roots cur) in
+      if History.n_nodes cur' = History.n_nodes cur || !probes >= max_probes
+      then cur'
+      else rounds cur'
+    in
+    let final = rounds h in
+    Some
+      {
+        history = final;
+        kind;
+        probes = !probes;
+        dropped_roots =
+          List.length (History.roots h) - List.length (History.roots final);
+        dropped_nodes = History.n_nodes h - History.n_nodes final;
+      }

@@ -1,0 +1,45 @@
+(** Counterexample shrinking for rejected histories.
+
+    A rejected execution out of the generators or the simulator easily has
+    hundreds of nodes; the witness cycle only ever involves a handful.  The
+    shrinker reduces such a history to a {e 1-minimal} sub-history with the
+    same {!Repro_core.Reduction.failure_kind}: delta-debugging over the root
+    transactions first (whole composite transactions are the cheap big
+    bites), then greedy subtree drops over the remaining operations, until
+    no single further drop preserves the failure.
+
+    Sub-histories are built by {!restrict}: identifiers are re-packed
+    densely (the builder demands it), so the shrunken history's ids do not
+    match the original's — render it, don't cross-reference it.  Purely a
+    forensic tool: nothing on the accept path calls into it. *)
+
+open Repro_order.Ids
+open Repro_model
+
+val restrict : History.t -> keep:Int_set.t -> History.t
+(** The sub-history induced by [keep], closed downward: a node survives iff
+    it and all its ancestors are in [keep] (dropping a node drops its whole
+    subtree).  Surviving nodes are renumbered densely in the original id
+    order; schedules all survive (possibly emptied), [Explicit] conflict
+    pairs are remapped, intra/input orders and logs are restricted.  A
+    schedule with a log gets the restricted log and re-derived minimal
+    outputs; a schedule described by explicit output orders keeps their
+    restriction (mirroring {!Clone.with_logs}'s staleness rule). *)
+
+type result = {
+  history : History.t;  (** The 1-minimal (within budget) sub-history. *)
+  kind : string;
+      (** The preserved {!Repro_core.Reduction.failure_kind} of the original
+          rejection — the shrunken history reproduces exactly this kind. *)
+  probes : int;  (** Candidate sub-histories checked. *)
+  dropped_roots : int;  (** Root subtrees removed. *)
+  dropped_nodes : int;  (** Total nodes removed, including root subtrees. *)
+}
+
+val shrink : ?max_probes:int -> History.t -> result option
+(** [shrink h] is [None] when [h] is accepted by Comp-C; otherwise a
+    reduced sub-history that still validates against the model and is
+    rejected with the same failure kind.  Every candidate costs one
+    validation plus one Comp-C check; [max_probes] (default 2000) bounds
+    the total.  If the budget runs out the current — still reproducing,
+    possibly not 1-minimal — history is returned. *)
