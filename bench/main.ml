@@ -9,6 +9,7 @@ open Repro_model
 open Repro_workload
 module F = Figures
 module Compc = Repro_core.Compc
+module Shrink = Repro_core.Shrink
 module Sim = Repro_runtime.Sim
 module Workloads = Repro_runtime.Workloads
 
@@ -932,6 +933,144 @@ let e14 () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* E15: engine parity — one session vs split cold invocations          *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  section "e15" "Certification engine: one session vs split invocations";
+  Fmt.pr
+    "  The engine unification claim: servicing a verdict and its evidence@.\
+     report from one analysis session beats the pre-engine flow of two@.\
+     cold CLI runs (check, then explain re-parsing and re-analyzing),@.\
+     while the batch accept path pays no measurable session overhead:@.";
+  let reps =
+    match Sys.getenv_opt "REPRO_E15_REPS" with
+    | Some v -> (try max 1 (int_of_string v) with _ -> 25)
+    | None -> 25
+  in
+  let sim_reject =
+    let w = Option.get (Workloads.find "federated") in
+    let params =
+      {
+        Sim.default_params with
+        Sim.protocol = Sim.Locking { closed = false };
+        clients = 6;
+        txs_per_client = 8;
+        seed = 5;
+        lock_timeout = 6.0;
+        backoff = 2.0;
+      }
+    in
+    (Sim.run params w.Workloads.topology ~gen:w.Workloads.gen).Sim.history
+  in
+  let corpus =
+    [
+      ("figure3", (F.figure3 ()).F.ht);
+      ("figure4-conflict", (F.figure4 ~conflicting_top:true ()).F.ht);
+      ("input-order-chain", F.input_order_chain ());
+      ("sim-federated-open", sim_reject);
+    ]
+  in
+  Fmt.pr "  %-20s %6s %12s %12s %8s@." "history" "nodes" "split-ms"
+    "session-ms" "speedup";
+  let rows =
+    List.map
+      (fun (name, h) ->
+        let text = Repro_histlang.Syntax.to_string h in
+        (* The pre-engine CLI flow: `compcheck FILE` followed by
+           `compcheck FILE --explain --format json`.  Each invocation
+           parsed and ran the criterion report from scratch, and the
+           explain run additionally re-ran the whole pipeline inside
+           [Compc.check] to obtain the evidence's certificate — three
+           closure+reduction passes end to end. *)
+        let (), _, split_w =
+          time (fun () ->
+              for _ = 1 to reps do
+                let h1 = Repro_histlang.Syntax.parse text in
+                ignore (Repro_criteria.Classic.accepted_by h1);
+                let h2 = Repro_histlang.Syntax.parse text in
+                ignore (Repro_criteria.Classic.accepted_by h2);
+                ignore
+                  (Json.to_string
+                     (Repro_forensics.Evidence.to_json
+                        (Repro_forensics.Evidence.build (Compc.check h2))))
+              done)
+        in
+        (* The engine flow of the new check subcommand: one parse, one
+           session, the criterion report reading the session verdict and
+           the evidence assembled from the session's caches. *)
+        let (), _, session_w =
+          time (fun () ->
+              for _ = 1 to reps do
+                let h1 = Repro_histlang.Syntax.parse text in
+                let s = Repro_core.Engine.of_history h1 in
+                ignore
+                  (Repro_criteria.Classic.accepted_by
+                     ~compc:(Repro_core.Engine.accepted s)
+                     h1);
+                ignore
+                  (Json.to_string
+                     (Repro_forensics.Evidence.to_json
+                        (Repro_forensics.Evidence.of_session s)))
+              done)
+        in
+        let speedup = split_w /. session_w in
+        Fmt.pr "  %-20s %6d %12.3f %12.3f %7.2fx@." name (History.n_nodes h)
+          (split_w *. 1e3 /. float_of_int reps)
+          (session_w *. 1e3 /. float_of_int reps)
+          speedup;
+        ( name,
+          Json.Obj
+            [
+              ("nodes", Json.Int (History.n_nodes h));
+              ("split_wall_s", Json.Float (split_w /. float_of_int reps));
+              ("session_wall_s", Json.Float (session_w /. float_of_int reps));
+              ("speedup", Json.Float speedup);
+            ] ))
+      corpus
+  in
+  (* Accept-path control: the batch entry point now constructs a session
+     per check; against the bare pipeline (closure + reduction, no session,
+     no certificate bookkeeping) the overhead must stay in the noise.  Two
+     identical corpora so both sides run against cold conflict memos. *)
+  let mk () =
+    List.init 60 (fun i ->
+        Gen.stack (Prng.create ~seed:(7_000 + i)) ~levels:2 ~roots:4)
+  in
+  let direct_corpus = mk () and engine_corpus = mk () in
+  let (), _, direct_w =
+    time (fun () ->
+        List.iter
+          (fun h ->
+            ignore
+              (Repro_core.Reduction.reduce ~rel:(Repro_core.Observed.compute h) h))
+          direct_corpus)
+  in
+  let (), _, engine_w =
+    time (fun () ->
+        List.iter (fun h -> ignore (Compc.check h)) engine_corpus)
+  in
+  let n_acc = List.length direct_corpus in
+  let overhead = (engine_w -. direct_w) /. direct_w *. 100.0 in
+  Fmt.pr
+    "  accept-path control: %d checks, bare pipeline %.3f ms, engine %.3f ms \
+     (%+.1f%%)@."
+    n_acc (direct_w *. 1e3) (engine_w *. 1e3) overhead;
+  record_json "e15"
+    (Json.Obj
+       [
+         ("rows", Json.Obj rows);
+         ( "accept_path",
+           Json.Obj
+             [
+               ("checks", Json.Int n_acc);
+               ("direct_wall_s", Json.Float direct_w);
+               ("engine_wall_s", Json.Float engine_w);
+               ("overhead_pct", Json.Float overhead);
+             ] );
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -988,7 +1127,8 @@ let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("perf", perf); ("micro", micro);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("perf", perf);
+    ("micro", micro);
   ]
 
 let () =

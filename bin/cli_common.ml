@@ -1,0 +1,78 @@
+(* Plumbing shared by the compcheck/compgen/compsim command-line tools:
+   the release version, history input (file or stdin) with parse-error
+   mapping, the model-validation gate with its exit-code policy, and the
+   output-file helpers.  Every subcommand module builds on these so the
+   three binaries agree on behaviour at the edges. *)
+
+let version = "1.1.0"
+
+let read_history path =
+  try
+    if path = "-" then begin
+      (* [Buffer.add_channel] raises [End_of_file] on a short read and
+         discards the partial chunk, so read through [input], which returns
+         what is available and 0 only at end of file. *)
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec slurp () =
+        let n = input stdin chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          slurp ()
+        end
+      in
+      slurp ();
+      Ok (Repro_histlang.Syntax.parse (Buffer.contents buf))
+    end
+    else Ok (Repro_histlang.Syntax.parse_file path)
+  with
+  | Repro_histlang.Syntax.Parse_error e ->
+    Error (Fmt.str "parse error: %a" Repro_histlang.Syntax.pp_error e)
+  | Invalid_argument msg -> Error (Fmt.str "invalid history: %s" msg)
+  | Sys_error msg -> Error msg
+
+(* Read [path], validate against the composite-system model, and run [k] on
+   the history.  Exit-code policy: 2 on a read/parse error and on model
+   violations unless [skip_validation]; [brief] is batch mode, where
+   diagnostics become single [path: ...] lines on [ppf].  The violation
+   listing itself always goes to [eppf]. *)
+let with_history ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief
+    ~skip_validation path k =
+  match read_history path with
+  | Error msg ->
+    if brief then Fmt.pf ppf "%s: error: %s@." path msg
+    else Fmt.pf eppf "compcheck: %s@." msg;
+    2
+  | Ok h ->
+    let validation = Repro_model.Validate.check h in
+    if validation <> [] then begin
+      if brief && not skip_validation then
+        Fmt.pf ppf "%s: invalid: %d model violation%s@." path
+          (List.length validation)
+          (if List.length validation = 1 then "" else "s")
+      else begin
+        Fmt.pf eppf "%s violates the composite-system model (Defs. 3-4):@."
+          (if path = "-" then "history" else path);
+        List.iter
+          (fun e -> Fmt.pf eppf "  %a@." (Repro_model.Validate.pp_error h) e)
+          validation
+      end
+    end;
+    if validation <> [] && not skip_validation then 2 else k h
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+(* JSON dump with the tool-prefixed error message and exit 2 on I/O
+   trouble, as the simulator's report writers expect. *)
+let write_json ~tool path json =
+  match open_out path with
+  | exception Sys_error msg ->
+    Fmt.epr "%s: %s@." tool msg;
+    exit 2
+  | oc ->
+    Repro_obs.Json.to_channel oc json;
+    output_char oc '\n';
+    close_out oc

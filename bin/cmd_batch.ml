@@ -1,0 +1,58 @@
+(* The batch subcommand: run one per-file check over many FILEs on a
+   domain pool and print one buffered output block per file, in argument
+   order, whatever the pool's interleaving was.  [check] is the per-file
+   runner (the check or monitor subcommand partially applied); it receives
+   private formatters and returns the file's exit code.  The batch exit
+   code is the worst per-file code. *)
+
+let rec take n = function
+  | x :: rest when n > 0 ->
+    let hd, tl = take (n - 1) rest in
+    (x :: hd, tl)
+  | rest -> ([], rest)
+
+let run ?jobs ~fail_fast check paths =
+  (* Each worker parses its own history (so the per-history conflict
+     cache is never shared between domains) and writes into private
+     buffers; the main domain prints the blocks in argument order. *)
+  let worker path =
+    let bo = Buffer.create 256 and be = Buffer.create 64 in
+    let ppf = Fmt.with_buffer bo and eppf = Fmt.with_buffer be in
+    let code = check ~ppf ~eppf path in
+    Format.pp_print_flush ppf ();
+    Format.pp_print_flush eppf ();
+    (Buffer.contents bo, Buffer.contents be, code)
+  in
+  let print_wave worst results =
+    List.fold_left
+      (fun worst (out, err, code) ->
+        print_string out;
+        prerr_string err;
+        max worst code)
+      worst results
+  in
+  if not fail_fast then print_wave 0 (Repro_par.Pool.parmap ?jobs worker paths)
+  else begin
+    (* Fail-fast: dispatch job-sized waves and stop after the first
+       wave containing a reject or error.  Output stays buffered and
+       in argument order within each wave, so up to jobs-1 files after
+       the first failing one may still be checked and reported; files
+       in later waves are not touched at all. *)
+    let j =
+      max 1
+        (match jobs with Some j -> j | None -> Repro_par.Pool.default_jobs ())
+    in
+    let rec go worst remaining =
+      match remaining with
+      | [] -> worst
+      | remaining when worst > 0 ->
+        flush stdout;
+        Fmt.epr "compcheck: fail-fast: %d file(s) not checked@."
+          (List.length remaining);
+        worst
+      | remaining ->
+        let wave, rest = take j remaining in
+        go (print_wave worst (Repro_par.Pool.parmap ~jobs:j worker wave)) rest
+    in
+    go 0 paths
+  end

@@ -1,0 +1,153 @@
+(* The check subcommand: one file's complete batch run.  A single
+   {!Repro_core.Engine} session is constructed per history and serves
+   every consumer of the analysis — the criterion report (the Comp-C
+   column reads the session verdict), the --dot renderings (the session's
+   observed order), the --explain evidence report (the session's caches)
+   and the --stats reduction profile (the session's telemetry sink) — so
+   the closure and the conflict memo are computed exactly once whatever
+   combination of flags is given.
+
+   [brief] is batch mode: the verdict is a single [path: ...] line
+   (configuration summary suppressed) so a many-file run reads as a table.
+   All output goes through [ppf]/[eppf] so batch mode can buffer it per
+   file and print blocks in argument order whatever the domain-pool
+   interleaving was. *)
+open Repro_model
+
+(* --stats: the per-level reduction profile, printed from the events and
+   metrics the session's own analysis recorded — not a re-run. *)
+let print_stats ppf trace metrics =
+  let module Trace = Repro_obs.Trace in
+  let module Metrics = Repro_obs.Metrics in
+  let module Json = Repro_obs.Json in
+  let arg_int e k =
+    match List.assoc_opt k e.Trace.args with Some (Json.Int i) -> Some i | _ -> None
+  in
+  let arg_str e k =
+    match List.assoc_opt k e.Trace.args with
+    | Some (Json.String s) -> Some s
+    | _ -> None
+  in
+  let gauge name =
+    match Metrics.gauge_value metrics name with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  Fmt.pf ppf "--- Comp-C reduction profile ---@.";
+  (match Metrics.summary metrics "compc.observed_wall_s" with
+  | Some s ->
+    Fmt.pf ppf
+      "observed order: %d base pairs -> %d pairs after closure, %d rounds, %.3f ms@."
+      (gauge "compc.obs_base_pairs") (gauge "compc.obs_pairs")
+      (gauge "compc.obs_rounds") (s.Metrics.sum *. 1e3)
+  | None -> ());
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.name with
+      | "front_init" ->
+        Fmt.pf ppf "level-0 front: %d members@."
+          (Option.value ~default:0 (arg_int e "members"))
+      | "reduction_step" ->
+        let level = Option.value ~default:0 (arg_int e "level") in
+        let prev = Option.value ~default:0 (arg_int e "prev_front") in
+        let outcome = Option.value ~default:"?" (arg_str e "outcome") in
+        Fmt.pf ppf "step %d: %d -> %s members, %s clusters, %.3f ms [%s]@." level
+          prev
+          (match arg_int e "front" with Some n -> string_of_int n | None -> "-")
+          (match arg_int e "clusters" with Some n -> string_of_int n | None -> "-")
+          (e.Trace.dur /. 1e3) outcome
+      | "failure" ->
+        Fmt.pf ppf "failure: %s@." (Option.value ~default:"?" (arg_str e "kind"))
+      | _ -> ())
+    (Trace.events trace);
+  match Metrics.summary metrics "compc.check_wall_s" with
+  | Some s ->
+    Fmt.pf ppf "total: %.3f ms, verdict %s@." (s.Metrics.sum *. 1e3)
+      (if Metrics.counter_value metrics "compc.accept" > 0 then "accept"
+       else "reject")
+  | None -> ()
+
+let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
+    format shrink stats skip_validation dot path =
+  (* A forensic request is an explain request: --shrink and the machine
+     formats only make sense on the evidence report. *)
+  let explain = explain || shrink || format <> `Text in
+  (* With a machine format the human verdict lines move to stderr so
+     stdout is exactly one JSON document / DOT graph, pipeable as is. *)
+  let hpf = if format = `Text then ppf else eppf in
+  Cli_common.with_history ~ppf ~eppf ~brief ~skip_validation path @@ fun h ->
+  let trace =
+    if stats then Repro_obs.Trace.create () else Repro_obs.Trace.null
+  in
+  let metrics =
+    if stats then Repro_obs.Metrics.create () else Repro_obs.Metrics.null
+  in
+  let session =
+    Repro_core.Engine.of_history ~obs:(Repro_obs.Sink.v ~trace ~metrics ()) h
+  in
+  (match dot with
+  | Some prefix ->
+    let rel = Option.get (Repro_core.Engine.relations session) in
+    let write name text =
+      Cli_common.write_file (prefix ^ name) text;
+      Fmt.pf hpf "wrote %s%s@." prefix name
+    in
+    write "-forest.dot"
+      (Repro_histlang.Dot.forest ~obs:rel.Repro_core.Observed.obs h);
+    write "-invocations.dot" (Repro_histlang.Dot.invocation_graph h)
+  | None -> ());
+  let report =
+    Repro_criteria.Classic.accepted_by
+      ~compc:(Repro_core.Engine.accepted session)
+      h
+  in
+  let shape = Repro_criteria.Shapes.classify h in
+  if not brief then
+    Fmt.pf hpf
+      "configuration: %a, order %d, %d schedules, %d transactions, %d leaves@."
+      Repro_criteria.Shapes.pp shape (History.order h)
+      (History.n_schedules h)
+      (List.length (History.roots h) + List.length (History.internal_nodes h))
+      (List.length (History.leaves h));
+  let criterion =
+    (* case-insensitive convenience: comp-c, scc, ... all work *)
+    let lc = String.lowercase_ascii criterion in
+    match
+      List.find_opt (fun (n, _) -> String.lowercase_ascii n = lc) report
+    with
+    | Some (n, _) -> n
+    | None -> criterion
+  in
+  let verdict v = if v then "accept" else "reject" in
+  match criterion with
+  | "all" | "ALL" | "All" ->
+    if brief then
+      Fmt.pf ppf "%s: %a@." path
+        Fmt.(
+          list ~sep:(any "  ") (fun ppf (n, v) ->
+              Fmt.pf ppf "%s=%s" n (verdict v)))
+        report
+    else
+      List.iter
+        (fun (name, v) -> Fmt.pf hpf "%-8s %s@." name (verdict v))
+        report;
+    if explain then Cmd_explain.report ppf format shrink session;
+    if stats then print_stats hpf trace metrics;
+    if List.assoc "Comp-C" report then 0 else 1
+  | name -> (
+    match List.assoc_opt name report with
+    | None ->
+      Fmt.pf eppf
+        "compcheck: criterion %S does not apply to this configuration \
+         (available: %a)@."
+        name
+        Fmt.(list ~sep:comma string)
+        (List.map fst report);
+      2
+    | Some v ->
+      if brief then Fmt.pf ppf "%s: %s: %s@." path name (verdict v)
+      else Fmt.pf hpf "%s: %s@." name (verdict v);
+      if explain && name = "Comp-C" then
+        Cmd_explain.report ppf format shrink session;
+      if stats then print_stats hpf trace metrics;
+      if v then 0 else 1)

@@ -1,0 +1,17 @@
+(* Evidence rendering shared by the check and monitor subcommands: the
+   forensic report of a session's current verdict in the requested format.
+   Text is [Compc.explain] plus the provenance derivation chain of every
+   witness-cycle edge and the shrink summary; json/dot are the machine
+   renderings of {!Repro_forensics.Evidence}.  Everything is assembled
+   from the session's caches ([Evidence.of_session]) — the closure,
+   conflict memo and certificate the verdict was decided with are the
+   ones the report is built from. *)
+
+let report ?extra ppf format shrink session =
+  let ev = Repro_forensics.Evidence.of_session ~shrink ?extra session in
+  match format with
+  | `Text -> Repro_forensics.Evidence.pp ppf ev
+  | `Json ->
+    Fmt.pf ppf "%s@."
+      (Repro_obs.Json.to_string (Repro_forensics.Evidence.to_json ev))
+  | `Dot -> Fmt.pf ppf "%s" (Repro_forensics.Evidence.dot ev)

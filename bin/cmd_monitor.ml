@@ -1,0 +1,71 @@
+(* The monitor subcommand: streaming certification of one history's
+   root-prefix chain.  The k-prefix is certified by one incremental
+   {!Repro_core.Engine.extend} against the (k-1)-prefix's warm state, and
+   the loop stops at the first violating prefix index — the monitoring
+   story of the checker: "which commit broke the execution", not just "is
+   the final history correct".  The evidence report for the stopping
+   prefix is assembled from the same session: the incrementally maintained
+   relations stay warm and only the certificate is (lazily) derived over
+   them. *)
+open Repro_model
+
+let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief explain format shrink
+    skip_validation path =
+  let explain = explain || shrink || format <> `Text in
+  let hpf = if format = `Text then ppf else eppf in
+  Cli_common.with_history ~ppf ~eppf ~brief ~skip_validation path @@ fun h ->
+  let n = List.length (History.roots h) in
+  let s = Repro_core.Engine.create () in
+  let rec go k =
+    if k > n then begin
+      let fast = (Repro_core.Engine.stats s).Repro_core.Engine.fastpath_hits in
+      if brief then
+        Fmt.pf ppf "%s: monitor: accept (%d prefix%s)@." path n
+          (if n = 1 then "" else "es")
+      else
+        Fmt.pf hpf
+          "monitor: accept - all %d prefixes Comp-C (%d reductions skipped \
+           on the fast path)@."
+          n fast;
+      if explain then begin
+        (* A rootless history never entered the session; analyze it now so
+           the report has a frame to read. *)
+        if Repro_core.Engine.history s = None then
+          ignore (Repro_core.Engine.extend s h);
+        Cmd_explain.report ppf format shrink s
+      end;
+      0
+    end
+    else begin
+      let p = History.prefix_by_roots h k in
+      match Repro_core.Engine.extend s p with
+      | Repro_core.Engine.Accepted _ ->
+        if not brief then Fmt.pf hpf "prefix %d/%d: accept@." k n;
+        go (k + 1)
+      | Repro_core.Engine.Rejected f ->
+        let rel = Repro_core.Engine.relations s in
+        if brief then
+          Fmt.pf ppf "%s: monitor: reject at prefix %d/%d@." path k n
+        else begin
+          Fmt.pf hpf "prefix %d/%d: reject@." k n;
+          Fmt.pf hpf "first violating prefix: %d; %a@." k
+            (Repro_core.Reduction.pp_failure ?rel p)
+            f
+        end;
+        if explain then begin
+          let extra =
+            [
+              ( "prefix",
+                Repro_obs.Json.Obj
+                  [
+                    ("index", Repro_obs.Json.Int k);
+                    ("of", Repro_obs.Json.Int n);
+                  ] );
+            ]
+          in
+          Cmd_explain.report ~extra ppf format shrink s
+        end;
+        1
+    end
+  in
+  go 1

@@ -2,306 +2,15 @@
    the history description language.  Exit code 0 = all accepted, 1 = some
    history rejected, 2 = usage/parse/validation trouble.  With several FILE
    arguments the checks run on a domain pool (--jobs) and print one verdict
-   line per file, in argument order. *)
+   line per file, in argument order.
+
+   This file is only the command line: flag declarations and the dispatch
+   between the subcommand modules.  The work lives in {!Cmd_check} (batch
+   verdicts), {!Cmd_monitor} (streaming prefix certification) and
+   {!Cmd_batch} (the many-FILE domain pool); all of them drive one
+   {!Repro_core.Engine} session per history and render evidence through
+   {!Cmd_explain}. *)
 open Cmdliner
-open Repro_model
-
-let read_history path =
-  try
-    if path = "-" then begin
-      (* [Buffer.add_channel] raises [End_of_file] on a short read and
-         discards the partial chunk, so read through [input], which returns
-         what is available and 0 only at end of file. *)
-      let buf = Buffer.create 4096 in
-      let chunk = Bytes.create 4096 in
-      let rec slurp () =
-        let n = input stdin chunk 0 (Bytes.length chunk) in
-        if n > 0 then begin
-          Buffer.add_subbytes buf chunk 0 n;
-          slurp ()
-        end
-      in
-      slurp ();
-      Ok (Repro_histlang.Syntax.parse (Buffer.contents buf))
-    end
-    else Ok (Repro_histlang.Syntax.parse_file path)
-  with
-  | Repro_histlang.Syntax.Parse_error e ->
-    Error (Fmt.str "parse error: %a" Repro_histlang.Syntax.pp_error e)
-  | Invalid_argument msg -> Error (Fmt.str "invalid history: %s" msg)
-  | Sys_error msg -> Error msg
-
-(* --stats: re-run the Comp-C decision with telemetry attached and print a
-   per-level reduction profile from the recorded events and metrics. *)
-let print_stats ppf h =
-  let module Trace = Repro_obs.Trace in
-  let module Metrics = Repro_obs.Metrics in
-  let module Json = Repro_obs.Json in
-  let trace = Trace.create () in
-  let metrics = Metrics.create () in
-  ignore (Repro_core.Compc.check ~trace ~metrics h);
-  let arg_int e k =
-    match List.assoc_opt k e.Trace.args with Some (Json.Int i) -> Some i | _ -> None
-  in
-  let arg_str e k =
-    match List.assoc_opt k e.Trace.args with
-    | Some (Json.String s) -> Some s
-    | _ -> None
-  in
-  let gauge name =
-    match Metrics.gauge_value metrics name with
-    | Some v -> int_of_float v
-    | None -> 0
-  in
-  Fmt.pf ppf "--- Comp-C reduction profile ---@.";
-  (match Metrics.summary metrics "compc.observed_wall_s" with
-  | Some s ->
-    Fmt.pf ppf
-      "observed order: %d base pairs -> %d pairs after closure, %d rounds, %.3f ms@."
-      (gauge "compc.obs_base_pairs") (gauge "compc.obs_pairs")
-      (gauge "compc.obs_rounds") (s.Metrics.sum *. 1e3)
-  | None -> ());
-  List.iter
-    (fun (e : Trace.event) ->
-      match e.Trace.name with
-      | "front_init" ->
-        Fmt.pf ppf "level-0 front: %d members@."
-          (Option.value ~default:0 (arg_int e "members"))
-      | "reduction_step" ->
-        let level = Option.value ~default:0 (arg_int e "level") in
-        let prev = Option.value ~default:0 (arg_int e "prev_front") in
-        let outcome = Option.value ~default:"?" (arg_str e "outcome") in
-        Fmt.pf ppf "step %d: %d -> %s members, %s clusters, %.3f ms [%s]@." level
-          prev
-          (match arg_int e "front" with Some n -> string_of_int n | None -> "-")
-          (match arg_int e "clusters" with Some n -> string_of_int n | None -> "-")
-          (e.Trace.dur /. 1e3) outcome
-      | "failure" ->
-        Fmt.pf ppf "failure: %s@." (Option.value ~default:"?" (arg_str e "kind"))
-      | _ -> ())
-    (Trace.events trace);
-  match Metrics.summary metrics "compc.check_wall_s" with
-  | Some s ->
-    Fmt.pf ppf "total: %.3f ms, verdict %s@." (s.Metrics.sum *. 1e3)
-      (if Metrics.counter_value metrics "compc.accept" > 0 then "accept"
-       else "reject")
-  | None -> ()
-
-(* --explain rendering: the forensic evidence report in the requested
-   format.  Text is [Compc.explain] plus the provenance derivation chain of
-   every witness-cycle edge and the shrink summary; json/dot are the
-   machine renderings of {!Repro_forensics.Evidence}. *)
-let explain_report ?extra ppf format shrink v =
-  let ev = Repro_forensics.Evidence.build ~shrink ?extra v in
-  match format with
-  | `Text -> Repro_forensics.Evidence.pp ppf ev
-  | `Json ->
-    Fmt.pf ppf "%s@."
-      (Repro_obs.Json.to_string (Repro_forensics.Evidence.to_json ev))
-  | `Dot -> Fmt.pf ppf "%s" (Repro_forensics.Evidence.dot ev)
-
-(* One file's complete run.  [brief] is batch mode: the verdict is a single
-   [path: ...] line (configuration summary suppressed) so a many-file run
-   reads as a table.  All output goes through [ppf]/[eppf] so batch mode can
-   buffer it per file and print blocks in argument order whatever the
-   domain-pool interleaving was. *)
-let check_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
-    format shrink stats skip_validation dot path =
-  (* A forensic request is an explain request: --shrink and the machine
-     formats only make sense on the evidence report. *)
-  let explain = explain || shrink || format <> `Text in
-  (* With a machine format the human verdict lines move to stderr so
-     stdout is exactly one JSON document / DOT graph, pipeable as is. *)
-  let hpf = if format = `Text then ppf else eppf in
-  match read_history path with
-  | Error msg ->
-    if brief then Fmt.pf ppf "%s: error: %s@." path msg
-    else Fmt.pf eppf "compcheck: %s@." msg;
-    2
-  | Ok h ->
-    let validation = Validate.check h in
-    if validation <> [] then begin
-      if brief && not skip_validation then
-        Fmt.pf ppf "%s: invalid: %d model violation%s@." path
-          (List.length validation)
-          (if List.length validation = 1 then "" else "s")
-      else begin
-        Fmt.pf eppf "%s violates the composite-system model (Defs. 3-4):@."
-          (if path = "-" then "history" else path);
-        List.iter (fun e -> Fmt.pf eppf "  %a@." (Validate.pp_error h) e) validation
-      end
-    end;
-    if validation <> [] && not skip_validation then 2
-    else begin
-      (match dot with
-      | Some prefix ->
-        let rel = Repro_core.Observed.compute h in
-        let write name text =
-          let oc = open_out (prefix ^ name) in
-          output_string oc text;
-          close_out oc;
-          Fmt.pf hpf "wrote %s%s@." prefix name
-        in
-        write "-forest.dot"
-          (Repro_histlang.Dot.forest ~obs:rel.Repro_core.Observed.obs h);
-        write "-invocations.dot" (Repro_histlang.Dot.invocation_graph h)
-      | None -> ());
-      let report = Repro_criteria.Classic.accepted_by h in
-      let shape = Repro_criteria.Shapes.classify h in
-      if not brief then
-        Fmt.pf hpf
-          "configuration: %a, order %d, %d schedules, %d transactions, %d leaves@."
-          Repro_criteria.Shapes.pp shape (History.order h)
-          (History.n_schedules h)
-          (List.length (History.roots h) + List.length (History.internal_nodes h))
-          (List.length (History.leaves h));
-      let criterion =
-        (* case-insensitive convenience: comp-c, scc, ... all work *)
-        let lc = String.lowercase_ascii criterion in
-        match
-          List.find_opt (fun (n, _) -> String.lowercase_ascii n = lc) report
-        with
-        | Some (n, _) -> n
-        | None -> criterion
-      in
-      let verdict v = if v then "accept" else "reject" in
-      match criterion with
-      | "all" | "ALL" | "All" ->
-        if brief then
-          Fmt.pf ppf "%s: %a@." path
-            Fmt.(
-              list ~sep:(any "  ") (fun ppf (n, v) ->
-                  Fmt.pf ppf "%s=%s" n (verdict v)))
-            report
-        else
-          List.iter
-            (fun (name, v) -> Fmt.pf hpf "%-8s %s@." name (verdict v))
-            report;
-        if explain then
-          explain_report ppf format shrink (Repro_core.Compc.check h);
-        if stats then print_stats hpf h;
-        if List.assoc "Comp-C" report then 0 else 1
-      | name -> (
-        match List.assoc_opt name report with
-        | None ->
-          Fmt.pf eppf
-            "compcheck: criterion %S does not apply to this configuration \
-             (available: %a)@."
-            name
-            Fmt.(list ~sep:comma string)
-            (List.map fst report);
-          2
-        | Some v ->
-          if brief then Fmt.pf ppf "%s: %s: %s@." path name (verdict v)
-          else Fmt.pf hpf "%s: %s@." name (verdict v);
-          if explain && name = "Comp-C" then
-            explain_report ppf format shrink (Repro_core.Compc.check h);
-          if stats then print_stats hpf h;
-          if v then 0 else 1)
-    end
-
-(* --monitor: streaming certification of one history's root-prefix chain.
-   The k-prefix is certified by one incremental [Monitor.append] against the
-   (k-1)-prefix's warm state, and the loop stops at the first violating
-   prefix index — the monitoring story of the checker: "which commit broke
-   the execution", not just "is the final history correct". *)
-(* Assemble a [Compc.verdict] for the monitor's current prefix without
-   recomputing the observed-order closure: the incrementally maintained
-   relations are warm, only the (cold-path) reduction is re-run to obtain a
-   certificate for the evidence report. *)
-let verdict_of_monitor m fallback =
-  match
-    (Repro_core.Monitor.history m, Repro_core.Monitor.relations m)
-  with
-  | Some p, Some rel ->
-    {
-      Repro_core.Compc.history = p;
-      relations = rel;
-      certificate = Repro_core.Reduction.reduce ~rel p;
-    }
-  | _ -> Repro_core.Compc.check fallback
-
-let monitor_one ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief explain format
-    shrink skip_validation path =
-  let explain = explain || shrink || format <> `Text in
-  let hpf = if format = `Text then ppf else eppf in
-  match read_history path with
-  | Error msg ->
-    if brief then Fmt.pf ppf "%s: error: %s@." path msg
-    else Fmt.pf eppf "compcheck: %s@." msg;
-    2
-  | Ok h ->
-    let validation = Validate.check h in
-    if validation <> [] then begin
-      if brief && not skip_validation then
-        Fmt.pf ppf "%s: invalid: %d model violation%s@." path
-          (List.length validation)
-          (if List.length validation = 1 then "" else "s")
-      else begin
-        Fmt.pf eppf "%s violates the composite-system model (Defs. 3-4):@."
-          (if path = "-" then "history" else path);
-        List.iter (fun e -> Fmt.pf eppf "  %a@." (Validate.pp_error h) e) validation
-      end
-    end;
-    if validation <> [] && not skip_validation then 2
-    else begin
-      let n = List.length (History.roots h) in
-      let m = Repro_core.Monitor.create () in
-      let rec go k =
-        if k > n then begin
-          let fast = (Repro_core.Monitor.stats m).Repro_core.Monitor.fastpath_hits in
-          if brief then
-            Fmt.pf ppf "%s: monitor: accept (%d prefix%s)@." path n
-              (if n = 1 then "" else "es")
-          else
-            Fmt.pf hpf
-              "monitor: accept - all %d prefixes Comp-C (%d reductions skipped \
-               on the fast path)@."
-              n fast;
-          if explain then
-            explain_report ppf format shrink (verdict_of_monitor m h);
-          0
-        end
-        else begin
-          let p = History.prefix_by_roots h k in
-          match Repro_core.Monitor.append m p with
-          | Repro_core.Monitor.Accepted _ ->
-            if not brief then Fmt.pf hpf "prefix %d/%d: accept@." k n;
-            go (k + 1)
-          | Repro_core.Monitor.Rejected f ->
-            let rel = Repro_core.Monitor.relations m in
-            if brief then
-              Fmt.pf ppf "%s: monitor: reject at prefix %d/%d@." path k n
-            else begin
-              Fmt.pf hpf "prefix %d/%d: reject@." k n;
-              Fmt.pf hpf "first violating prefix: %d; %a@." k
-                (Repro_core.Reduction.pp_failure ?rel p)
-                f
-            end;
-            if explain then begin
-              let extra =
-                [
-                  ( "prefix",
-                    Repro_obs.Json.Obj
-                      [
-                        ("index", Repro_obs.Json.Int k);
-                        ("of", Repro_obs.Json.Int n);
-                      ] );
-                ]
-              in
-              explain_report ~extra ppf format shrink (verdict_of_monitor m p)
-            end;
-            1
-        end
-      in
-      go 1
-    end
-
-let rec take n = function
-  | x :: rest when n > 0 ->
-    let hd, tl = take (n - 1) rest in
-    (x :: hd, tl)
-  | rest -> ([], rest)
 
 let run paths criterion explain format shrink stats skip_validation dot jobs
     monitor fail_fast =
@@ -323,68 +32,25 @@ let run paths criterion explain format shrink stats skip_validation dot jobs
     match paths with
     | [ path ] ->
       if monitor then
-        monitor_one ~brief:false explain format shrink skip_validation path
+        Cmd_monitor.run ~brief:false explain format shrink skip_validation path
       else
-        check_one ~brief:false criterion explain format shrink stats
+        Cmd_check.run ~brief:false criterion explain format shrink stats
           skip_validation dot path
     | paths ->
       if dot <> None then begin
         Fmt.epr "compcheck: --dot requires a single FILE@.";
         2
       end
-      else begin
-        (* Each worker parses its own history (so the per-history conflict
-           cache is never shared between domains) and writes into private
-           buffers; the main domain prints the blocks in argument order. *)
-        let worker path =
-          let bo = Buffer.create 256 and be = Buffer.create 64 in
-          let ppf = Fmt.with_buffer bo and eppf = Fmt.with_buffer be in
-          let code =
+      else
+        Cmd_batch.run ?jobs ~fail_fast
+          (fun ~ppf ~eppf path ->
             if monitor then
-              monitor_one ~ppf ~eppf ~brief:true explain format shrink
+              Cmd_monitor.run ~ppf ~eppf ~brief:true explain format shrink
                 skip_validation path
             else
-              check_one ~ppf ~eppf ~brief:true criterion explain format shrink
-                stats skip_validation None path
-          in
-          Format.pp_print_flush ppf ();
-          Format.pp_print_flush eppf ();
-          (Buffer.contents bo, Buffer.contents be, code)
-        in
-        let print_wave worst results =
-          List.fold_left
-            (fun worst (out, err, code) ->
-              print_string out;
-              prerr_string err;
-              max worst code)
-            worst results
-        in
-        if not fail_fast then
-          print_wave 0 (Repro_par.Pool.parmap ?jobs worker paths)
-        else begin
-          (* Fail-fast: dispatch job-sized waves and stop after the first
-             wave containing a reject or error.  Output stays buffered and
-             in argument order within each wave, so up to jobs-1 files after
-             the first failing one may still be checked and reported; files
-             in later waves are not touched at all. *)
-          let j =
-            max 1 (match jobs with Some j -> j | None -> Repro_par.Pool.default_jobs ())
-          in
-          let rec go worst remaining =
-            match remaining with
-            | [] -> worst
-            | remaining when worst > 0 ->
-              flush stdout;
-              Fmt.epr "compcheck: fail-fast: %d file(s) not checked@."
-                (List.length remaining);
-              worst
-            | remaining ->
-              let wave, rest = take j remaining in
-              go (print_wave worst (Repro_par.Pool.parmap ~jobs:j worker wave)) rest
-          in
-          go 0 paths
-        end
-      end
+              Cmd_check.run ~ppf ~eppf ~brief:true criterion explain format
+                shrink stats skip_validation None path)
+          paths
 
 let paths_arg =
   let doc =
@@ -504,7 +170,7 @@ let cmd =
     ]
   in
   Cmd.v
-    (Cmd.info "compcheck" ~version:"1.0.0" ~doc ~man)
+    (Cmd.info "compcheck" ~version:Cli_common.version ~doc ~man)
     Term.(
       const run $ paths_arg $ criterion_arg $ explain_arg $ format_arg
       $ shrink_arg $ stats_arg $ skip_validation_arg $ dot_arg $ jobs_arg

@@ -22,10 +22,7 @@ let run shape seed roots levels branches schedules out =
     let text = Repro_histlang.Syntax.to_string h in
     (match out with
     | None -> print_string text
-    | Some path ->
-      let oc = open_out path in
-      output_string oc text;
-      close_out oc);
+    | Some path -> Cli_common.write_file path text);
     0
 
 let shape_arg =
@@ -59,7 +56,7 @@ let out_arg =
 let cmd =
   let doc = "generate random composite executions" in
   Cmd.v
-    (Cmd.info "compgen" ~version:"1.0.0" ~doc)
+    (Cmd.info "compgen" ~version:Cli_common.version ~doc)
     Term.(
       const run $ shape_arg $ seed_arg $ roots_arg $ levels_arg $ branches_arg
       $ schedules_arg $ out_arg)

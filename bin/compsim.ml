@@ -11,15 +11,7 @@ let protocol_of_string = function
   | "certify" -> Ok Sim.Certify
   | other -> Error other
 
-let write_json path json =
-  match open_out path with
-  | exception Sys_error msg ->
-    Fmt.epr "compsim: %s@." msg;
-    exit 2
-  | oc ->
-    Repro_obs.Json.to_channel oc json;
-    output_char oc '\n';
-    close_out oc
+let write_json path json = Cli_common.write_json ~tool:"compsim" path json
 
 let run workload protocol_name clients txs seed check dump evidence_out
     trace_out metrics_out =
@@ -84,14 +76,15 @@ let run workload protocol_name clients txs seed check dump evidence_out
       List.iter
         (fun e -> Fmt.pr "VALIDATION: %a@." (Repro_model.Validate.pp_error stats.Sim.history) e)
         errs;
-      let verdict = Repro_core.Compc.check stats.Sim.history in
-      let correct = Repro_core.Compc.is_correct_verdict verdict in
+      let session = Repro_core.Engine.of_history stats.Sim.history in
+      let correct = Repro_core.Engine.accepted session in
       Fmt.pr "model-valid=%b comp-c=%b@." (errs = []) correct;
       (match evidence_out with
       | Some path when errs = [] && not correct ->
         (* The forensic dump of the rejection: witness cycle with per-edge
-           observed-order provenance and a shrunken reproducer. *)
-        let ev = Repro_forensics.Evidence.build ~shrink:true verdict in
+           observed-order provenance and a shrunken reproducer, assembled
+           from the session that decided the verdict. *)
+        let ev = Repro_forensics.Evidence.of_session ~shrink:true session in
         write_json path (Repro_forensics.Evidence.to_json ev);
         Fmt.pr "evidence written to %s@." path
       | Some _ ->
@@ -167,7 +160,7 @@ let cmd =
     ]
   in
   Cmd.v
-    (Cmd.info "compsim" ~version:"1.0.0" ~doc ~man)
+    (Cmd.info "compsim" ~version:Cli_common.version ~doc ~man)
     Term.(
       const run $ workload_arg $ protocol_arg $ clients_arg $ txs_arg $ seed_arg
       $ check_arg $ dump_arg $ evidence_arg $ trace_arg $ metrics_arg)

@@ -7,23 +7,17 @@ type verdict = {
   certificate : Reduction.certificate;
 }
 
+(* One-shot facade over the engine: a fresh session, advanced once, its
+   state exposed as the traditional verdict record.  [Engine.analyze]
+   forces the certificate and emits the compc.* check metrics. *)
 let check ?(trace = Repro_obs.Trace.null) ?(metrics = Repro_obs.Metrics.null)
     history =
-  let telemetry =
-    Repro_obs.Trace.enabled trace || Repro_obs.Metrics.enabled metrics
-  in
-  let t0w = if telemetry then Repro_obs.Clock.now_wall () else 0.0 in
-  let t0c = if telemetry then Repro_obs.Clock.now_cpu () else 0.0 in
-  let relations = Observed.compute ~metrics history in
-  let certificate = Reduction.reduce ~rel:relations ~trace ~metrics history in
-  if telemetry then begin
-    Repro_obs.Metrics.incr metrics "compc.checks";
-    Repro_obs.Metrics.observe metrics "compc.check_wall_s"
-      (Repro_obs.Clock.now_wall () -. t0w);
-    Repro_obs.Metrics.observe metrics "compc.check_cpu_s"
-      (Repro_obs.Clock.now_cpu () -. t0c)
-  end;
-  { history; relations; certificate }
+  let s = Engine.of_history ~obs:(Repro_obs.Sink.v ~trace ~metrics ()) history in
+  {
+    history;
+    relations = Option.get (Engine.relations s);
+    certificate = Engine.certificate s;
+  }
 
 let is_correct_verdict v = Reduction.is_correct v.certificate
 

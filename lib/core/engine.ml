@@ -1,0 +1,436 @@
+open Repro_order
+open Repro_model
+open Ids
+module Sink = Repro_obs.Sink
+module Metrics = Repro_obs.Metrics
+module Clock = Repro_obs.Clock
+
+type verdict = Accepted of id list | Rejected of Reduction.failure
+
+(* One certified snapshot.  [cert] and [prov] are the lazily materialized
+   forensic extensions of the verdict: the incremental paths carry the
+   verdict without a reduction transcript, and nothing on the accept path
+   needs provenance, so both are derived on first demand — over the frame's
+   already-warm relations — and cached here. *)
+type frame = {
+  h : History.t;
+  rel : Observed.relations;
+  levels : int array; (* per-schedule levels; fast path requires them stable *)
+  verdict : verdict;
+  mutable cert : Reduction.certificate option;
+  mutable prov : Provenance.t option;
+}
+
+type t = {
+  obs : Sink.t;
+  mutable cur : frame option;
+  mutable snapshot : frame option option;
+      (* [Some s]: state before the last advance, available to [undo].
+         [None]: no undo available. *)
+  mutable appends : int;
+  mutable fastpath_hits : int;
+  mutable delta_hits : int;
+}
+
+type stats = { appends : int; fastpath_hits : int; delta_hits : int }
+
+type explanation = {
+  certificate : Reduction.certificate;
+  provenance : Provenance.t option;
+  cycle_edges : ((id * id) * Reduction.edge) list;
+}
+
+let create ?(obs = Sink.null) () =
+  {
+    obs;
+    cur = None;
+    snapshot = None;
+    appends = 0;
+    fastpath_hits = 0;
+    delta_hits = 0;
+  }
+
+let sink t = t.obs
+
+let levels_of h =
+  Array.init (History.n_schedules h) (fun s -> History.level h s)
+
+let verdict_of_certificate (c : Reduction.certificate) =
+  match c.Reduction.outcome with
+  | Ok serial -> Accepted serial
+  | Error f -> Rejected f
+
+(* The verdict can be carried unchanged when, relative to the previous
+   snapshot:
+   - the observed and input orders are unchanged (both only grow under
+     extension, so an empty difference is relation equality);
+   - every schedule kept its level — front membership and cluster maps
+     group nodes by level, so a level shift regroups old nodes;
+   - every new node hangs under a new node (or is a root): old
+     transactions then keep their intra orders, and new front members
+     touch no observed/input pair, so they enter every constraint graph
+     as isolated nodes;
+   - each new transaction's own weak intra order is acyclic (the only
+     edges a new, order-isolated subtree contributes to the Def. 14
+     feasibility check).
+   Under these conditions an accepting run stays accepting (isolated
+   nodes extend every topological order) and a rejecting run's witness
+   cycle — built from relations that did not shrink, over groupings that
+   did not move — is still a cycle. *)
+let fast_path_ok cur h =
+  let n_old = History.n_nodes cur.h in
+  let n_new = History.n_nodes h in
+  let ok = ref true in
+  (try
+     for i = n_old to n_new - 1 do
+       if
+         History.children h i <> []
+         && not (Rel.is_acyclic (History.node h i).History.intra_weak)
+       then raise Exit
+     done
+   with Exit -> ok := false);
+  !ok
+
+(* Every new node must hang under a new node or be a root: old
+   transactions then keep their children (shared nodes keep parents), so
+   their intra graphs, front membership and cluster assignments are all
+   unchanged by the extension. *)
+let structure_ok cur h =
+  let n_old = History.n_nodes cur.h in
+  let n_new = History.n_nodes h in
+  let ok = ref true in
+  (try
+     for i = n_old to n_new - 1 do
+       match History.parent h i with
+       | Some p when p < n_old -> raise Exit
+       | _ -> ()
+     done
+   with Exit -> ok := false);
+  !ok
+
+(* [forward n_old delta]: every pair the extension added points {e into}
+   the new block (target identifier at or above [n_old]; the source may be
+   old — logs and sessions only append, so old operations precede new
+   ones).  Then each front's constraint graph is block upper-triangular:
+   edges run old→old (unchanged), old→new and new→new, never new→old.  A
+   cycle cannot mix blocks — to re-enter the old block it would need a
+   new→old edge — so it lies entirely in the old block (impossible when
+   the previous verdict was [Accepted]: old relations, conflict status of
+   old pairs, levels and groupings are all unchanged) or entirely in the
+   new one.  The same argument applies per transaction to the Def. 14
+   feasibility graphs and, contracted, to the cluster quotients. *)
+let forward n_old delta =
+  try
+    Rel.iter (fun _ b -> if b < n_old then raise Exit) delta;
+    true
+  with Exit -> false
+
+exception Fail of Reduction.failure
+
+(* Re-run the reduction on the new block only: the part of every front,
+   feasibility graph and cluster quotient induced by nodes [>= n_old].
+   All pairs touching a new node are in the deltas (the previous relations
+   range over old nodes only), so [delta_obs]/[delta_inp] restricted to
+   new×new are exactly the new blocks of the full relations.  Returns the
+   serialization tail contributed by the new roots. *)
+let delta_reduce cur (rel : Observed.relations) ~delta_obs ~delta_inp h =
+  let n_old = History.n_nodes cur.h in
+  let is_new v = v >= n_old in
+  let new_pairs = Rel.filter (fun a b -> is_new a && is_new b) in
+  let obs2 = new_pairs delta_obs in
+  let inp2 = new_pairs delta_inp in
+  (* Def. 16 step 1 on the new block: input orders plus the observed pairs
+     that are generalized conflicts (commuting pairs may be swapped). *)
+  let constraints =
+    Rel.union inp2 (Rel.filter (fun a b -> Observed.conflict h rel a b) obs2)
+  in
+  let new_members lvl = Int_set.filter is_new (Front.members_at h lvl) in
+  let check_cc index members =
+    let b = Bitrel.create members in
+    let restrict r =
+      Rel.iter
+        (fun x y ->
+          if Int_set.mem x members && Int_set.mem y members then Bitrel.add b x y)
+        r
+    in
+    restrict obs2;
+    restrict inp2;
+    match Bitrel.find_cycle b with
+    | Some cycle -> raise (Fail (Reduction.Front_not_cc { index; cycle }))
+    | None -> ()
+  in
+  (* Mirrors [Reduction.reduce_step] on the new block: isolate the new
+     level-[lvl] transactions inside the new part of the previous front. *)
+  let step lvl prev_members =
+    let level_txs =
+      History.schedules_at_level h lvl
+      |> List.concat_map (fun s ->
+             Int_set.elements (History.schedule h s).History.transactions)
+      |> List.filter is_new
+    in
+    let cluster = Hashtbl.create 16 in
+    List.iter
+      (fun t ->
+        List.iter (fun c -> Hashtbl.replace cluster c t) (History.children h t))
+      level_txs;
+    let cls n = match Hashtbl.find_opt cluster n with Some t -> t | None -> n in
+    (* Intra-cluster feasibility (Def. 14) of the new transactions; the old
+       ones passed before over identical graphs. *)
+    let ops = Int_set.of_list (List.concat_map (History.children h) level_txs) in
+    let b = Bitrel.create ops in
+    Rel.iter
+      (fun x y ->
+        match (Hashtbl.find_opt cluster x, Hashtbl.find_opt cluster y) with
+        | Some t1, Some t2 when t1 = t2 -> Bitrel.add b x y
+        | _ -> ())
+      constraints;
+    List.iter
+      (fun t ->
+        Rel.iter (fun x y -> Bitrel.add b x y) (History.node h t).History.intra_weak)
+      level_txs;
+    (match Bitrel.find_cycle b with
+    | Some cycle ->
+      raise
+        (Fail
+           (Reduction.Intra_contradiction
+              { level = lvl; tx = History.parent_tx h (List.hd cycle); cycle }))
+    | None -> ());
+    (* Cluster quotient over the new part of the previous front.  Edges
+       between new clusters can only come from new×new constraint pairs
+       (children of new transactions are new), so [constraints] is
+       complete here. *)
+    let cluster_universe =
+      Int_set.fold (fun v acc -> Int_set.add (cls v) acc) prev_members
+        Int_set.empty
+    in
+    let quotient = Bitrel.create cluster_universe in
+    Rel.iter
+      (fun x y ->
+        if Int_set.mem x prev_members && Int_set.mem y prev_members then begin
+          let cx = cls x and cy = cls y in
+          if cx <> cy then Bitrel.add quotient cx cy
+        end)
+      constraints;
+    match Bitrel.find_cycle quotient with
+    | Some cycle ->
+      raise (Fail (Reduction.No_calculation { level = lvl; cluster_cycle = cycle }))
+    | None -> ()
+  in
+  try
+    let order = History.order h in
+    let members = ref (new_members 0) in
+    check_cc 0 !members;
+    for lvl = 1 to order do
+      step lvl !members;
+      members := new_members lvl;
+      check_cc lvl !members
+    done;
+    (* The final new front passed its CC check, so its constraint graph —
+       [obs2 ∪ inp2] restricted to it — is acyclic. *)
+    let graph =
+      Rel.filter
+        (fun x y -> Int_set.mem x !members && Int_set.mem y !members)
+        (Rel.union obs2 inp2)
+    in
+    match Rel.topo_sort ~nodes:!members graph with
+    | Some tail -> Ok tail
+    | None -> assert false
+  with Fail f -> Error f
+
+(* Advance the session to [h].  [monitor] selects the metric vocabulary:
+   the monitor-facing [extend] reports [monitor.appends] and
+   [monitor.append_wall_s]; the batch-facing [analyze] wraps this call in
+   the [compc.checks]/[compc.check_wall_s] vocabulary instead. *)
+let advance ~monitor t h =
+  let metrics = t.obs.Sink.metrics in
+  let enabled = monitor && Metrics.enabled metrics in
+  let t0 = if enabled then Clock.now_wall () else 0.0 in
+  let frame =
+    match t.cur with
+    | None ->
+      let rel = Observed.compute ~metrics h in
+      let certificate =
+        Reduction.reduce ~rel ~trace:t.obs.Sink.trace ~metrics h
+      in
+      {
+        h;
+        rel;
+        levels = levels_of h;
+        verdict = verdict_of_certificate certificate;
+        cert = Some certificate;
+        prov = None;
+      }
+    | Some cur ->
+      History.extend_cache ~from:cur.h h;
+      let n_old = History.n_nodes cur.h in
+      let rel = Observed.extend ~metrics ~prev:cur.rel ~n_old h in
+      let levels = levels_of h in
+      let delta_obs = Rel.diff rel.Observed.obs cur.rel.Observed.obs in
+      let delta_inp = Rel.diff rel.Observed.inp cur.rel.Observed.inp in
+      let stable = levels = cur.levels && structure_ok cur h in
+      let verdict, cert =
+        if
+          stable
+          && Rel.is_empty delta_obs
+          && Rel.is_empty delta_inp
+          && fast_path_ok cur h
+        then begin
+          t.fastpath_hits <- t.fastpath_hits + 1;
+          Metrics.incr metrics "monitor.fastpath_hits";
+          match cur.verdict with
+          | Rejected _ as r -> (r, None)
+          | Accepted serial ->
+            (* New roots are order-isolated on this path; appending them
+               in ascending id order is a valid linear extension. *)
+            let delta_roots =
+              List.filter (fun r -> r >= n_old) (History.roots h)
+            in
+            (Accepted (serial @ delta_roots), None)
+        end
+        else if stable && forward n_old delta_obs && forward n_old delta_inp
+        then begin
+          t.delta_hits <- t.delta_hits + 1;
+          Metrics.incr metrics "monitor.delta_hits";
+          match cur.verdict with
+          | Rejected _ as r ->
+            (* The old block — relations, conflict status, groupings — is
+               untouched, so the witness cycle survives the extension. *)
+            (r, None)
+          | Accepted serial -> (
+            match delta_reduce cur rel ~delta_obs ~delta_inp h with
+            | Ok tail ->
+              (* Old→new edges are consistent with every old-before-new
+                 interleaving, so concatenation is a linear extension of
+                 the full final front. *)
+              (Accepted (serial @ tail), None)
+            | Error f -> (Rejected f, None))
+        end
+        else
+          let c = Reduction.reduce ~rel ~trace:t.obs.Sink.trace ~metrics h in
+          (verdict_of_certificate c, Some c)
+      in
+      { h; rel; levels; verdict; cert; prov = None }
+  in
+  t.snapshot <- Some t.cur;
+  t.cur <- Some frame;
+  t.appends <- t.appends + 1;
+  if enabled then begin
+    Metrics.incr metrics "monitor.appends";
+    Metrics.observe metrics "monitor.append_wall_s" (Clock.now_wall () -. t0)
+  end;
+  frame.verdict
+
+let extend t h = advance ~monitor:true t h
+
+let frame_exn t name =
+  match t.cur with
+  | Some f -> f
+  | None -> invalid_arg ("Engine." ^ name ^ ": session holds no history")
+
+let certificate t =
+  let f = frame_exn t "certificate" in
+  match f.cert with
+  | Some c -> c
+  | None ->
+    (* The incremental paths carry the verdict without a transcript;
+       re-derive one over the warm relations (no closure recompute).  The
+       witness may differ in inessentials from the carried verdict's — see
+       the monitor's verdict-equivalence note — but the outcome agrees. *)
+    let c =
+      Reduction.reduce ~rel:f.rel ~trace:t.obs.Sink.trace
+        ~metrics:t.obs.Sink.metrics f.h
+    in
+    f.cert <- Some c;
+    c
+
+let analyze t h =
+  let metrics = t.obs.Sink.metrics in
+  let telemetry = Sink.enabled t.obs in
+  let t0w = if telemetry then Clock.now_wall () else 0.0 in
+  let t0c = if telemetry then Clock.now_cpu () else 0.0 in
+  let v = advance ~monitor:false t h in
+  (* Batch semantics: the certificate is part of the answer. *)
+  ignore (certificate t);
+  if telemetry then begin
+    Metrics.incr metrics "compc.checks";
+    Metrics.observe metrics "compc.check_wall_s" (Clock.now_wall () -. t0w);
+    Metrics.observe metrics "compc.check_cpu_s" (Clock.now_cpu () -. t0c)
+  end;
+  v
+
+let of_history ?obs h =
+  let t = create ?obs () in
+  ignore (analyze t h);
+  t
+
+let of_parts ?(obs = Sink.null) h rel certificate =
+  {
+    obs;
+    cur =
+      Some
+        {
+          h;
+          rel;
+          levels = levels_of h;
+          verdict = verdict_of_certificate certificate;
+          cert = Some certificate;
+          prov = None;
+        };
+    snapshot = None;
+    appends = 0;
+    fastpath_hits = 0;
+    delta_hits = 0;
+  }
+
+let undo t =
+  match t.snapshot with
+  | None -> invalid_arg "Engine.undo: no snapshot held (undo depth is one)"
+  | Some s ->
+    t.cur <- s;
+    t.snapshot <- None
+
+let verdict t = Option.map (fun f -> f.verdict) t.cur
+
+let accepted t =
+  match t.cur with
+  | None | Some { verdict = Accepted _; _ } -> true
+  | Some { verdict = Rejected _; _ } -> false
+
+let history t = Option.map (fun f -> f.h) t.cur
+
+let relations t = Option.map (fun f -> f.rel) t.cur
+
+let obs_pairs t =
+  match t.cur with None -> 0 | Some f -> Rel.cardinal f.rel.Observed.obs
+
+let provenance t =
+  let f = frame_exn t "provenance" in
+  match f.prov with
+  | Some p -> p
+  | None ->
+    let p = Provenance.build f.h f.rel in
+    f.prov <- Some p;
+    p
+
+let explain t =
+  let cert = certificate t in
+  let f = frame_exn t "explain" in
+  match cert.Reduction.outcome with
+  | Ok _ -> { certificate = cert; provenance = None; cycle_edges = [] }
+  | Error failure ->
+    {
+      certificate = cert;
+      provenance = Some (provenance t);
+      cycle_edges = Reduction.cycle_edges f.h f.rel failure;
+    }
+
+let shrink ?max_probes t =
+  let f = frame_exn t "shrink" in
+  Shrink.shrink ?max_probes f.h
+
+let stats (t : t) =
+  {
+    appends = t.appends;
+    fastpath_hits = t.fastpath_hits;
+    delta_hits = t.delta_hits;
+  }

@@ -1,0 +1,168 @@
+(** The certification engine: one analysis session shared by every
+    consumer of a Comp-C verdict.
+
+    Four consumers need the same per-history analysis state — the batch
+    checker ({!Compc}), the streaming monitor ({!Monitor}), the forensic
+    layer (provenance, evidence, shrinking) and the definitional
+    cross-check ({!Equivalence}) — and before this module each rebuilt it
+    from scratch: a fresh observed-order closure, a fresh conflict memo, a
+    fresh reduction per query.  A {e session} owns that state once:
+
+    - the current history handle and its lazily filled conflict memo
+      (carried across extensions by {!History.extend_cache} and onto
+      shrink candidates by {!History.View});
+    - the observed-order closure with its inverse ({!Observed.compute} on
+      first load, {!Observed.extend} afterwards);
+    - the reduction certificate, cached and — on the incremental paths,
+      which prove the verdict without a transcript — derived lazily over
+      the warm relations;
+    - the provenance index, built on first {!explain};
+    - a single {!Repro_obs.Sink.t} carrying the event trace and metrics
+      registry, replacing the scattered [?trace]/[?metrics] optional pairs
+      of the pre-engine layers.
+
+    A session that services {!analyze}, then {!explain}, then a
+    monitor-style {!extend} performs exactly one closure computation and
+    one conflict-memo build — pinned by the telemetry tests against the
+    [compc.observed_computes] counter and {!Repro_model.Conflict.evals}.
+
+    {b Extension contract.}  Each history passed to {!extend} (or to
+    {!analyze} on a non-empty session) must {e extend} the session's
+    current one: same schedules in the same order; shared nodes keep their
+    identifiers, labels, parents and children; new nodes have strictly
+    larger identifiers; relations and logs restricted to shared nodes are
+    unchanged.  {!History.prefix_by_roots} chains and the simulator's
+    deterministic assembly produce exactly this shape.  The cheap
+    violations (shrinking, schedule mismatch) raise [Invalid_argument];
+    the rest is the caller's responsibility.
+
+    Sessions are single-domain, like the history memos they warm. *)
+
+open Repro_order
+open Repro_model
+open Ids
+
+type t
+(** An analysis session. *)
+
+type verdict =
+  | Accepted of id list
+      (** Comp-C, with a witness serial order of the root transactions. *)
+  | Rejected of Reduction.failure
+
+val create : ?obs:Repro_obs.Sink.t -> unit -> t
+(** A session over the empty prefix (vacuously accepted).  [obs] (default
+    {!Repro_obs.Sink.null}) receives, through its metrics registry, the
+    checker metrics of the underlying {!Observed}/{!Reduction} calls plus
+    [compc.checks]/[compc.check_wall_s]/[compc.check_cpu_s] per {!analyze}
+    and [monitor.appends], [monitor.fastpath_hits], [monitor.delta_hits]
+    and [monitor.append_wall_s] per {!extend}; its trace receives the
+    reduction spans. *)
+
+val of_history : ?obs:Repro_obs.Sink.t -> History.t -> t
+(** [of_history h] is a fresh session advanced to [h] by {!analyze} — the
+    one-shot batch entry point. *)
+
+val of_parts :
+  ?obs:Repro_obs.Sink.t ->
+  History.t ->
+  Observed.relations ->
+  Reduction.certificate ->
+  t
+(** Adopt analysis state computed elsewhere (a {!Compc.verdict}'s fields)
+    as a session, with every cache seeded — no recomputation.  The parts
+    must belong together: [rel] the closure of [h], [certificate] the
+    reduction over [rel]. *)
+
+(** {1 Entry points} *)
+
+val analyze : t -> History.t -> verdict
+(** Batch verdict: advance the session to [h] and force the reduction
+    {!certificate}.  On an empty session this is the full pipeline
+    (closure fixpoint + reduction); on a non-empty one [h] must extend the
+    current history (see the contract above) and the incremental machinery
+    of {!extend} is reused.  Reports the [compc.*] check metrics. *)
+
+val extend : t -> History.t -> verdict
+(** Monitor append: advance the session to [h] — which must extend the
+    current history — for the cost of the delta.  Relative to the previous
+    snapshot the engine (in order): carries the conflict memo by blit and
+    grows the closure by worklist saturation; skips the reduction entirely
+    when the delta provably cannot change the verdict; re-reduces only the
+    new block when every added pair points into it; and otherwise falls
+    back to a full reduction over the already-extended relations.  The
+    verdict equals {!analyze} on the same history (pinned by qcheck); the
+    witness may differ in inessentials (delta roots appended last, a
+    different — but equally real — witness cycle).  The previous state is
+    retained for one {!undo}.  Reports the [monitor.*] metrics. *)
+
+val undo : t -> unit
+(** Roll back the last {!extend}/{!analyze} — the certify-reject path of
+    the simulator.  Undo depth is one: raises [Invalid_argument] when no
+    snapshot is held (before any advance, or twice in a row). *)
+
+(** {1 The session's state} *)
+
+val verdict : t -> verdict option
+(** Current verdict; [None] on the empty session. *)
+
+val accepted : t -> bool
+(** Current history is Comp-C ([true] on the empty session). *)
+
+val history : t -> History.t option
+
+val relations : t -> Observed.relations option
+(** The session's observed/input relations — computed once, extended
+    incrementally, shared by every consumer. *)
+
+val obs_pairs : t -> int
+(** Pairs in the current observed order (0 on the empty session) — exposed
+    so tests can pin that {!undo} restores state exactly. *)
+
+val certificate : t -> Reduction.certificate
+(** The reduction certificate of the current history.  Cached: the batch
+    paths store it as they decide; the incremental paths derive it on first
+    demand over the session's warm relations (one {!Reduction.reduce
+    ~rel}, never a closure recompute).  Raises [Invalid_argument] on the
+    empty session. *)
+
+val provenance : t -> Provenance.t
+(** The observed-order provenance index of the current history, built on
+    first demand from the session's cached relations and cached until the
+    session advances.  Raises [Invalid_argument] on the empty session. *)
+
+(** {1 Forensics} *)
+
+type explanation = {
+  certificate : Reduction.certificate;
+  provenance : Provenance.t option;
+      (** [Some] exactly on a rejection — nothing on the accept path pays
+          for the replay. *)
+  cycle_edges : ((id * id) * Reduction.edge) list;
+      (** The classified witness cycle; [[]] on acceptance. *)
+}
+
+val explain : t -> explanation
+(** Everything forensic about the current verdict, from the session's
+    caches: the certificate, and — on a rejection — the provenance index
+    and the witness cycle classified edge by edge.  Calling [explain]
+    after {!analyze} recomputes neither the closure nor the memo.  Raises
+    [Invalid_argument] on the empty session. *)
+
+val shrink : ?max_probes:int -> t -> Shrink.result option
+(** Delta-debug the current history to a 1-minimal sub-history with the
+    same failure kind ([None] when accepted); see {!Shrink.shrink}.
+    Candidate restrictions inherit the session history's conflict memo
+    through {!History.View}, so probing never re-interprets a label pair
+    the session already decided. *)
+
+(** {1 Telemetry} *)
+
+val sink : t -> Repro_obs.Sink.t
+
+type stats = { appends : int; fastpath_hits : int; delta_hits : int }
+
+val stats : t -> stats
+(** Lifetime counters (not rolled back by {!undo}): total advances, how
+    many skipped the reduction entirely on the delta-empty fast path, and
+    how many re-reduced only the new block. *)

@@ -18,8 +18,14 @@ let of_front h rel (f : Front.t) =
 
 let is_serial fs = Rel.total_on fs.fs_members fs.fs_input
 
-let level_front h i =
-  let cert = Reduction.reduce h in
+(* All queries read the session's cached state: the certificate (the
+   reduction is run at most once per session, lazily) and the relations
+   (the closure the session already computed).  Before the engine, each
+   call here re-ran [Reduction.reduce] and [Observed.compute] from
+   scratch — the regression test in test_engine.ml pins that the
+   [compc.observed_computes] counter no longer moves under these. *)
+let level_front s i =
+  let cert = Engine.certificate s in
   let reached =
     match cert.Reduction.outcome with
     | Ok _ -> true
@@ -33,48 +39,56 @@ let level_front h i =
   else if i = 0 then Some cert.Reduction.initial
   else
     List.find_map
-      (fun (s : Reduction.step) ->
-        if s.Reduction.level = i then Some s.Reduction.front else None)
+      (fun (st : Reduction.step) ->
+        if st.Reduction.level = i then Some st.Reduction.front else None)
       cert.Reduction.steps
 
-let level_equivalent h i fs =
-  match level_front h i with
+(* [certificate] above raised on the empty session, so the history and
+   relations are present whenever a front came back. *)
+let parts s =
+  (Option.get (Engine.history s), Option.get (Engine.relations s))
+
+let level_equivalent s i fs =
+  match level_front s i with
   | None -> false
   | Some f ->
-    let rel = Observed.compute h in
+    let h, rel = parts s in
     Int_set.equal f.Front.members fs.fs_members
     && Rel.equal f.Front.inp fs.fs_input
     && Pair_set.equal (con_pairs h rel f) fs.fs_con
 
-let level_contained h i fs =
-  match level_front h i with
+let level_contained s i fs =
+  match level_front s i with
   | None -> false
   | Some f ->
-    let rel = Observed.compute h in
+    let h, rel = parts s in
     Int_set.equal f.Front.members fs.fs_members
     && Pair_set.equal (con_pairs h rel f) fs.fs_con
     && Rel.subset (Front.constraint_graph f) fs.fs_input
 
-let comp_c_via_containment h =
-  let n = History.order h in
-  match level_front h n with
-  | None -> false
-  | Some f -> (
-    let rel = Observed.compute h in
-    (* Theorem 1 (if): topologically sort the front's constraints into a
-       total order — the serial front — then verify Defs. 17 and 19. *)
-    match Rel.topo_sort ~nodes:f.Front.members (Front.constraint_graph f) with
+let comp_c_via_containment s =
+  match Engine.history s with
+  | None -> true (* the empty execution is vacuously Comp-C *)
+  | Some h -> (
+    let n = History.order h in
+    match level_front s n with
     | None -> false
-    | Some order ->
-      let rec chain acc = function
-        | a :: (b :: _ as rest) -> chain (Rel.add a b acc) rest
-        | _ -> acc
-      in
-      let serial =
-        {
-          fs_members = f.Front.members;
-          fs_input = Rel.transitive_closure (chain Rel.empty order);
-          fs_con = con_pairs h rel f;
-        }
-      in
-      is_serial serial && level_contained h n serial)
+    | Some f -> (
+      let rel = Option.get (Engine.relations s) in
+      (* Theorem 1 (if): topologically sort the front's constraints into a
+         total order — the serial front — then verify Defs. 17 and 19. *)
+      match Rel.topo_sort ~nodes:f.Front.members (Front.constraint_graph f) with
+      | None -> false
+      | Some order ->
+        let rec chain acc = function
+          | a :: (b :: _ as rest) -> chain (Rel.add a b acc) rest
+          | _ -> acc
+        in
+        let serial =
+          {
+            fs_members = f.Front.members;
+            fs_input = Rel.transitive_closure (chain Rel.empty order);
+            fs_con = con_pairs h rel f;
+          }
+        in
+        is_serial serial && level_contained s n serial))

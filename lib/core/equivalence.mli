@@ -9,7 +9,13 @@
     yields the serial front — and {!comp_c_via_containment} follows that
     construction and then {e verifies} every clause of Defs. 17–19 against
     it, giving an independent consistency check of the whole definitional
-    stack (exercised on random histories by the test suite). *)
+    stack (exercised on random histories by the test suite).
+
+    Queries run against an {!Engine} session and reuse its cached analysis
+    state — the observed-order closure, the conflict memo and the (lazily
+    derived) reduction certificate are computed once per session, not once
+    per query.  Asking several definitional questions about one history
+    costs one analysis. *)
 
 open Repro_model
 open Repro_order
@@ -28,22 +34,26 @@ val of_front : History.t -> Observed.relations -> Front.t -> front_spec
 val is_serial : front_spec -> bool
 (** Def. 17: the input order totally orders the members. *)
 
-val level_front : History.t -> int -> Front.t option
-(** The history's level-[i] front per Def. 16 — [Some] iff the reduction
-    reaches level [i] (every step up to [i] finds its calculations and every
-    front on the way is conflict consistent). *)
+val level_front : Engine.t -> int -> Front.t option
+(** The session history's level-[i] front per Def. 16 — [Some] iff the
+    reduction reaches level [i] (every step up to [i] finds its
+    calculations and every front on the way is conflict consistent).  Reads
+    the session's cached certificate; raises [Invalid_argument] on an empty
+    session. *)
 
-val level_equivalent : History.t -> int -> front_spec -> bool
-(** Def. 18: the history has a level-[i] front identical to the given one
-    (same members, same input order, same conflict pairs). *)
+val level_equivalent : Engine.t -> int -> front_spec -> bool
+(** Def. 18: the session's history has a level-[i] front identical to the
+    given one (same members, same input order, same conflict pairs). *)
 
-val level_contained : History.t -> int -> front_spec -> bool
-(** Def. 19: the history is level-[i]-equivalent to some front [F*] whose
-    members and conflicts match the given front, and whose constraints
-    ([→ ∪ <_o]) are contained in the given front's input order. *)
+val level_contained : Engine.t -> int -> front_spec -> bool
+(** Def. 19: the session's history is level-[i]-equivalent to some front
+    [F*] whose members and conflicts match the given front, and whose
+    constraints ([→ ∪ <_o]) are contained in the given front's input
+    order. *)
 
-val comp_c_via_containment : History.t -> bool
+val comp_c_via_containment : Engine.t -> bool
 (** Def. 20 via Theorem 1's construction: build the serial front from the
     level-N front's topological order (when the reduction reaches level N)
     and verify {!is_serial} and {!level_contained}.  Agrees with
-    {!Compc.is_correct} on every history (tested). *)
+    {!Compc.is_correct} on every history (tested).  [true] on the empty
+    session (the empty execution is vacuously correct). *)

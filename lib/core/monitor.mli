@@ -1,34 +1,14 @@
 (** Incremental Comp-C monitor: amortized prefix certification.
 
     A monitor holds a growing execution and re-certifies it after each
-    extension for the cost of the {e delta}, not the whole history.  The
-    batch pipeline ({!Compc.check}) pays, per call: conflict-memo
-    interpretation of every label pair, the observed-order fixpoint from
-    the base rules, and a full reduction.  When an execution is certified
-    after every commit — the simulator's certification oracle, the
-    [compcheck --monitor] streaming mode — those costs are re-paid for an
-    almost-identical history each time.  The monitor instead:
-
-    - carries the triangular conflict memos of the previous snapshot into
-      the new one by blit ({!History.extend_cache});
-    - re-seeds the observed-order fixpoint from the previous {e closed}
-      relation plus only the new base pairs ({!Observed.extend}), skipping
-      the dense rounds entirely when no base pair appeared;
-    - skips the reduction when the delta provably cannot change the
-      verdict (observed and input orders unchanged, schedule levels
-      stable, new subtrees disjoint from old ones with acyclic
-      intra-transaction orders — new front members are then isolated
-      nodes of every constraint graph);
-    - re-reduces only the {e new block} when every added observed/input
-      pair points into the new nodes (the common case: logs and sessions
-      only append, so old operations precede new ones).  The constraint
-      graphs are then block upper-triangular — no edge returns from the
-      new block to the old one — so cycles cannot mix blocks: a
-      previously accepted prefix needs only the fronts, feasibility
-      graphs and cluster quotients induced by the new nodes re-checked,
-      and a previously rejected one keeps its witness;
-    - otherwise falls back to a full reduction over the
-      already-extended relations.
+    extension for the cost of the {e delta}, not the whole history.  Since
+    the certification engine landed, this module is a thin facade over
+    {!Engine} — a monitor {e is} a session whose only entry point is the
+    incremental {!Engine.extend} — kept for its established vocabulary
+    (append/undo/stats).  See {!Engine} for the machinery: the conflict
+    memo carried by blit, the worklist-saturated closure, the
+    verdict-carrying fast path, the new-block delta reduction and the full
+    fallback.
 
     Verdict equivalence: after any sequence of appends the monitor's
     verdict equals {!Compc.is_correct} on the current history — pinned by

@@ -146,6 +146,7 @@ let compute_with ?(metrics = Repro_obs.Metrics.null) variant h =
   let obs, rounds = fixpoint variant h base_obs in
   if enabled then begin
     let module M = Repro_obs.Metrics in
+    M.incr metrics "compc.observed_computes";
     M.observe metrics "compc.observed_wall_s"
       (Repro_obs.Clock.now_wall () -. t0w);
     M.observe metrics "compc.observed_cpu_s" (Repro_obs.Clock.now_cpu () -. t0c);

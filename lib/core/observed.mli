@@ -55,11 +55,14 @@ val compute : ?metrics:Repro_obs.Metrics.t -> History.t -> relations
 (** Least fixpoint of the Def. 10 rules over the whole history.
 
     [metrics] (default {!Repro_obs.Metrics.null}) receives the
-    relation-closure sizing of the run: gauges [compc.obs_base_pairs] (base
-    pairs before propagation), [compc.obs_pairs] (pairs after closure) and
-    [compc.obs_rounds] (fixpoint rounds), plus the time histograms
-    [compc.observed_wall_s] (monotonic wall clock) and [compc.observed_cpu_s]
-    (process CPU clock — these diverge under the parallel batch drivers). *)
+    relation-closure sizing of the run: the counter
+    [compc.observed_computes] (full fixpoint runs — the engine's
+    cache-sharing tests assert this stays at one per session), gauges
+    [compc.obs_base_pairs] (base pairs before propagation),
+    [compc.obs_pairs] (pairs after closure) and [compc.obs_rounds]
+    (fixpoint rounds), plus the time histograms [compc.observed_wall_s]
+    (monotonic wall clock) and [compc.observed_cpu_s] (process CPU clock —
+    these diverge under the parallel batch drivers). *)
 
 val extend :
   ?metrics:Repro_obs.Metrics.t ->

@@ -1,107 +1,12 @@
 open Repro_order
 open Repro_model
 open Ids
-module B = History.Builder
-module Compc = Repro_core.Compc
-module Reduction = Repro_core.Reduction
 
-let restrict h ~keep =
-  let n = History.n_nodes h in
-  (* Downward closure: parents have smaller ids than their children (builder
-     allocation order), so one ascending pass settles survival. *)
-  let kept = Array.make n false in
-  for i = 0 to n - 1 do
-    kept.(i) <-
-      Int_set.mem i keep
-      && (match History.parent h i with None -> true | Some p -> kept.(p))
-  done;
-  let map = Array.make n (-1) in
-  let next = ref 0 in
-  for i = 0 to n - 1 do
-    if kept.(i) then begin
-      map.(i) <- !next;
-      incr next
-    end
-  done;
-  let both x y = x < n && y < n && kept.(x) && kept.(y) in
-  let b = B.create () in
-  List.iter
-    (fun (s : History.schedule) ->
-      let conflict =
-        match s.History.conflict with
-        | Conflict.Explicit pairs ->
-          (* Explicit specs carry node ids; pairs with a dropped endpoint
-             are gone along with the endpoint. *)
-          Conflict.Explicit
-            (List.filter_map
-               (fun (x, y) ->
-                 if both x y then Some (map.(x), map.(y)) else None)
-               pairs)
-        | spec -> spec
-      in
-      let sid = B.schedule b ~conflict s.History.sname in
-      assert (sid = s.History.sid))
-    (History.schedules h);
-  for i = 0 to n - 1 do
-    if kept.(i) then begin
-      let nd = History.node h i in
-      let id =
-        match (nd.History.parent, nd.History.sched) with
-        | None, Some sched -> B.root b ~sched nd.History.label
-        | Some p, Some sched -> B.tx b ~parent:map.(p) ~sched nd.History.label
-        | Some p, None -> B.leaf b ~parent:map.(p) nd.History.label
-        | None, None -> assert false
-      in
-      assert (id = map.(i))
-    end
-  done;
-  for i = 0 to n - 1 do
-    if kept.(i) then begin
-      let nd = History.node h i in
-      Rel.iter
-        (fun x y -> if both x y then B.intra_weak b ~a:map.(x) ~b:map.(y))
-        nd.History.intra_weak;
-      Rel.iter
-        (fun x y -> if both x y then B.intra_strong b ~a:map.(x) ~b:map.(y))
-        nd.History.intra_strong
-    end
-  done;
-  List.iter
-    (fun (s : History.schedule) ->
-      (* Root input orders; non-root input orders are re-derived by seal. *)
-      let root_pair x y = History.is_root h x && History.is_root h y in
-      Rel.iter
-        (fun x y ->
-          if root_pair x y && both x y then B.input_weak b ~a:map.(x) ~b:map.(y))
-        s.History.weak_in;
-      Rel.iter
-        (fun x y ->
-          if root_pair x y && both x y then
-            B.input_strong b ~a:map.(x) ~b:map.(y))
-        s.History.strong_in;
-      if s.History.log <> [] then begin
-        (* The shrunken execution's log: the kept operations in the original
-           serialization order.  Explicit outputs are dropped and re-derived
-           from it — a stale output restriction next to a changed log is the
-           same hazard {!Clone.with_logs} guards against. *)
-        match
-          List.filter_map
-            (fun v -> if kept.(v) then Some map.(v) else None)
-            s.History.log
-        with
-        | [] -> ()
-        | log -> B.log b ~sched:s.History.sid log
-      end
-      else begin
-        Rel.iter
-          (fun x y -> if both x y then B.weak_out b ~a:map.(x) ~b:map.(y))
-          s.History.weak_out;
-        Rel.iter
-          (fun x y -> if both x y then B.strong_out b ~a:map.(x) ~b:map.(y))
-          s.History.strong_out
-      end)
-    (History.schedules h);
-  B.seal b
+(* Candidate sub-histories are materialized through the read-only view
+   interface: the base history's conflict memo transfers onto each
+   restriction, so re-certifying a candidate never re-interprets a label
+   pair the session already decided. *)
+let restrict h ~keep = History.View.to_history (History.View.make h ~keep)
 
 type result = {
   history : History.t;
@@ -112,7 +17,7 @@ type result = {
 }
 
 let failure_kind_of h =
-  match (Compc.check h).Compc.certificate.Reduction.outcome with
+  match (Reduction.reduce h).Reduction.outcome with
   | Ok _ -> None
   | Error f -> Some (Reduction.failure_kind f)
 

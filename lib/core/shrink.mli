@@ -1,0 +1,44 @@
+(** Counterexample shrinking for rejected histories.
+
+    A rejected execution out of the generators or the simulator easily has
+    hundreds of nodes; the witness cycle only ever involves a handful.  The
+    shrinker reduces such a history to a {e 1-minimal} sub-history with the
+    same {!Reduction.failure_kind}: delta-debugging over the root
+    transactions first (whole composite transactions are the cheap big
+    bites), then greedy subtree drops over the remaining operations, until
+    no single further drop preserves the failure.
+
+    Sub-histories are built through {!History.View}: identifiers are
+    re-packed densely (the builder demands it), so the shrunken history's
+    ids do not match the original's — render it, don't cross-reference it —
+    but each candidate inherits the base history's conflict memo, so
+    probing it re-interprets no label pair a previous probe (or the
+    session's own analysis) already decided.  Purely a forensic tool:
+    nothing on the accept path calls into it. *)
+
+open Repro_order.Ids
+open Repro_model
+
+val restrict : History.t -> keep:Int_set.t -> History.t
+(** [restrict h ~keep] is
+    [History.View.(to_history (make h ~keep))] — the sub-history induced by
+    [keep], closed downward (see {!History.View.to_history} for the exact
+    restriction semantics and the memo transfer). *)
+
+type result = {
+  history : History.t;  (** The 1-minimal (within budget) sub-history. *)
+  kind : string;
+      (** The preserved {!Reduction.failure_kind} of the original
+          rejection — the shrunken history reproduces exactly this kind. *)
+  probes : int;  (** Candidate sub-histories checked. *)
+  dropped_roots : int;  (** Root subtrees removed. *)
+  dropped_nodes : int;  (** Total nodes removed, including root subtrees. *)
+}
+
+val shrink : ?max_probes:int -> History.t -> result option
+(** [shrink h] is [None] when [h] is accepted by Comp-C; otherwise a
+    reduced sub-history that still validates against the model and is
+    rejected with the same failure kind.  Every candidate costs one
+    validation plus one Comp-C reduction; [max_probes] (default 2000)
+    bounds the total.  If the budget runs out the current — still
+    reproducing, possibly not 1-minimal — history is returned. *)

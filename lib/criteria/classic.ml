@@ -137,7 +137,7 @@ let opsr h =
          chain
   | _ -> invalid_arg "Classic.opsr: not a stack"
 
-let accepted_by h =
+let accepted_by ?compc h =
   let shape = Shapes.classify h in
   let base = [ ("FlatCSR", flat_csr h) ] in
   let base =
@@ -150,4 +150,7 @@ let accepted_by h =
     | Some (name, verdict) -> base @ [ (name, verdict) ]
     | None -> base
   in
-  base @ [ ("Comp-C", Repro_core.Compc.is_correct h) ]
+  let compc =
+    match compc with Some v -> v | None -> Repro_core.Compc.is_correct h
+  in
+  base @ [ ("Comp-C", compc) ]

@@ -47,7 +47,9 @@ val opsr : History.t -> bool
     [false] when the bottom schedule has no execution log (real time is
     unknown). *)
 
-val accepted_by : History.t -> (string * bool) list
+val accepted_by : ?compc:bool -> History.t -> (string * bool) list
 (** All applicable criteria with their verdicts (for reports): flat CSR;
     LLSR, MLSR and OPSR on stacks; SCC/FCC/JCC when the shape matches; and
-    Comp-C. *)
+    Comp-C.  [compc] supplies an already-decided Comp-C verdict (a caller
+    with an analysis session has one) so the report does not re-run the
+    pipeline; when absent, {!Repro_core.Compc.is_correct} runs. *)

@@ -2,11 +2,12 @@ open Repro_order
 open Repro_model
 open Ids
 module Compc = Repro_core.Compc
+module Engine = Repro_core.Engine
 module Reduction = Repro_core.Reduction
 module Observed = Repro_core.Observed
 module Provenance = Repro_core.Provenance
 module Front = Repro_core.Front
-module Shrink = Repro_workload.Shrink
+module Shrink = Repro_core.Shrink
 module Json = Repro_obs.Json
 module Dot = Repro_histlang.Dot
 module Syntax = Repro_histlang.Syntax
@@ -19,16 +20,28 @@ type t = {
   extra : (string * Json.t) list;
 }
 
-let build ?(shrink = false) ?max_probes ?(extra = []) (v : Compc.verdict) =
-  match v.Compc.certificate.Reduction.outcome with
-  | Ok _ -> { verdict = v; prov = None; edges = []; shrunk = None; extra }
-  | Error f ->
-    let h = v.Compc.history in
-    let rel = v.Compc.relations in
-    let prov = Provenance.build h rel in
-    let edges = Reduction.cycle_edges h rel f in
-    let shrunk = if shrink then Shrink.shrink ?max_probes h else None in
-    { verdict = v; prov = Some prov; edges; shrunk; extra }
+(* Every assembly path goes through a session: its certificate, provenance
+   and cycle classification are cached, so evidence after a batch analysis
+   (or a monitored run) reuses the session's closure and conflict memo
+   instead of recomputing them. *)
+let of_session ?(shrink = false) ?max_probes ?(extra = []) s =
+  let verdict =
+    {
+      Compc.history = Option.get (Engine.history s);
+      relations = Option.get (Engine.relations s);
+      certificate = Engine.certificate s;
+    }
+  in
+  let e = Engine.explain s in
+  let shrunk =
+    if shrink && not (Engine.accepted s) then Engine.shrink ?max_probes s
+    else None
+  in
+  { verdict; prov = e.Engine.provenance; edges = e.Engine.cycle_edges; shrunk; extra }
+
+let build ?shrink ?max_probes ?extra (v : Compc.verdict) =
+  of_session ?shrink ?max_probes ?extra
+    (Engine.of_parts v.Compc.history v.Compc.relations v.Compc.certificate)
 
 let provenance t = t.prov
 let edges t = t.edges

@@ -4,20 +4,40 @@
     witness cycle classified edge by edge ({!Repro_core.Reduction.cycle_edges}),
     the observed-order provenance of each cycle edge
     ({!Repro_core.Provenance}), the optional 1-minimal shrunken
-    counterexample ({!Repro_workload.Shrink}), and per-level front sizes.
+    counterexample ({!Repro_core.Shrink}), and per-level front sizes.
     Three renderings share the one value: {!to_json} (schema ["evidence/1"],
     built on {!Repro_obs.Json}), {!dot} (the execution forest with the
     witness cycle highlighted), and {!pp} (the human transcript —
     {!Repro_core.Compc.explain} plus derivation chains and the shrink
     summary).
 
-    Strictly cold-path machinery: {!build} does real work only on a
-    rejection, and nothing in the accept fast path depends on this
-    library. *)
+    Evidence is assembled from an {!Repro_core.Engine} session
+    ({!of_session}), reusing its cached closure, conflict memo, certificate
+    and provenance; {!build} adopts a pre-computed {!Repro_core.Compc}
+    verdict into a session first.  Strictly cold-path machinery: real work
+    happens only on a rejection, and nothing in the accept fast path
+    depends on this library. *)
 
 open Repro_order.Ids
 
 type t
+
+val of_session :
+  ?shrink:bool ->
+  ?max_probes:int ->
+  ?extra:(string * Repro_obs.Json.t) list ->
+  Repro_core.Engine.t ->
+  t
+(** [of_session s] assembles the evidence for the session's current
+    verdict, entirely from the session's caches ({!Repro_core.Engine.explain}).
+    On a rejection it classifies the witness cycle's edges against the
+    cached provenance; with [shrink] (default [false]) it additionally runs
+    the delta-debugging shrinker ([max_probes] forwarded, default 2000),
+    whose candidate restrictions inherit the session history's conflict
+    memo.  [extra] fields are appended verbatim to the JSON object — the
+    monitor mode uses this to record the violating prefix.  On an accepted
+    verdict the evidence is just the verdict and the serial order.  Raises
+    [Invalid_argument] on an empty session. *)
 
 val build :
   ?shrink:bool ->
@@ -25,13 +45,9 @@ val build :
   ?extra:(string * Repro_obs.Json.t) list ->
   Repro_core.Compc.verdict ->
   t
-(** [build v] assembles the evidence for [v].  On a rejection it replays
-    the observed-order provenance and classifies the witness cycle's edges;
-    with [shrink] (default [false]) it additionally runs the delta-debugging
-    shrinker ([max_probes] forwarded, default 2000).  [extra] fields are
-    appended verbatim to the JSON object — the monitor uses this to record
-    the violating prefix.  On an accepted verdict the evidence is just the
-    verdict and the serial order. *)
+(** [build v] is {!of_session} over a session adopting [v]'s
+    already-computed state ({!Repro_core.Engine.of_parts}) — nothing is
+    recomputed. *)
 
 val provenance : t -> Repro_core.Provenance.t option
 (** The replayed provenance index ([None] on accepted verdicts). *)
@@ -39,7 +55,7 @@ val provenance : t -> Repro_core.Provenance.t option
 val edges : t -> ((id * id) * Repro_core.Reduction.edge) list
 (** The classified witness-cycle edges ([[]] on accepted verdicts). *)
 
-val shrunk : t -> Repro_workload.Shrink.result option
+val shrunk : t -> Repro_core.Shrink.result option
 
 val to_json : t -> Repro_obs.Json.t
 (** Schema ["evidence/1"]: verdict, history sizes, per-level fronts, and —

@@ -54,7 +54,15 @@ let eval_labels spec a b =
   | Table pairs -> table_conflict pairs a b
   | Explicit _ -> true
 
+(* Process-global count of label interpretations, so tests can pin that a
+   memo (or a memo transfer) really prevented re-evaluation.  Atomic: the
+   batch drivers evaluate from several domains at once. *)
+let eval_count = Atomic.make 0
+
+let evals () = Atomic.get eval_count
+
 let eval spec ~get_label a b =
+  Atomic.incr eval_count;
   if a = b then false
   else
     match spec with

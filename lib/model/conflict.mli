@@ -41,6 +41,13 @@ val eval : spec -> get_label:(Repro_order.Ids.id -> Label.t) -> Repro_order.Ids.
     conflict under [spec].  Symmetric; [eval spec ~get_label a a] is
     [false]. *)
 
+val evals : unit -> int
+(** Process-global count of {!eval} invocations (label interpretations),
+    monotonically increasing.  Purely observational — the conflict-memo
+    tests difference it around an operation to assert that warm caches
+    prevent re-interpretation.  Atomic, so safe to read under the parallel
+    batch drivers. *)
+
 val eval_labels : spec -> Label.t -> Label.t -> bool
 (** Conflict decision on raw labels, for lock tables and other uses where no
     node identity exists.  Identical to {!eval} except that [Explicit] —

@@ -706,3 +706,205 @@ let prefix_by_roots h k =
           (List.filter_map (fun i -> if kept i then Some (m i) else None) s.log))
     h.scheds;
   B.seal b
+
+(* ------------------------------------------------------------------ *)
+(* Read-only restricted views                                          *)
+(* ------------------------------------------------------------------ *)
+
+module View = struct
+  type history = t
+
+  type t = {
+    vbase : history;
+    kept : bool array; (* downward-closed survival, by original id *)
+    map : int array; (* original id -> dense new id; -1 when dropped *)
+    n_kept : int;
+  }
+
+  let make h ~keep =
+    let n = Array.length h.nodes in
+    (* Downward closure: parents have smaller ids than their children
+       (builder allocation order), so one ascending pass settles
+       survival. *)
+    let kept = Array.make n false in
+    for i = 0 to n - 1 do
+      kept.(i) <-
+        Int_set.mem i keep
+        && (match h.nodes.(i).parent with None -> true | Some p -> kept.(p))
+    done;
+    let map = Array.make n (-1) in
+    let next = ref 0 in
+    for i = 0 to n - 1 do
+      if kept.(i) then begin
+        map.(i) <- !next;
+        incr next
+      end
+    done;
+    { vbase = h; kept; map; n_kept = !next }
+
+  let base v = v.vbase
+  let n_nodes v = v.n_kept
+  let mem v i = i >= 0 && i < Array.length v.kept && v.kept.(i)
+  let new_id v i = if mem v i then v.map.(i) else -1
+
+  (* Transfer the base history's conflict memo onto the materialized
+     restriction.  [cache] ranks a schedule's operations by walking its
+     transactions in ascending id order and each transaction's children in
+     creation order; a restriction keeps relative id order and children
+     order, so the old-rank -> new-rank map over surviving operations is
+     monotone and every surviving unordered pair keeps its (hi, lo)
+     orientation.  Conflict decisions depend only on labels (unchanged) and
+     on Explicit id pairs (remapped by [to_history] along the same id map),
+     so known bits transfer verbatim. *)
+  let seed_cache v (h' : history) =
+    match v.vbase.ccache with
+    | None -> ()
+    | Some old ->
+      let c = cache h' in
+      Array.iter
+        (fun (s : schedule) ->
+          match old.tables.(s.sid) with
+          | None -> ()
+          | Some (oknown, ovalue) ->
+            let m_old = old.op_count.(s.sid) in
+            (* New rank of each surviving operation, indexed by old rank. *)
+            let nr = Array.make (max 1 m_old) (-1) in
+            let survivors = ref 0 in
+            Int_set.iter
+              (fun t ->
+                List.iter
+                  (fun o ->
+                    if v.kept.(o) then begin
+                      nr.(old.op_index.(o)) <- !survivors;
+                      incr survivors
+                    end)
+                  v.vbase.nodes.(t).children)
+              s.transactions;
+            if !survivors > 1 && !survivors = c.op_count.(s.sid) then begin
+              let m_new = !survivors in
+              let known, value =
+                match c.tables.(s.sid) with
+                | Some kv -> kv
+                | None ->
+                  let bytes = max 1 (((m_new * (m_new - 1) / 2) + 7) / 8) in
+                  let kv = (Bytes.make bytes '\000', Bytes.make bytes '\000') in
+                  c.tables.(s.sid) <- Some kv;
+                  kv
+              in
+              let get b bit =
+                Char.code (Bytes.unsafe_get b (bit lsr 3))
+                land (1 lsl (bit land 7))
+                <> 0
+              in
+              let set b bit =
+                Bytes.unsafe_set b (bit lsr 3)
+                  (Char.unsafe_chr
+                     (Char.code (Bytes.unsafe_get b (bit lsr 3))
+                     lor (1 lsl (bit land 7))))
+              in
+              for hi = 1 to m_old - 1 do
+                if nr.(hi) >= 0 then
+                  for lo = 0 to hi - 1 do
+                    if nr.(lo) >= 0 then begin
+                      let obit = (hi * (hi - 1) / 2) + lo in
+                      if get oknown obit then begin
+                        (* Monotone rank map: nr.(hi) > nr.(lo). *)
+                        let nbit = (nr.(hi) * (nr.(hi) - 1) / 2) + nr.(lo) in
+                        set known nbit;
+                        if get ovalue obit then set value nbit
+                      end
+                    end
+                  done
+              done
+            end)
+        v.vbase.scheds
+
+  let to_history v =
+    let h = v.vbase in
+    let n = Array.length h.nodes in
+    let kept = v.kept and map = v.map in
+    let both x y = x < n && y < n && kept.(x) && kept.(y) in
+    let b = Builder.create () in
+    List.iter
+      (fun (s : schedule) ->
+        let conflict =
+          match s.conflict with
+          | Conflict.Explicit pairs ->
+            (* Explicit specs carry node ids; pairs with a dropped endpoint
+               are gone along with the endpoint. *)
+            Conflict.Explicit
+              (List.filter_map
+                 (fun (x, y) ->
+                   if both x y then Some (map.(x), map.(y)) else None)
+                 pairs)
+          | spec -> spec
+        in
+        let sid = Builder.schedule b ~conflict s.sname in
+        assert (sid = s.sid))
+      (schedules h);
+    for i = 0 to n - 1 do
+      if kept.(i) then begin
+        let nd = h.nodes.(i) in
+        let id =
+          match (nd.parent, nd.sched) with
+          | None, Some sched -> Builder.root b ~sched nd.label
+          | Some p, Some sched -> Builder.tx b ~parent:map.(p) ~sched nd.label
+          | Some p, None -> Builder.leaf b ~parent:map.(p) nd.label
+          | None, None -> assert false
+        in
+        assert (id = map.(i))
+      end
+    done;
+    for i = 0 to n - 1 do
+      if kept.(i) then begin
+        let nd = h.nodes.(i) in
+        Rel.iter
+          (fun x y -> if both x y then Builder.intra_weak b ~a:map.(x) ~b:map.(y))
+          nd.intra_weak;
+        Rel.iter
+          (fun x y ->
+            if both x y then Builder.intra_strong b ~a:map.(x) ~b:map.(y))
+          nd.intra_strong
+      end
+    done;
+    List.iter
+      (fun (s : schedule) ->
+        (* Root input orders; non-root input orders are re-derived by
+           seal. *)
+        let root_pair x y = is_root h x && is_root h y in
+        Rel.iter
+          (fun x y ->
+            if root_pair x y && both x y then
+              Builder.input_weak b ~a:map.(x) ~b:map.(y))
+          s.weak_in;
+        Rel.iter
+          (fun x y ->
+            if root_pair x y && both x y then
+              Builder.input_strong b ~a:map.(x) ~b:map.(y))
+          s.strong_in;
+        if s.log <> [] then begin
+          (* The restricted execution's log: the kept operations in the
+             original serialization order.  Explicit outputs are dropped and
+             re-derived from it — a stale output restriction next to a
+             changed log is the same hazard {!Clone.with_logs} guards
+             against. *)
+          match
+            List.filter_map (fun v -> if kept.(v) then Some map.(v) else None) s.log
+          with
+          | [] -> ()
+          | log -> Builder.log b ~sched:s.sid log
+        end
+        else begin
+          Rel.iter
+            (fun x y -> if both x y then Builder.weak_out b ~a:map.(x) ~b:map.(y))
+            s.weak_out;
+          Rel.iter
+            (fun x y ->
+              if both x y then Builder.strong_out b ~a:map.(x) ~b:map.(y))
+            s.strong_out
+        end)
+      (schedules h);
+    let h' = Builder.seal b in
+    seed_cache v h';
+    h'
+end

@@ -168,6 +168,54 @@ val prefix_by_roots : t -> int -> t
     equals [h] up to that relabelling.  Raises [Invalid_argument] when [k]
     is outside [0..#roots]. *)
 
+(** {1 Restricted views} *)
+
+(** Read-only restrictions of a history to a downward-closed node subset.
+
+    A view is cheap — two arrays, no history copy — and is the engine's
+    window onto candidate sub-histories: the shrinker probes restrictions
+    of one base history over and over, and materializing each one through
+    {!Builder} used to discard everything the base had already paid for.
+    {!View.to_history} still re-seals (the model's order-completion rules
+    must run on the restriction), but it {e seeds the conflict memo} of the
+    materialized history from the base's: surviving operation pairs keep
+    their decided conflict bits, so the label interpreter never re-runs on
+    pairs the base session already probed. *)
+module View : sig
+  type history := t
+
+  type t
+  (** A restriction of one base history to a kept node subset. *)
+
+  val make : history -> keep:Ids.Int_set.t -> t
+  (** [make h ~keep] restricts [h] to [keep], closed downward: a node
+      survives iff it and all its ancestors are in [keep] (dropping a node
+      drops its whole subtree).  O(nodes); nothing is copied. *)
+
+  val base : t -> history
+  val n_nodes : t -> int
+  (** Surviving nodes. *)
+
+  val mem : t -> id -> bool
+  (** Does the original node survive the restriction? *)
+
+  val new_id : t -> id -> id
+  (** The surviving node's identifier in {!to_history}'s output — dense,
+      in original id order — or [-1] when dropped. *)
+
+  val to_history : t -> history
+  (** Materialize the restriction as a full history: surviving nodes are
+      renumbered densely in original id order, schedules all survive
+      (possibly emptied), [Explicit] conflict pairs are remapped, intra and
+      root input orders are restricted, and a schedule with a log gets the
+      restricted log with re-derived minimal outputs (a schedule described
+      by explicit output orders keeps their restriction).  The base
+      history's conflict memo is transferred onto the result: pairs of
+      surviving operations keep their decided bits, so probing the
+      materialized restriction re-interprets no label the base already
+      decided. *)
+end
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable rendering of the whole history. *)
 

@@ -1,0 +1,7 @@
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+let null = { trace = Trace.null; metrics = Metrics.null }
+
+let v ?(trace = Trace.null) ?(metrics = Metrics.null) () = { trace; metrics }
+
+let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics

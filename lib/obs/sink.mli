@@ -1,0 +1,19 @@
+(** A telemetry sink: one record bundling the event trace and the metrics
+    registry an analysis should report into.
+
+    Before the certification engine, every layer of the checker pipeline
+    re-plumbed its own [?trace]/[?metrics] optional pair; a sink carries
+    both through one value (and one [enabled] check).  The {!null} sink is
+    built from the null trace and null registry, so unconditionally
+    instrumented code pays nothing when telemetry is off. *)
+
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+val null : t
+(** The disabled sink: both components are the null instances. *)
+
+val v : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
+(** Build a sink; either component defaults to its null instance. *)
+
+val enabled : t -> bool
+(** True iff either component is enabled. *)

@@ -93,9 +93,9 @@ type world = {
   mutable latencies : float list;
   mutable last_commit : float;
   (* telemetry (both default to the disabled null instances) *)
-  monitor : Repro_core.Monitor.t;
-      (* Certify protocol: the incremental checker over the committed
-         prefix; idle under the other protocols. *)
+  session : Repro_core.Engine.t;
+      (* Certify protocol: the incremental certification session over the
+         committed prefix; idle under the other protocols. *)
   trace : Trace.t;
   metrics : Metrics.t;
   wait_hist : string; (* per-protocol histogram names, precomputed *)
@@ -411,15 +411,15 @@ and commit w att =
    every commit re-certifies the whole prefix, the finally emitted history
    is guaranteed correct.
 
-   The decision is made by the incremental monitor: the assembly order is
-   deterministic and oldest-first, so the candidate history extends the
-   monitor's snapshot of the committed prefix (new nodes get larger ids,
-   relations only grow) and one [Monitor.append] certifies it against the
-   warm conflict memos and the previously closed observed order; a rejected
-   candidate is rolled back with [Monitor.undo] so the snapshot stays the
-   committed prefix.  [certify_full_recheck] restores the legacy oracle — a
-   cold batch [Compc.is_correct] over the whole prefix — for benchmarking
-   and equivalence tests. *)
+   The decision is made by the engine's incremental path: the assembly
+   order is deterministic and oldest-first, so the candidate history
+   extends the session's snapshot of the committed prefix (new nodes get
+   larger ids, relations only grow) and one [Engine.extend] certifies it
+   against the warm conflict memos and the previously closed observed
+   order; a rejected candidate is rolled back with [Engine.undo] so the
+   snapshot stays the committed prefix.  [certify_full_recheck] restores
+   the legacy oracle — a cold batch [Compc.is_correct] over the whole
+   prefix — for benchmarking and equivalence tests. *)
 (* The certification check runs the real Comp-C decision procedure, so its
    cost is wall-clock time, not simulated time; the trace span starts at
    the simulated commit point but its duration (and the metrics histogram)
@@ -435,10 +435,10 @@ and certifies w att =
     if w.p.certify_full_recheck then
       Repro_core.Compc.is_correct ~metrics:w.metrics trial
     else
-      match Repro_core.Monitor.append w.monitor trial with
-      | Repro_core.Monitor.Accepted _ -> true
-      | Repro_core.Monitor.Rejected _ ->
-        Repro_core.Monitor.undo w.monitor;
+      match Repro_core.Engine.extend w.session trial with
+      | Repro_core.Engine.Accepted _ -> true
+      | Repro_core.Engine.Rejected _ ->
+        Repro_core.Engine.undo w.session;
         false
   in
   let wall = Repro_obs.Clock.now_wall () -. t0 in
@@ -566,7 +566,7 @@ let run ?(trace = Trace.null) ?(metrics = Metrics.null) p topo ~gen =
       lock_waits = 0;
       latencies = [];
       last_commit = 0.0;
-      monitor = Repro_core.Monitor.create ~metrics ();
+      session = Repro_core.Engine.create ~obs:(Repro_obs.Sink.v ~metrics ()) ();
       trace;
       metrics;
       wait_hist = "sim.lock_wait_time." ^ proto;

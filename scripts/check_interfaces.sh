@@ -1,0 +1,22 @@
+#!/bin/sh
+# Interface-coverage gate: every library module must ship an explicit
+# interface.  Implementations without one leak their whole namespace and
+# make the layering (model -> core/engine -> consumers) unenforceable,
+# so CI fails when a lib/**/*.ml has no matching .mli.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+missing=0
+for ml in $(find lib -name '*.ml' | sort); do
+  if [ ! -f "${ml}i" ]; then
+    echo "missing interface: ${ml}i" >&2
+    missing=$((missing + 1))
+  fi
+done
+
+if [ "$missing" -gt 0 ]; then
+  echo "error: $missing library module(s) without an .mli" >&2
+  exit 1
+fi
+echo "ok: every lib/**/*.ml has a matching .mli"

@@ -330,32 +330,35 @@ let test_ablation_final_is_compute () =
 (* ------------------------------------------------------------------ *)
 
 module Equivalence = Repro_core.Equivalence
+module Engine = Repro_core.Engine
 
 let test_level_fronts () =
   let h = (Gen_figures.figure3 ()).Gen_figures.ht in
-  (match Equivalence.level_front h 0 with
+  let s = Engine.of_history h in
+  (match Equivalence.level_front s 0 with
   | Some f -> Alcotest.(check int) "level 0" 4 (Ids.Int_set.cardinal f.Front.members)
   | None -> Alcotest.fail "level 0 front always exists");
-  (match Equivalence.level_front h 1 with
+  (match Equivalence.level_front s 1 with
   | Some f -> Alcotest.(check int) "level 1" 4 (Ids.Int_set.cardinal f.Front.members)
   | None -> Alcotest.fail "figure 3 has a level 1 front");
-  Alcotest.(check bool) "no level 2 front" true (Equivalence.level_front h 2 = None)
+  Alcotest.(check bool) "no level 2 front" true (Equivalence.level_front s 2 = None)
 
 let test_equivalence_reflexive () =
   let h = (Gen_figures.figure4 ()).Gen_figures.ht in
-  let rel = Observed.compute h in
+  let s = Engine.of_history h in
+  let rel = Option.get (Engine.relations s) in
   for i = 0 to History.order h do
-    match Equivalence.level_front h i with
+    match Equivalence.level_front s i with
     | Some f ->
       let fs = Equivalence.of_front h rel f in
       Alcotest.(check bool)
         (Fmt.str "equivalent to own level-%d front" i)
         true
-        (Equivalence.level_equivalent h i fs);
+        (Equivalence.level_equivalent s i fs);
       Alcotest.(check bool)
         (Fmt.str "not contained when inputs lack the observed order (level %d)" i)
         (Repro_order.Rel.subset f.Front.obs f.Front.inp)
-        (Equivalence.level_contained h i fs)
+        (Equivalence.level_contained s i fs)
     | None -> Alcotest.failf "figure 4 reduces fully; missing level %d" i
   done
 
@@ -375,7 +378,7 @@ let test_containment_agrees_with_reduction () =
     Alcotest.(check bool)
       (Fmt.str "containment = reduction #%d" i)
       (Compc.is_correct h)
-      (Equivalence.comp_c_via_containment h)
+      (Equivalence.comp_c_via_containment (Engine.of_history h))
   done
 
 let test_serial_front_spec () =

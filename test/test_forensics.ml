@@ -6,6 +6,7 @@ open Repro_workload
 module Rel = Repro_order.Rel
 module Int_set = Repro_order.Ids.Int_set
 module Compc = Repro_core.Compc
+module Shrink = Repro_core.Shrink
 module Observed = Repro_core.Observed
 module Reduction = Repro_core.Reduction
 module Provenance = Repro_core.Provenance
