@@ -1071,6 +1071,117 @@ let e15 () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* E16: telemetry overhead                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The production-observability claim: always-on telemetry — labeled
+   metrics, live engine gauges and the flight recorder — must cost so
+   little on the accept path that there is no reason to turn it off, and
+   the recorder's memory must be O(capacity), independent of how long the
+   monitored stream runs.  Measured by streaming the same prefix chain
+   through two engine sessions: one over the null sink (one load + branch
+   per instrumentation point) and one over a full metrics registry plus
+   recorder.  CI gates the ratio via bench/baselines/e16_ci.json. *)
+let e16 () =
+  section "e16" "Telemetry overhead: null sink vs labeled metrics + flight recorder";
+  Fmt.pr
+    "  Streaming monitor accept path, whole prefix chain per run; the@.\
+     full sink pays labeled counters, per-path histograms, live gauges@.\
+     and one recorder event per append:@.";
+  let roots_max =
+    match Sys.getenv_opt "REPRO_E16_ROOTS_MAX" with
+    | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> max_int)
+    | None -> max_int
+  in
+  let reps =
+    match Sys.getenv_opt "REPRO_E16_REPS" with
+    | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 5)
+    | None -> 5
+  in
+  let sizes = List.filter (fun r -> r <= roots_max) [ 16; 32; 64 ] in
+  Fmt.pr "  %-12s %6s %12s %12s %10s %8s@." "roots" "nodes" "null-ms"
+    "full-ms" "overhead" "ratio";
+  let rows =
+    List.map
+      (fun roots ->
+        let h =
+          Gen.stack (Prng.create ~seed:(16_000 + roots)) ~levels:2 ~roots
+        in
+        let prefixes =
+          List.init roots (fun i -> History.prefix_by_roots h (i + 1))
+        in
+        let stream obs =
+          let s = Repro_core.Engine.create ~obs () in
+          List.iter (fun p -> ignore (Repro_core.Engine.extend s p)) prefixes;
+          s
+        in
+        (* Warm-up: fault in the code paths once so neither side pays
+           first-run effects. *)
+        ignore (stream Repro_obs.Sink.null);
+        let (), _, null_w =
+          time (fun () ->
+              for _ = 1 to reps do
+                ignore (stream Repro_obs.Sink.null)
+              done)
+        in
+        let last = ref Repro_obs.Recorder.null in
+        let (), _, full_w =
+          time (fun () ->
+              for _ = 1 to reps do
+                let recorder = Repro_obs.Recorder.create () in
+                last := recorder;
+                ignore
+                  (stream
+                     (Repro_obs.Sink.v ~metrics:(Metrics.create ()) ~recorder
+                        ()))
+              done)
+        in
+        let ratio = full_w /. null_w in
+        let overhead_pct = (ratio -. 1.0) *. 100.0 in
+        let recorder_words = Obj.reachable_words (Obj.repr !last) in
+        Fmt.pr "  %-12d %6d %12.3f %12.3f %9.1f%% %7.2fx@." roots
+          (History.n_nodes h)
+          (null_w *. 1e3 /. float_of_int reps)
+          (full_w *. 1e3 /. float_of_int reps)
+          overhead_pct ratio;
+        ( Fmt.str "stack-roots-%d" roots,
+          Json.Obj
+            [
+              ("roots", Json.Int roots);
+              ("nodes", Json.Int (History.n_nodes h));
+              ("null_wall_s", Json.Float (null_w /. float_of_int reps));
+              ("full_wall_s", Json.Float (full_w /. float_of_int reps));
+              ("overhead_pct", Json.Float overhead_pct);
+              ("overhead_ratio", Json.Float ratio);
+              ("recorder_words", Json.Int recorder_words);
+            ] ))
+      sizes
+  in
+  (* Recorder memory vs stream length: record far past capacity and show
+     the reachable size stays put — the ring really is bounded. *)
+  let cap = Repro_obs.Recorder.default_capacity in
+  Fmt.pr "  recorder memory (capacity %d):@." cap;
+  let mem_rows =
+    List.map
+      (fun len ->
+        let r = Repro_obs.Recorder.create () in
+        for i = 1 to len do
+          Repro_obs.Recorder.record r ~cat:"bench"
+            ~labels:(Repro_obs.Labels.v [ ("i", string_of_int (i mod 97)) ])
+            "event"
+        done;
+        let words = Obj.reachable_words (Obj.repr r) in
+        Fmt.pr "    %7d events recorded -> %7d reachable words@." len words;
+        (Fmt.str "events-%d" len, Json.Obj [ ("reachable_words", Json.Int words) ]))
+      [ cap; 4 * cap; 16 * cap ]
+  in
+  record_json "e16"
+    (Json.Obj
+       [ ("rows", Json.Obj rows); ("recorder_memory", Json.Obj mem_rows) ])
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1127,8 +1238,8 @@ let all =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("perf", perf);
-    ("micro", micro);
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+    ("perf", perf); ("micro", micro);
   ]
 
 let () =

@@ -4,7 +4,7 @@
    output-file helpers.  Every subcommand module builds on these so the
    three binaries agree on behaviour at the edges. *)
 
-let version = "1.1.0"
+let version = "1.2.0"
 
 let read_history path =
   try
@@ -76,3 +76,67 @@ let write_json ~tool path json =
     Repro_obs.Json.to_channel oc json;
     output_char oc '\n';
     close_out oc
+
+let write_text ~tool path text =
+  match open_out path with
+  | exception Sys_error msg ->
+    Fmt.epr "%s: %s@." tool msg;
+    exit 2
+  | oc ->
+    output_string oc text;
+    close_out oc
+
+(* One metrics snapshot, either machine format: the structured JSON dump
+   or the Prometheus text exposition a scraper ingests directly. *)
+let write_metrics ~tool ~format path metrics =
+  match format with
+  | `Json -> write_json ~tool path (Repro_obs.Metrics.to_json metrics)
+  | `Prom -> write_text ~tool path (Repro_obs.Metrics.to_prometheus metrics)
+
+let metrics_format_arg =
+  let doc =
+    "Format of the $(b,--metrics) snapshot: $(b,json) (structured dump, \
+     default) or $(b,prom) (Prometheus text exposition 0.0.4, ready for a \
+     scrape endpoint or textfile collector).  Ignored without $(b,--metrics)."
+  in
+  Cmdliner.Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("prom", `Prom) ]) `Json
+    & info [ "metrics-format" ] ~docv:"FMT" ~doc)
+
+(* A single-line stderr progress indicator for long batch/monitor runs:
+   carriage-return + erase-to-EOL rewrites in place, nothing when
+   disabled.  [update] may be called from pool worker domains, so the
+   line is written under a mutex; [finish] erases the line so the final
+   report starts on a clean row. *)
+module Progress = struct
+  type t = { mutable active : bool; mu : Mutex.t }
+
+  let null = { active = false; mu = Mutex.create () }
+
+  let create enabled =
+    if enabled then { active = true; mu = Mutex.create () } else null
+
+  let enabled t = t.active
+
+  (* Auto-detection: live rewrites only make sense on an interactive
+     stderr; piped/redirected runs stay clean. *)
+  let want = function
+    | Some b -> b
+    | None -> ( try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false)
+
+  let update t line =
+    if t.active then begin
+      Mutex.lock t.mu;
+      Printf.eprintf "\r\027[K%s%!" line;
+      Mutex.unlock t.mu
+    end
+
+  let finish t =
+    if t.active then begin
+      Mutex.lock t.mu;
+      Printf.eprintf "\r\027[K%!";
+      t.active <- false;
+      Mutex.unlock t.mu
+    end
+end

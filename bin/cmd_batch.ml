@@ -2,8 +2,15 @@
    domain pool and print one buffered output block per file, in argument
    order, whatever the pool's interleaving was.  [check] is the per-file
    runner (the check or monitor subcommand partially applied); it receives
-   private formatters and returns the file's exit code.  The batch exit
-   code is the worst per-file code. *)
+   private formatters plus a private telemetry sink and returns the file's
+   exit code.  The batch exit code is the worst per-file code.
+
+   Telemetry: [obs] (default null) is the run-wide sink — each file gets
+   a private registry/recorder from {!Repro_par.Pool.parmap_sink} and the
+   pool merges them back in argument order, so a batch --metrics snapshot
+   is deterministic.  [on_done] fires on a worker domain as each file
+   finishes (the progress-line hook); it must synchronize itself —
+   {!Cli_common.Progress.update} does. *)
 
 let rec take n = function
   | x :: rest when n > 0 ->
@@ -11,14 +18,14 @@ let rec take n = function
     (x :: hd, tl)
   | rest -> ([], rest)
 
-let run ?jobs ~fail_fast check paths =
+let run ?jobs ?on_done ?(obs = Repro_obs.Sink.null) ~fail_fast check paths =
   (* Each worker parses its own history (so the per-history conflict
      cache is never shared between domains) and writes into private
      buffers; the main domain prints the blocks in argument order. *)
-  let worker path =
+  let worker ~obs path =
     let bo = Buffer.create 256 and be = Buffer.create 64 in
     let ppf = Fmt.with_buffer bo and eppf = Fmt.with_buffer be in
-    let code = check ~ppf ~eppf path in
+    let code = check ~ppf ~eppf ~obs path in
     Format.pp_print_flush ppf ();
     Format.pp_print_flush eppf ();
     (Buffer.contents bo, Buffer.contents be, code)
@@ -31,7 +38,8 @@ let run ?jobs ~fail_fast check paths =
         max worst code)
       worst results
   in
-  if not fail_fast then print_wave 0 (Repro_par.Pool.parmap ?jobs worker paths)
+  if not fail_fast then
+    print_wave 0 (Repro_par.Pool.parmap_sink ?jobs ?on_done ~obs worker paths)
   else begin
     (* Fail-fast: dispatch job-sized waves and stop after the first
        wave containing a reject or error.  Output stays buffered and
@@ -41,6 +49,14 @@ let run ?jobs ~fail_fast check paths =
     let j =
       max 1
         (match jobs with Some j -> j | None -> Repro_par.Pool.default_jobs ())
+    in
+    (* The waves share [on_done]'s completed counter so the progress line
+       keeps counting across waves. *)
+    let completed = Atomic.make 0 in
+    let wave_done =
+      Option.map
+        (fun cb ~completed:_ -> cb ~completed:(1 + Atomic.fetch_and_add completed 1))
+        on_done
     in
     let rec go worst remaining =
       match remaining with
@@ -52,7 +68,11 @@ let run ?jobs ~fail_fast check paths =
         worst
       | remaining ->
         let wave, rest = take j remaining in
-        go (print_wave worst (Repro_par.Pool.parmap ~jobs:j worker wave)) rest
+        go
+          (print_wave worst
+             (Repro_par.Pool.parmap_sink ~jobs:j ?on_done:wave_done ~obs
+                worker wave))
+          rest
     in
     go 0 paths
   end

@@ -67,8 +67,15 @@ let print_stats ppf trace metrics =
        else "reject")
   | None -> ()
 
-let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
-    format shrink stats skip_validation dot path =
+(* --stats enrichment: what the session is holding after the analysis —
+   closure/memo sizing, reachable heap, allocation — as the engine-stats/1
+   JSON document (one line, greppable and diffable). *)
+let print_introspection ppf session =
+  Fmt.pf ppf "--- engine state (engine-stats/1) ---@.%s@."
+    (Repro_obs.Json.to_string (Repro_core.Engine.introspect session))
+
+let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ?(obs = Repro_obs.Sink.null)
+    ~brief criterion explain format shrink stats skip_validation dot path =
   (* A forensic request is an explain request: --shrink and the machine
      formats only make sense on the evidence report. *)
   let explain = explain || shrink || format <> `Text in
@@ -79,11 +86,20 @@ let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
   let trace =
     if stats then Repro_obs.Trace.create () else Repro_obs.Trace.null
   in
+  (* The caller's registry/recorder (per-item private ones in batch mode)
+     when enabled; else a local registry exactly when --stats must read
+     one back. *)
   let metrics =
-    if stats then Repro_obs.Metrics.create () else Repro_obs.Metrics.null
+    if Repro_obs.Metrics.enabled obs.Repro_obs.Sink.metrics then
+      obs.Repro_obs.Sink.metrics
+    else if stats then Repro_obs.Metrics.create ()
+    else Repro_obs.Metrics.null
   in
+  let recorder = obs.Repro_obs.Sink.recorder in
   let session =
-    Repro_core.Engine.of_history ~obs:(Repro_obs.Sink.v ~trace ~metrics ()) h
+    Repro_core.Engine.of_history
+      ~obs:(Repro_obs.Sink.v ~trace ~metrics ~recorder ())
+      h
   in
   (match dot with
   | Some prefix ->
@@ -132,7 +148,10 @@ let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
         (fun (name, v) -> Fmt.pf hpf "%-8s %s@." name (verdict v))
         report;
     if explain then Cmd_explain.report ppf format shrink session;
-    if stats then print_stats hpf trace metrics;
+    if stats then begin
+      print_stats hpf trace metrics;
+      print_introspection hpf session
+    end;
     if List.assoc "Comp-C" report then 0 else 1
   | name -> (
     match List.assoc_opt name report with
@@ -149,5 +168,8 @@ let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief criterion explain
       else Fmt.pf hpf "%s: %s@." name (verdict v);
       if explain && name = "Comp-C" then
         Cmd_explain.report ppf format shrink session;
-      if stats then print_stats hpf trace metrics;
+      if stats then begin
+        print_stats hpf trace metrics;
+        print_introspection hpf session
+      end;
       if v then 0 else 1)

@@ -6,18 +6,73 @@
    the final history correct".  The evidence report for the stopping
    prefix is assembled from the same session: the incrementally maintained
    relations stay warm and only the certificate is (lazily) derived over
-   them. *)
-open Repro_model
+   them.
 
-let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief explain format shrink
-    skip_validation path =
+   Production observability: the session always carries a flight recorder
+   (bounded ring, so always-on costs O(capacity) memory), and a rejection's
+   evidence report embeds its retained tail plus the engine-stats/1
+   introspection snapshot — the operational prehistory and the engine's
+   state at the moment of the violation.  With a live [progress] the
+   stderr line tracks prefixes done, append rate and the p99 append
+   latency read from the session's own registry. *)
+open Repro_model
+module Json = Repro_obs.Json
+module Metrics = Repro_obs.Metrics
+
+(* Refresh the expensive introspection-derived gauges (reachable heap
+   words) from a full [Engine.introspect] walk — polled periodically, not
+   per append; the cheap [engine.*] gauges are refreshed by the engine
+   itself on every advance. *)
+let snapshot_gauges metrics s =
+  if Metrics.enabled metrics then
+    match Repro_core.Engine.introspect s with
+    | Json.Obj fields -> (
+      match List.assoc_opt "memory" fields with
+      | Some (Json.Obj mem) -> (
+        match List.assoc_opt "reachable_words" mem with
+        | Some (Json.Int w) ->
+          Metrics.set metrics "engine.reachable_words" (float_of_int w)
+        | _ -> ())
+      | _ -> ())
+    | _ -> ()
+
+let introspect_every = 32
+
+let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr)
+    ?(obs = Repro_obs.Sink.null) ?(progress = Cli_common.Progress.null) ~brief
+    explain format shrink skip_validation path =
   let explain = explain || shrink || format <> `Text in
   let hpf = if format = `Text then ppf else eppf in
   Cli_common.with_history ~ppf ~eppf ~brief ~skip_validation path @@ fun h ->
+  let metrics = obs.Repro_obs.Sink.metrics in
+  let recorder =
+    if Repro_obs.Recorder.enabled obs.Repro_obs.Sink.recorder then
+      obs.Repro_obs.Sink.recorder
+    else Repro_obs.Recorder.create ()
+  in
   let n = List.length (History.roots h) in
-  let s = Repro_core.Engine.create () in
+  let s =
+    Repro_core.Engine.create ~obs:(Repro_obs.Sink.v ~metrics ~recorder ()) ()
+  in
+  let t0 = Repro_obs.Clock.now_wall () in
+  let show_progress k =
+    if Cli_common.Progress.enabled progress then begin
+      let dt = Repro_obs.Clock.now_wall () -. t0 in
+      let rate = if dt > 0.0 then float_of_int k /. dt else 0.0 in
+      let p99 =
+        match Metrics.percentile metrics "monitor.append_wall_s" 0.99 with
+        | Some v -> Fmt.str "  p99 append %.2fms" (v *. 1e3)
+        | None -> ""
+      in
+      Cli_common.Progress.update progress
+        (Fmt.str "monitor %s: prefix %d/%d  %.0f prefixes/s%s" path k n rate
+           p99)
+    end
+  in
   let rec go k =
     if k > n then begin
+      snapshot_gauges metrics s;
+      Cli_common.Progress.finish progress;
       let fast = (Repro_core.Engine.stats s).Repro_core.Engine.fastpath_hits in
       if brief then
         Fmt.pf ppf "%s: monitor: accept (%d prefix%s)@." path n
@@ -40,9 +95,13 @@ let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief explain format shrink
       let p = History.prefix_by_roots h k in
       match Repro_core.Engine.extend s p with
       | Repro_core.Engine.Accepted _ ->
+        if k mod introspect_every = 0 then snapshot_gauges metrics s;
+        show_progress k;
         if not brief then Fmt.pf hpf "prefix %d/%d: accept@." k n;
         go (k + 1)
       | Repro_core.Engine.Rejected f ->
+        snapshot_gauges metrics s;
+        Cli_common.Progress.finish progress;
         let rel = Repro_core.Engine.relations s in
         if brief then
           Fmt.pf ppf "%s: monitor: reject at prefix %d/%d@." path k n
@@ -53,14 +112,16 @@ let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ~brief explain format shrink
             f
         end;
         if explain then begin
+          (* The violation's operational context rides along with the
+             forensic evidence: where in the stream it happened, the
+             flight-recorder tail leading up to it, and the engine's
+             state snapshot at the moment of rejection. *)
           let extra =
             [
               ( "prefix",
-                Repro_obs.Json.Obj
-                  [
-                    ("index", Repro_obs.Json.Int k);
-                    ("of", Repro_obs.Json.Int n);
-                  ] );
+                Json.Obj [ ("index", Json.Int k); ("of", Json.Int n) ] );
+              ("flight_recorder", Repro_obs.Recorder.to_json recorder);
+              ("engine", Repro_core.Engine.introspect s);
             ]
           in
           Cmd_explain.report ~extra ppf format shrink s

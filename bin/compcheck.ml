@@ -13,7 +13,7 @@
 open Cmdliner
 
 let run paths criterion explain format shrink stats skip_validation dot jobs
-    monitor fail_fast =
+    monitor fail_fast metrics_out metrics_format progress =
   let monitor_conflict =
     monitor
     && (stats || dot <> None || String.lowercase_ascii criterion <> "comp-c")
@@ -28,29 +28,65 @@ let run paths criterion explain format shrink stats skip_validation dot jobs
     Fmt.epr "compcheck: --format dot requires a single FILE@.";
     2
   end
-  else
-    match paths with
-    | [ path ] ->
-      if monitor then
-        Cmd_monitor.run ~brief:false explain format shrink skip_validation path
-      else
-        Cmd_check.run ~brief:false criterion explain format shrink stats
-          skip_validation dot path
-    | paths ->
-      if dot <> None then begin
-        Fmt.epr "compcheck: --dot requires a single FILE@.";
-        2
-      end
-      else
-        Cmd_batch.run ?jobs ~fail_fast
-          (fun ~ppf ~eppf path ->
-            if monitor then
-              Cmd_monitor.run ~ppf ~eppf ~brief:true explain format shrink
-                skip_validation path
-            else
-              Cmd_check.run ~ppf ~eppf ~brief:true criterion explain format
-                shrink stats skip_validation None path)
-          paths
+  else begin
+    (* The run-wide registry backing --metrics; also created for a live
+       single-file monitor so the progress line can read the p99 append
+       latency back out of it. *)
+    let progress_on = Cli_common.Progress.want progress in
+    let metrics =
+      if metrics_out <> None || (monitor && progress_on) then
+        Repro_obs.Metrics.create ()
+      else Repro_obs.Metrics.null
+    in
+    let obs = Repro_obs.Sink.v ~metrics () in
+    let code =
+      match paths with
+      | [ path ] ->
+        if monitor then
+          Cmd_monitor.run ~obs
+            ~progress:(Cli_common.Progress.create progress_on)
+            ~brief:false explain format shrink skip_validation path
+        else
+          Cmd_check.run ~obs ~brief:false criterion explain format shrink
+            stats skip_validation dot path
+      | paths ->
+        if dot <> None then begin
+          Fmt.epr "compcheck: --dot requires a single FILE@.";
+          2
+        end
+        else begin
+          let total = List.length paths in
+          let bar = Cli_common.Progress.create progress_on in
+          let t0 = Repro_obs.Clock.now_wall () in
+          let on_done ~completed =
+            let dt = Repro_obs.Clock.now_wall () -. t0 in
+            let rate = if dt > 0.0 then float_of_int completed /. dt else 0.0 in
+            Cli_common.Progress.update bar
+              (Fmt.str "compcheck: %d/%d files  %.1f files/s" completed total
+                 rate)
+          in
+          let code =
+            Cmd_batch.run ?jobs ~on_done ~obs ~fail_fast
+              (fun ~ppf ~eppf ~obs path ->
+                if monitor then
+                  Cmd_monitor.run ~ppf ~eppf ~obs ~brief:true explain format
+                    shrink skip_validation path
+                else
+                  Cmd_check.run ~ppf ~eppf ~obs ~brief:true criterion explain
+                    format shrink stats skip_validation None path)
+              paths
+          in
+          Cli_common.Progress.finish bar;
+          code
+        end
+    in
+    (match metrics_out with
+    | Some path ->
+      Cli_common.write_metrics ~tool:"compcheck" ~format:metrics_format path
+        metrics
+    | None -> ());
+    code
+  end
 
 let paths_arg =
   let doc =
@@ -137,6 +173,31 @@ let fail_fast_arg =
   in
   Arg.(value & flag & info [ "fail-fast" ] ~doc)
 
+let metrics_out_arg =
+  let doc =
+    "Write the run's metrics snapshot to $(docv): checker counters and \
+     latency histograms, the labeled per-path append series and live \
+     engine gauges in monitor mode, and the merged per-file registries \
+     (deterministic, in argument order) in batch mode."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Live single-line progress on stderr (files done and rate in batch \
+     mode; prefixes done, rate and p99 append latency in monitor mode).  \
+     Default: on exactly when stderr is a terminal; $(b,--no-progress) \
+     forces it off."
+  in
+  let off = "Disable the live progress line." in
+  Arg.(
+    value
+    & vflag None
+        [
+          (Some true, info [ "progress" ] ~doc);
+          (Some false, info [ "no-progress" ] ~doc:off);
+        ])
+
 let jobs_arg =
   let doc =
     "Worker domains for batch checking several FILEs (default: $(b,REPRO_JOBS) \
@@ -174,6 +235,7 @@ let cmd =
     Term.(
       const run $ paths_arg $ criterion_arg $ explain_arg $ format_arg
       $ shrink_arg $ stats_arg $ skip_validation_arg $ dot_arg $ jobs_arg
-      $ monitor_arg $ fail_fast_arg)
+      $ monitor_arg $ fail_fast_arg $ metrics_out_arg
+      $ Cli_common.metrics_format_arg $ progress_arg)
 
 let () = exit (Cmd.eval' cmd)

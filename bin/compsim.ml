@@ -14,7 +14,7 @@ let protocol_of_string = function
 let write_json path json = Cli_common.write_json ~tool:"compsim" path json
 
 let run workload protocol_name clients txs seed check dump evidence_out
-    trace_out metrics_out =
+    trace_out metrics_out metrics_format flight_out =
   match (Workloads.find workload, protocol_of_string protocol_name) with
   | None, _ ->
     Fmt.epr "compsim: unknown workload %S (available: %a)@." workload
@@ -43,7 +43,14 @@ let run workload protocol_name clients txs seed check dump evidence_out
       if metrics_out = None then Repro_obs.Metrics.null
       else Repro_obs.Metrics.create ()
     in
-    let stats = Sim.run ~trace ~metrics params w.Workloads.topology ~gen:w.Workloads.gen in
+    let recorder =
+      if flight_out = None then Repro_obs.Recorder.null
+      else Repro_obs.Recorder.create ()
+    in
+    let stats =
+      Sim.run ~trace ~metrics ~recorder params w.Workloads.topology
+        ~gen:w.Workloads.gen
+    in
     Fmt.pr "workload=%s protocol=%s clients=%d txs/client=%d seed=%d@." workload protocol_name
       clients txs seed;
     Fmt.pr
@@ -61,8 +68,16 @@ let run workload protocol_name clients txs seed check dump evidence_out
     | None -> ());
     (match metrics_out with
     | Some path ->
-      write_json path (Repro_obs.Metrics.to_json metrics);
+      Cli_common.write_metrics ~tool:"compsim" ~format:metrics_format path
+        metrics;
       Fmt.pr "metrics snapshot written to %s@." path
+    | None -> ());
+    (match flight_out with
+    | Some path ->
+      write_json path (Repro_obs.Recorder.to_json recorder);
+      Fmt.pr "flight recorder written to %s (%d of %d events retained)@." path
+        (Repro_obs.Recorder.length recorder)
+        (Repro_obs.Recorder.total recorder)
     | None -> ());
     (match dump with
     | Some path ->
@@ -141,10 +156,18 @@ let trace_arg =
 
 let metrics_arg =
   let doc =
-    "Write a JSON metrics snapshot (counters, gauges, latency/lock-time \
-     histograms with p50/p90/p99) to $(docv)."
+    "Write a metrics snapshot (counters, gauges, latency/lock-time \
+     histograms with p50/p90/p99) to $(docv); see $(b,--metrics-format)."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let flight_arg =
+  let doc =
+    "Write the scheduler's flight-recorder tail to $(docv): the last \
+     commits, retries, aborts, give-ups and certify rejections, each \
+     labeled with client/seq/attempt and stamped with the simulated clock."
+  in
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
 
 let cmd =
   let doc = "simulate composite transactions over a component topology" in
@@ -163,6 +186,7 @@ let cmd =
     (Cmd.info "compsim" ~version:Cli_common.version ~doc ~man)
     Term.(
       const run $ workload_arg $ protocol_arg $ clients_arg $ txs_arg $ seed_arg
-      $ check_arg $ dump_arg $ evidence_arg $ trace_arg $ metrics_arg)
+      $ check_arg $ dump_arg $ evidence_arg $ trace_arg $ metrics_arg
+      $ Cli_common.metrics_format_arg $ flight_arg)
 
 let () = exit (Cmd.eval' cmd)

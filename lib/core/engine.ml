@@ -4,6 +4,9 @@ open Ids
 module Sink = Repro_obs.Sink
 module Metrics = Repro_obs.Metrics
 module Clock = Repro_obs.Clock
+module Json = Repro_obs.Json
+module Labels = Repro_obs.Labels
+module Recorder = Repro_obs.Recorder
 
 type verdict = Accepted of id list | Rejected of Reduction.failure
 
@@ -30,6 +33,9 @@ type t = {
   mutable appends : int;
   mutable fastpath_hits : int;
   mutable delta_hits : int;
+  mutable gc0 : Gc.stat;
+      (* Gc.quick_stat at session creation: the baseline the introspection
+         report's allocation deltas are measured against. *)
 }
 
 type stats = { appends : int; fastpath_hits : int; delta_hits : int }
@@ -48,6 +54,7 @@ let create ?(obs = Sink.null) () =
     appends = 0;
     fastpath_hits = 0;
     delta_hits = 0;
+    gc0 = Gc.quick_stat ();
   }
 
 let sink t = t.obs
@@ -243,11 +250,17 @@ let delta_reduce cur (rel : Observed.relations) ~delta_obs ~delta_inp h =
    the [compc.checks]/[compc.check_wall_s] vocabulary instead. *)
 let advance ~monitor t h =
   let metrics = t.obs.Sink.metrics in
+  let recorder = t.obs.Sink.recorder in
   let enabled = monitor && Metrics.enabled metrics in
-  let t0 = if enabled then Clock.now_wall () else 0.0 in
+  let recording = Recorder.enabled recorder in
+  let t0 = if enabled || recording then Clock.now_wall () else 0.0 in
+  (* Which append machinery decided this advance; the flight recorder and
+     the labeled [monitor.append{path=...}] counter both report it. *)
+  let path = ref "full" in
   let frame =
     match t.cur with
     | None ->
+      path := "initial";
       let rel = Observed.compute ~metrics h in
       let certificate =
         Reduction.reduce ~rel ~trace:t.obs.Sink.trace ~metrics h
@@ -275,6 +288,7 @@ let advance ~monitor t h =
           && Rel.is_empty delta_inp
           && fast_path_ok cur h
         then begin
+          path := "fast";
           t.fastpath_hits <- t.fastpath_hits + 1;
           Metrics.incr metrics "monitor.fastpath_hits";
           match cur.verdict with
@@ -289,6 +303,7 @@ let advance ~monitor t h =
         end
         else if stable && forward n_old delta_obs && forward n_old delta_inp
         then begin
+          path := "delta";
           t.delta_hits <- t.delta_hits + 1;
           Metrics.incr metrics "monitor.delta_hits";
           match cur.verdict with
@@ -315,8 +330,43 @@ let advance ~monitor t h =
   t.cur <- Some frame;
   t.appends <- t.appends + 1;
   if enabled then begin
+    let wall = Clock.now_wall () -. t0 in
+    let labels = Labels.v [ ("path", !path) ] in
     Metrics.incr metrics "monitor.appends";
-    Metrics.observe metrics "monitor.append_wall_s" (Clock.now_wall () -. t0)
+    Metrics.incr metrics ~labels "monitor.append";
+    Metrics.observe metrics "monitor.append_wall_s" wall;
+    Metrics.observe metrics ~labels "monitor.append_wall_s_by_path" wall;
+    (* The cheap per-append slice of the introspection report, kept live as
+       gauges so a scrape of a monitored stream always has current state
+       sizes without an explicit [introspect] call. *)
+    Metrics.set metrics "engine.nodes" (float_of_int (History.n_nodes frame.h));
+    Metrics.set metrics "engine.obs_pairs"
+      (float_of_int (Rel.cardinal frame.rel.Observed.obs));
+    Metrics.set metrics "engine.inp_pairs"
+      (float_of_int (Rel.cardinal frame.rel.Observed.inp));
+    let known, totalp = History.memo_stats frame.h in
+    Metrics.set metrics "engine.memo_known_pairs" (float_of_int known);
+    Metrics.set metrics "engine.memo_fill_ratio"
+      (if totalp = 0 then 0.0 else float_of_int known /. float_of_int totalp)
+  end;
+  if recording then begin
+    let severity, verdict_s =
+      match frame.verdict with
+      | Accepted _ -> ((if !path = "full" && monitor then Recorder.Warn
+                        else Recorder.Info), "accept")
+      | Rejected _ -> (Recorder.Error, "reject")
+    in
+    Recorder.record recorder ~severity ~cat:"engine"
+      ~labels:
+        (Labels.v
+           [
+             ("path", !path);
+             ("nodes", string_of_int (History.n_nodes frame.h));
+             ("verdict", verdict_s);
+             ( "wall_us",
+               Printf.sprintf "%.1f" ((Clock.now_wall () -. t0) *. 1e6) );
+           ])
+      (if monitor then "append" else "analyze")
   end;
   frame.verdict
 
@@ -380,6 +430,7 @@ let of_parts ?(obs = Sink.null) h rel certificate =
     appends = 0;
     fastpath_hits = 0;
     delta_hits = 0;
+    gc0 = Gc.quick_stat ();
   }
 
 let undo t =
@@ -434,3 +485,91 @@ let stats (t : t) =
     fastpath_hits = t.fastpath_hits;
     delta_hits = t.delta_hits;
   }
+
+(* The state report behind `compcheck --stats` and the monitor's evidence
+   dumps: what this session is holding in memory and what it cost to get
+   here.  [Obj.reachable_words] walks the frame (history, relations, memo,
+   certificate, provenance index) — on-demand introspection only, never on
+   the append path. *)
+let introspect (t : t) =
+  let gc = Gc.quick_stat () in
+  let session =
+    Json.Obj
+      [
+        ("appends", Json.Int t.appends);
+        ("fastpath_hits", Json.Int t.fastpath_hits);
+        ("delta_hits", Json.Int t.delta_hits);
+        ("undo_available", Json.Bool (t.snapshot <> None));
+      ]
+  in
+  let gc_json =
+    Json.Obj
+      [
+        ("minor_words_delta", Json.Float (gc.Gc.minor_words -. t.gc0.Gc.minor_words));
+        ( "major_words_delta",
+          Json.Float (gc.Gc.major_words -. t.gc0.Gc.major_words) );
+        ( "minor_collections_delta",
+          Json.Int (gc.Gc.minor_collections - t.gc0.Gc.minor_collections) );
+        ( "major_collections_delta",
+          Json.Int (gc.Gc.major_collections - t.gc0.Gc.major_collections) );
+        ("heap_words", Json.Int gc.Gc.heap_words);
+      ]
+  in
+  match t.cur with
+  | None ->
+    Json.Obj
+      [
+        ("schema", Json.String "engine-stats/1");
+        ("history", Json.Null);
+        ("session", session);
+        ("gc", gc_json);
+      ]
+  | Some f ->
+    let known, totalp = History.memo_stats f.h in
+    Json.Obj
+      [
+        ("schema", Json.String "engine-stats/1");
+        ( "history",
+          Json.Obj
+            [
+              ("nodes", Json.Int (History.n_nodes f.h));
+              ("roots", Json.Int (List.length (History.roots f.h)));
+              ("schedules", Json.Int (History.n_schedules f.h));
+              ("order", Json.Int (History.order f.h));
+            ] );
+        ( "closure",
+          Json.Obj
+            [
+              ("obs_pairs", Json.Int (Rel.cardinal f.rel.Observed.obs));
+              ("inp_pairs", Json.Int (Rel.cardinal f.rel.Observed.inp));
+              ("base_obs_pairs", Json.Int (Rel.cardinal f.rel.Observed.base_obs));
+              ("obs_inv_pairs", Json.Int (Rel.cardinal f.rel.Observed.obs_inv));
+            ] );
+        ( "conflict_memo",
+          Json.Obj
+            [
+              ("known_pairs", Json.Int known);
+              ("total_pairs", Json.Int totalp);
+              ( "fill_ratio",
+                Json.Float
+                  (if totalp = 0 then 0.0
+                   else float_of_int known /. float_of_int totalp) );
+            ] );
+        ( "provenance",
+          match f.prov with
+          | None -> Json.Obj [ ("built", Json.Bool false) ]
+          | Some p ->
+            Json.Obj
+              [
+                ("built", Json.Bool true);
+                ("pairs", Json.Int (Provenance.cardinal p));
+              ] );
+        ( "certificate",
+          Json.Obj [ ("materialized", Json.Bool (f.cert <> None)) ] );
+        ("session", session);
+        ( "memory",
+          Json.Obj
+            [ ("reachable_words", Json.Int (Obj.reachable_words (Obj.repr f))) ]
+        );
+        ("gc", gc_json);
+      ]

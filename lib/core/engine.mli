@@ -57,7 +57,18 @@ val create : ?obs:Repro_obs.Sink.t -> unit -> t
     [compc.checks]/[compc.check_wall_s]/[compc.check_cpu_s] per {!analyze}
     and [monitor.appends], [monitor.fastpath_hits], [monitor.delta_hits]
     and [monitor.append_wall_s] per {!extend}; its trace receives the
-    reduction spans. *)
+    reduction spans.
+
+    {!extend} additionally reports the labeled series
+    [monitor.append{path="initial|fast|delta|full"}] and
+    [monitor.append_wall_s_by_path{path=...}], and refreshes the live
+    [engine.*] state gauges (node count, closure pair counts, conflict-memo
+    fill) after every append.  The sink's flight recorder receives one
+    [engine]-category event per advance — name [append] (monitor) or
+    [analyze] (batch), labels [path]/[nodes]/[verdict]/[wall_us], severity
+    [Error] on a rejection and [Warn] on a monitor append that fell back to
+    a full reduction — whatever the metrics registry's state, so a bounded
+    operational prehistory is always available on a violation. *)
 
 val of_history : ?obs:Repro_obs.Sink.t -> History.t -> t
 (** [of_history h] is a fresh session advanced to [h] by {!analyze} — the
@@ -166,3 +177,17 @@ val stats : t -> stats
 (** Lifetime counters (not rolled back by {!undo}): total advances, how
     many skipped the reduction entirely on the delta-empty fast path, and
     how many re-reduced only the new block. *)
+
+val introspect : t -> Repro_obs.Json.t
+(** The session's state report ([engine-stats/1]): what this session is
+    holding in memory and what it cost to get here — history sizing
+    (nodes, roots, schedules, order), closure pair counts (observed,
+    input, base, inverse), conflict-memo fill (known pairs / total pair
+    space), provenance-index size if built, whether the reduction
+    certificate is materialized, the lifetime {!stats} counters,
+    [Obj.reachable_words] over the session's current frame (history +
+    relations + caches), and [Gc.quick_stat] allocation deltas since the
+    session was created.  On the empty session the [history] field is
+    null and only the session/gc sections are reported.  On-demand: walks
+    the reachable heap, so callers poll it periodically (the monitor CLI
+    does) rather than per append. *)

@@ -11,7 +11,10 @@ type verdict = Engine.verdict =
 
 type stats = { appends : int; fastpath_hits : int; delta_hits : int }
 
-let create ?metrics () = Engine.create ~obs:(Repro_obs.Sink.v ?metrics ()) ()
+let create ?metrics ?recorder () =
+  Engine.create ~obs:(Repro_obs.Sink.v ?metrics ?recorder ()) ()
+
+let introspect = Engine.introspect
 
 let append = Engine.extend
 

@@ -39,12 +39,19 @@ type verdict =
           (a valid one; not necessarily the batch checker's). *)
   | Rejected of Reduction.failure
 
-val create : ?metrics:Repro_obs.Metrics.t -> unit -> t
+val create :
+  ?metrics:Repro_obs.Metrics.t -> ?recorder:Repro_obs.Recorder.t -> unit -> t
 (** A monitor over the empty prefix (vacuously accepted).  [metrics]
     (default null) receives counters [monitor.appends],
-    [monitor.fastpath_hits], [monitor.delta_hits], histogram
-    [monitor.append_wall_s], and the per-append checker metrics of the
-    underlying {!Observed} / {!Reduction} calls. *)
+    [monitor.fastpath_hits], [monitor.delta_hits], the labeled
+    [monitor.append{path=...}] series, histogram [monitor.append_wall_s],
+    the live [engine.*] state gauges, and the per-append checker metrics
+    of the underlying {!Observed} / {!Reduction} calls.  [recorder]
+    (default null) receives one flight-recorder event per append — the
+    bounded operational prehistory dumped with a violation's evidence. *)
+
+val introspect : t -> Repro_obs.Json.t
+(** The underlying session's state report; see {!Engine.introspect}. *)
 
 val append : t -> History.t -> verdict
 (** [append t h] advances the monitor to [h] — which must extend the

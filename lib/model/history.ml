@@ -217,6 +217,44 @@ let extend_cache ~from h =
           Bytes.blit ovalue 0 value 0 bytes)
       h.scheds
 
+(* Introspection: how much of the conflict-pair space the memo has decided.
+   The total counts one slot per unordered pair of same-schedule operations
+   (the triangular bitmatrix layout); the known count is the popcount of
+   the allocated "known" planes.  No memo yet means nothing decided. *)
+let memo_stats h =
+  let popcount_byte =
+    let tbl = Array.init 256 (fun b ->
+        let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+        go b 0)
+    in
+    fun c -> tbl.(Char.code c)
+  in
+  let total =
+    Array.fold_left
+      (fun acc (s : schedule) ->
+        let m =
+          Int_set.fold
+            (fun t acc -> acc + List.length h.nodes.(t).children)
+            s.transactions 0
+        in
+        acc + (m * (m - 1) / 2))
+      0 h.scheds
+  in
+  let known =
+    match h.ccache with
+    | None -> 0
+    | Some c ->
+      Array.fold_left
+        (fun acc -> function
+          | None -> acc
+          | Some (k, _) ->
+            let n = ref acc in
+            Bytes.iter (fun byte -> n := !n + popcount_byte byte) k;
+            !n)
+        0 c.tables
+  in
+  (known, total)
+
 let descendants h i =
   let rec go acc = function
     | [] -> acc

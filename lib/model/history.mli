@@ -130,6 +130,13 @@ val extend_cache : from:t -> t -> unit
     fewer operations in some schedule, or a different schedule count.
     Semantically invisible — only the memo warmth changes. *)
 
+val memo_stats : t -> int * int
+(** [(known, total)]: how many unordered same-schedule operation pairs the
+    conflict memo has decided, out of the total pair space (one slot per
+    pair, summed over schedules).  [(0, total)] before any probe.  Pure
+    introspection for the engine's state report — reads the memo, never
+    fills it. *)
+
 val descendants : t -> id -> Int_set.t
 (** Proper descendants ([Act] of Def. 4.6, transitively). *)
 

@@ -1,0 +1,133 @@
+(* A label set is kept canonical — sorted by key, one value per key — so
+   structural equality is set equality and the encoded form is unique.
+   The encoding doubles as the series key inside the metrics registry's
+   flat tables: [name{k="v",k2="v2"}], which is also (after metric-name
+   sanitization) the Prometheus exposition syntax, so the text writer can
+   split any registry key back into name and labels. *)
+
+type t = (string * string) list (* sorted by key, keys unique *)
+
+let empty = []
+
+let is_empty t = t = []
+
+let valid_key k =
+  k <> ""
+  && (match k.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       k
+
+let add k v t =
+  if not (valid_key k) then
+    invalid_arg ("Labels.add: invalid label key " ^ String.escaped k);
+  let rec ins = function
+    | [] -> [ (k, v) ]
+    | (k', _) :: rest when k' = k -> (k, v) :: rest
+    | ((k', _) as hd) :: rest when k' < k -> hd :: ins rest
+    | rest -> (k, v) :: rest
+  in
+  ins t
+
+let v pairs = List.fold_left (fun acc (k, value) -> add k value acc) empty pairs
+
+let to_list t = t
+
+let find k t = List.assoc_opt k t
+
+let cardinal = List.length
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+(* Right-biased union: [union a b] keeps every binding of [b] and the
+   [a]-bindings whose key [b] does not mention. *)
+let union a b = List.fold_left (fun acc (k, value) -> add k value acc) a b
+
+(* Value escaping is exactly the Prometheus label-value rule: backslash,
+   double quote and newline are escaped, everything else passes through. *)
+let escape_value v =
+  let buf = Buffer.create (String.length v + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let encode t =
+  match t with
+  | [] -> ""
+  | pairs ->
+    let buf = Buffer.create 32 in
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_value v);
+        Buffer.add_char buf '"')
+      pairs;
+    Buffer.add_char buf '}';
+    Buffer.contents buf
+
+let series name t = name ^ encode t
+
+exception Bad of string
+
+(* Decode a series key produced by {!series}.  The registry only ever
+   stores canonical encodings, so the parser is strict: a malformed suffix
+   means the key never carried labels and the whole string is the name. *)
+let decode_series key =
+  match String.index_opt key '{' with
+  | None -> (key, empty)
+  | Some i when String.length key > 0 && key.[String.length key - 1] = '}' -> (
+    let name = String.sub key 0 i in
+    let body = String.sub key (i + 1) (String.length key - i - 2) in
+    try
+      let n = String.length body in
+      let labels = ref empty in
+      let pos = ref 0 in
+      while !pos < n do
+        let eq =
+          match String.index_from_opt body !pos '=' with
+          | Some e when e + 1 < n && body.[e + 1] = '"' -> e
+          | _ -> raise (Bad key)
+        in
+        let k = String.sub body !pos (eq - !pos) in
+        let buf = Buffer.create 8 in
+        let j = ref (eq + 2) in
+        let closed = ref false in
+        while not !closed do
+          if !j >= n then raise (Bad key);
+          (match body.[!j] with
+          | '\\' ->
+            if !j + 1 >= n then raise (Bad key);
+            (match body.[!j + 1] with
+            | '\\' -> Buffer.add_char buf '\\'
+            | '"' -> Buffer.add_char buf '"'
+            | 'n' -> Buffer.add_char buf '\n'
+            | _ -> raise (Bad key));
+            j := !j + 2
+          | '"' ->
+            closed := true;
+            incr j
+          | c ->
+            Buffer.add_char buf c;
+            incr j)
+        done;
+        labels := add k (Buffer.contents buf) !labels;
+        if !j < n then
+          if body.[!j] = ',' then pos := !j + 1 else raise (Bad key)
+        else pos := !j
+      done;
+      (name, !labels)
+    with Bad _ | Invalid_argument _ -> (key, empty))
+  | Some _ -> (key, empty)
+
+let pp ppf t = Format.pp_print_string ppf (encode t)

@@ -1,0 +1,61 @@
+(** Label sets: the dimensions of a labeled metric series or flight-recorder
+    event, e.g. [monitor.append{path="fast"}].
+
+    A label set is a canonical finite map from label keys to string values:
+    keys are sorted, each key bound once, so structural {!equal} is set
+    equality and {!encode} is injective.  Keys must match
+    [[a-zA-Z_][a-zA-Z0-9_]*] (the Prometheus label-name grammar without the
+    leading-[__] reserved forms); values are arbitrary strings, escaped on
+    encoding.
+
+    The encoded form [{k="v",k2="v2"}] appended to a metric name
+    ({!series}) is how the metrics registry stores labeled series in its
+    flat tables — one series per distinct (name, label set) — which keeps
+    {!Metrics.merge}'s per-key semantics and the null-registry zero-cost
+    guarantee unchanged.  {!decode_series} splits such a key back apart for
+    the Prometheus exposition writer. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val v : (string * string) list -> t
+(** Build a label set; on duplicate keys the last binding wins.  Raises
+    [Invalid_argument] on a key that does not match the label-name
+    grammar. *)
+
+val add : string -> string -> t -> t
+(** [add k v t] binds [k] to [v], replacing any previous binding.  Raises
+    [Invalid_argument] on an invalid key. *)
+
+val to_list : t -> (string * string) list
+(** Bindings in canonical (key-sorted) order. *)
+
+val find : string -> t -> string option
+
+val cardinal : t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val union : t -> t -> t
+(** [union a b]: every binding of [b], plus the bindings of [a] whose keys
+    [b] does not mention (right bias). *)
+
+val encode : t -> string
+(** Canonical encoding: [""] for {!empty}, else [{k="v",...}] with keys
+    sorted and values escaped (backslash, double quote, newline — the
+    Prometheus label-value escapes). *)
+
+val series : string -> t -> string
+(** [series name t] is [name ^ encode t] — the registry key of the labeled
+    series. *)
+
+val decode_series : string -> string * t
+(** Split a registry key back into (name, labels).  Keys without a
+    well-formed canonical label suffix decode as (key, {!empty}). *)
+
+val pp : Format.formatter -> t -> unit

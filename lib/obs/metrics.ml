@@ -37,14 +37,23 @@ let enabled t = t.on
 let default_buckets =
   Array.init 64 (fun i -> 1e-6 *. (2.0 ** float_of_int i))
 
-let incr t ?(by = 1) name =
+(* Labeled series live in the same flat tables under their canonical
+   encoded key [name{k="v",...}], so merge/read/export semantics need no
+   label-aware cases; the key is built only after the [t.on] check, so the
+   null registry stays allocation-free. *)
+let key name labels =
+  if Labels.is_empty labels then name else Labels.series name labels
+
+let incr t ?(by = 1) ?(labels = Labels.empty) name =
   if t.on then
+    let name = key name labels in
     match Hashtbl.find_opt t.counters name with
     | Some r -> r := !r + by
     | None -> Hashtbl.replace t.counters name (ref by)
 
-let set t name v =
+let set t ?(labels = Labels.empty) name v =
   if t.on then
+    let name = key name labels in
     match Hashtbl.find_opt t.gauges name with
     | Some r -> r := v
     | None -> Hashtbl.replace t.gauges name (ref v)
@@ -60,8 +69,9 @@ let bucket_index bounds v =
   in
   go 0 n
 
-let observe t ?(buckets = default_buckets) name v =
+let observe t ?(buckets = default_buckets) ?(labels = Labels.empty) name v =
   if t.on then begin
+    let name = key name labels in
     let h =
       match Hashtbl.find_opt t.histograms name with
       | Some h -> h
@@ -118,11 +128,13 @@ let merge ~into src =
       src.histograms
   end
 
-let counter_value t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+let counter_value t ?(labels = Labels.empty) name =
+  match Hashtbl.find_opt t.counters (key name labels) with
+  | Some r -> !r
+  | None -> 0
 
-let gauge_value t name =
-  Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+let gauge_value t ?(labels = Labels.empty) name =
+  Option.map ( ! ) (Hashtbl.find_opt t.gauges (key name labels))
 
 (* Estimate the q-quantile: find the bucket holding the ceil(q*count)-th
    observation, interpolate linearly between its bounds, clamp to the exact
@@ -149,8 +161,8 @@ let estimate h q =
   let raw = go 0 0.0 in
   Float.min h.h_max (Float.max h.h_min raw)
 
-let percentile t name q =
-  match Hashtbl.find_opt t.histograms name with
+let percentile t ?(labels = Labels.empty) name q =
+  match Hashtbl.find_opt t.histograms (key name labels) with
   | Some h when h.h_count > 0 -> Some (estimate h q)
   | _ -> None
 
@@ -175,8 +187,8 @@ let summary_of h =
     p99 = estimate h 0.99;
   }
 
-let summary t name =
-  match Hashtbl.find_opt t.histograms name with
+let summary t ?(labels = Labels.empty) name =
+  match Hashtbl.find_opt t.histograms (key name labels) with
   | Some h when h.h_count > 0 -> Some (summary_of h)
   | _ -> None
 
@@ -218,6 +230,93 @@ let to_json t =
       ("gauges", Json.Obj gauges);
       ("histograms", Json.Obj histograms);
     ]
+
+(* ---- Prometheus text exposition (version 0.0.4) ---- *)
+
+(* Metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.  The registry's dotted names
+   ([monitor.append_wall_s]) sanitize by mapping every other character to
+   an underscore. *)
+let prom_name name =
+  let name = if name = "" then "_" else name in
+  String.concat ""
+    (List.init (String.length name) (fun i ->
+         match name.[i] with
+         | ('a' .. 'z' | 'A' .. 'Z' | '_' | ':') as c -> String.make 1 c
+         | ('0' .. '9') as c when i > 0 -> String.make 1 c
+         | _ -> "_"))
+
+(* Shortest float rendering that re-reads exactly, mirroring Json's. *)
+let prom_float v =
+  if Float.is_integer v && Float.abs v < 1e16 then
+    Printf.sprintf "%.1f" v
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let prom_series buf name labels value =
+  Buffer.add_string buf (prom_name name);
+  Buffer.add_string buf (Labels.encode labels);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+(* Group the registry's flat keys by decoded base name so each family gets
+   one TYPE header followed by its labeled series, keys sorted. *)
+let families tbl =
+  let by_name = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun k v ->
+      let name, labels = Labels.decode_series k in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_name name) in
+      Hashtbl.replace by_name name ((labels, v) :: prev))
+    tbl;
+  Hashtbl.fold
+    (fun name series acc ->
+      (name, List.sort (fun (a, _) (b, _) -> Labels.compare a b) series) :: acc)
+    by_name []
+  |> List.sort compare
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let header name kind =
+    Buffer.add_string buf ("# TYPE " ^ prom_name name ^ " " ^ kind ^ "\n")
+  in
+  List.iter
+    (fun (name, series) ->
+      header name "counter";
+      List.iter
+        (fun (labels, r) -> prom_series buf name labels (string_of_int !r))
+        series)
+    (families t.counters);
+  List.iter
+    (fun (name, series) ->
+      header name "gauge";
+      List.iter
+        (fun (labels, r) -> prom_series buf name labels (prom_float !r))
+        series)
+    (families t.gauges);
+  List.iter
+    (fun (name, series) ->
+      header name "histogram";
+      List.iter
+        (fun (labels, h) ->
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              let le =
+                if i < Array.length h.bounds then prom_float h.bounds.(i)
+                else "+Inf"
+              in
+              prom_series buf (name ^ "_bucket")
+                (Labels.add "le" le labels)
+                (string_of_int !cum))
+            h.counts;
+          prom_series buf (name ^ "_sum") labels (prom_float h.h_sum);
+          prom_series buf (name ^ "_count") labels (string_of_int h.h_count))
+        series)
+    (families t.histograms);
+  Buffer.contents buf
 
 let pp ppf t =
   List.iter

@@ -19,7 +19,15 @@
     [1e-6 .. ~1e13] geometrically, fitting both sub-microsecond wall times
     and simulated-time latencies); percentile summaries (p50/p90/p99) are
     estimated by linear interpolation inside the covering bucket and
-    clamped to the exact observed [min]/[max]. *)
+    clamped to the exact observed [min]/[max].
+
+    Every recording and reading operation takes an optional {!Labels.t}:
+    [incr m ~labels:(Labels.v [("path", "fast")]) "monitor.append"]
+    records into the series [monitor.append{path="fast"}].  A labeled
+    series is stored in the same flat tables under its canonical encoded
+    key, so {!merge}, {!to_json} and the zero-cost null-registry guarantee
+    are label-transparent; {!to_prometheus} decodes the keys back into
+    native Prometheus series. *)
 
 type t
 
@@ -34,16 +42,20 @@ val enabled : t -> bool
 
 (** {1 Recording} *)
 
-val incr : t -> ?by:int -> string -> unit
+val incr : t -> ?by:int -> ?labels:Labels.t -> string -> unit
 (** Increment a counter (created at 0). *)
 
-val set : t -> string -> float -> unit
+val set : t -> ?labels:Labels.t -> string -> float -> unit
 (** Set a gauge. *)
 
-val observe : t -> ?buckets:float array -> string -> float -> unit
+val observe :
+  t -> ?buckets:float array -> ?labels:Labels.t -> string -> float -> unit
 (** Record a value into a histogram.  [buckets] (strictly increasing upper
     bounds) is honoured only when the histogram is first created; values
-    above the last bound land in an implicit overflow bucket. *)
+    above the last bound land in an implicit overflow bucket.  Labeled
+    series of one name are distinct histograms and may in principle carry
+    distinct buckets, but {!merge} and Prometheus convention both expect a
+    family to share them. *)
 
 val default_buckets : float array
 
@@ -57,10 +69,10 @@ val merge : into:t -> t -> unit
 
 (** {1 Reading} *)
 
-val counter_value : t -> string -> int
+val counter_value : t -> ?labels:Labels.t -> string -> int
 (** Current value of a counter (0 when absent). *)
 
-val gauge_value : t -> string -> float option
+val gauge_value : t -> ?labels:Labels.t -> string -> float option
 
 type summary = {
   count : int;
@@ -72,16 +84,25 @@ type summary = {
   p99 : float;
 }
 
-val summary : t -> string -> summary option
+val summary : t -> ?labels:Labels.t -> string -> summary option
 (** Percentile summary of a histogram ([None] when absent or empty). *)
 
-val percentile : t -> string -> float -> float option
+val percentile : t -> ?labels:Labels.t -> string -> float -> float option
 (** [percentile m name q] estimates the [q]-quantile ([0 <= q <= 1]). *)
 
 val to_json : t -> Json.t
 (** Snapshot: [{"counters": {...}, "gauges": {...}, "histograms": {name:
     {"count", "sum", "min", "max", "p50", "p90", "p99"}}}].  Keys are
-    sorted, so snapshots are stable across runs. *)
+    sorted (labeled series appear under their encoded key), so snapshots
+    are stable across runs. *)
+
+val to_prometheus : t -> string
+(** The registry in Prometheus text exposition format (version 0.0.4):
+    one [# TYPE] header per metric family, one line per labeled series,
+    histograms as cumulative [_bucket{le=...}] series plus [_sum] and
+    [_count].  Dotted registry names sanitize to underscore form
+    ([monitor.append] -> [monitor_append]); families and series are
+    sorted, so scrapes are stable across runs. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable one-metric-per-line dump (sorted). *)

@@ -1,7 +1,12 @@
-type t = { trace : Trace.t; metrics : Metrics.t }
+type t = { trace : Trace.t; metrics : Metrics.t; recorder : Recorder.t }
 
-let null = { trace = Trace.null; metrics = Metrics.null }
+let null =
+  { trace = Trace.null; metrics = Metrics.null; recorder = Recorder.null }
 
-let v ?(trace = Trace.null) ?(metrics = Metrics.null) () = { trace; metrics }
+let v ?(trace = Trace.null) ?(metrics = Metrics.null)
+    ?(recorder = Recorder.null) () =
+  { trace; metrics; recorder }
 
-let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics
+let enabled t =
+  Trace.enabled t.trace || Metrics.enabled t.metrics
+  || Recorder.enabled t.recorder

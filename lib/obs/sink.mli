@@ -1,19 +1,20 @@
-(** A telemetry sink: one record bundling the event trace and the metrics
-    registry an analysis should report into.
+(** A telemetry sink: one record bundling the event trace, the metrics
+    registry and the flight recorder an analysis should report into.
 
     Before the certification engine, every layer of the checker pipeline
     re-plumbed its own [?trace]/[?metrics] optional pair; a sink carries
-    both through one value (and one [enabled] check).  The {!null} sink is
-    built from the null trace and null registry, so unconditionally
-    instrumented code pays nothing when telemetry is off. *)
+    all three channels through one value (and one [enabled] check).  The
+    {!null} sink is built from the null instances of all three, so
+    unconditionally instrumented code pays nothing when telemetry is
+    off. *)
 
-type t = { trace : Trace.t; metrics : Metrics.t }
+type t = { trace : Trace.t; metrics : Metrics.t; recorder : Recorder.t }
 
 val null : t
-(** The disabled sink: both components are the null instances. *)
+(** The disabled sink: all three components are the null instances. *)
 
-val v : ?trace:Trace.t -> ?metrics:Metrics.t -> unit -> t
-(** Build a sink; either component defaults to its null instance. *)
+val v : ?trace:Trace.t -> ?metrics:Metrics.t -> ?recorder:Recorder.t -> unit -> t
+(** Build a sink; each component defaults to its null instance. *)
 
 val enabled : t -> bool
-(** True iff either component is enabled. *)
+(** True iff any component is enabled. *)

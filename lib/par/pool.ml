@@ -1,4 +1,6 @@
 module Metrics = Repro_obs.Metrics
+module Recorder = Repro_obs.Recorder
+module Sink = Repro_obs.Sink
 
 let default_jobs () =
   match Sys.getenv_opt "REPRO_JOBS" with
@@ -71,3 +73,44 @@ let parmap_with ?jobs ~metrics f items =
     Array.iter (fun r -> Metrics.merge ~into:metrics r) regs;
     results
   end
+
+let parmap_sink ?jobs ?on_done ~obs f items =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let completed = Atomic.make 0 in
+  let notify () =
+    match on_done with
+    | None -> ()
+    | Some cb -> cb ~completed:(1 + Atomic.fetch_and_add completed 1)
+  in
+  let metrics = obs.Sink.metrics and recorder = obs.Sink.recorder in
+  let n = List.length items in
+  let regs =
+    if Metrics.enabled metrics then Array.init n (fun _ -> Metrics.create ())
+    else [||]
+  in
+  let recs =
+    if Recorder.enabled recorder then
+      Array.init n (fun _ ->
+          Recorder.create ~capacity:(Recorder.capacity recorder) ())
+    else [||]
+  in
+  let item_obs i =
+    Sink.v
+      ~metrics:(if Array.length regs = 0 then Metrics.null else regs.(i))
+      ~recorder:(if Array.length recs = 0 then Recorder.null else recs.(i))
+      ()
+  in
+  let g i x =
+    let r = f ~obs:(item_obs i) x in
+    notify ();
+    r
+  in
+  let results =
+    match items with
+    | [] -> []
+    | [ x ] -> [ g 0 x ]
+    | _ -> if jobs <= 1 then List.mapi g items else run_pool jobs g items
+  in
+  Array.iter (fun r -> Metrics.merge ~into:metrics r) regs;
+  Array.iter (fun r -> Recorder.absorb ~into:recorder r) recs;
+  results

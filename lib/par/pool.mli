@@ -44,3 +44,27 @@ val parmap_with :
     histograms being commutative sums, equal to a sequential run's).
     When [metrics] is disabled every item just gets
     {!Repro_obs.Metrics.null}. *)
+
+val parmap_sink :
+  ?jobs:int ->
+  ?on_done:(completed:int -> unit) ->
+  obs:Repro_obs.Sink.t ->
+  (obs:Repro_obs.Sink.t -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** {!parmap_with} generalized to a full telemetry sink: [f] receives a
+    sink private to its item — a fresh metrics registry when
+    [obs.metrics] is enabled, a fresh flight recorder of the same
+    capacity when [obs.recorder] is enabled, null otherwise — and after
+    the join the private registries are {!Repro_obs.Metrics.merge}d and
+    the private recorders {!Repro_obs.Recorder.absorb}ed into [obs] in
+    item order, so the combined telemetry is deterministic whatever the
+    claiming interleaving was.  [obs]'s trace is {e not} forked (the
+    trace buffer is not domain-safe); items always get a null trace.
+
+    [on_done ~completed] is invoked once per finished item with the
+    number of items completed so far — the hook behind live progress
+    lines.  It runs on the worker domain that finished the item,
+    concurrently with other workers: the callback must do its own
+    locking (or be atomic) and must not touch the items' private
+    sinks. *)

@@ -3,6 +3,8 @@ open Repro_workload
 module Trace = Repro_obs.Trace
 module Metrics = Repro_obs.Metrics
 module Json = Repro_obs.Json
+module Recorder = Repro_obs.Recorder
+module Labels = Repro_obs.Labels
 
 type protocol = Serial | Locking of { closed : bool } | Certify
 
@@ -98,6 +100,7 @@ type world = {
          committed prefix; idle under the other protocols. *)
   trace : Trace.t;
   metrics : Metrics.t;
+  recorder : Recorder.t;
   wait_hist : string; (* per-protocol histogram names, precomputed *)
   hold_hist : string;
   mutable on_release :
@@ -157,10 +160,26 @@ let ancestor_chain w q =
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Flight-recorder events use the simulated clock — the same timeline as
+   the trace — so a dumped tail reads in schedule order. *)
+let sim_event w ?severity ~name ~client ~seq ~attempt () =
+  if Recorder.enabled w.recorder then
+    Recorder.event w.recorder ?severity ~cat:"sim" ~ts:w.now
+      ~labels:
+        (Labels.v
+           [
+             ("client", string_of_int client);
+             ("seq", string_of_int seq);
+             ("attempt", string_of_int attempt);
+           ])
+      name
+
 let rec submit w ~client ~seq ~attempt_no ~first_submitted tmpl =
   if attempt_no > w.p.max_attempts then begin
     w.given_up <- w.given_up + 1;
     Metrics.incr w.metrics "sim.given_up";
+    sim_event w ~severity:Recorder.Error ~name:"give_up" ~client ~seq
+      ~attempt:attempt_no ();
     if Trace.enabled w.trace then
       Trace.instant w.trace ~cat:"sim" ~tid:client ~ts:(sim_us w.now)
         ~args:[ ("seq", Json.Int seq); ("attempts", Json.Int attempt_no) ]
@@ -169,6 +188,8 @@ let rec submit w ~client ~seq ~attempt_no ~first_submitted tmpl =
   else begin
     if attempt_no > 0 then begin
       Metrics.incr w.metrics "sim.retries";
+      sim_event w ~severity:Recorder.Debug ~name:"retry" ~client ~seq
+        ~attempt:attempt_no ();
       if Trace.enabled w.trace then
         Trace.instant w.trace ~cat:"sim" ~tid:client ~ts:(sim_us w.now)
           ~args:[ ("seq", Json.Int seq); ("attempt", Json.Int attempt_no) ]
@@ -354,6 +375,8 @@ and abort w att =
     att.alive <- false;
     w.aborts <- w.aborts + 1;
     Metrics.incr w.metrics "sim.aborts";
+    sim_event w ~severity:Recorder.Warn ~name:"abort" ~client:att.client
+      ~seq:att.seq ~attempt:att.attempt_no ();
     if Trace.enabled w.trace then
       Trace.instant w.trace ~cat:"sim" ~tid:att.client ~ts:(sim_us w.now)
         ~args:
@@ -385,6 +408,8 @@ and commit w att =
     w.last_commit <- max w.last_commit w.now;
     Metrics.incr w.metrics "sim.committed";
     Metrics.observe w.metrics "sim.latency" latency;
+    sim_event w ~name:"commit" ~client:att.client ~seq:att.seq
+      ~attempt:att.attempt_no ();
     if Trace.enabled w.trace then
       Trace.instant w.trace ~cat:"sim" ~tid:att.client ~ts:(sim_us w.now)
         ~args:
@@ -443,7 +468,11 @@ and certifies w att =
   in
   let wall = Repro_obs.Clock.now_wall () -. t0 in
   Metrics.incr w.metrics "sim.certify_checks";
-  if not ok then Metrics.incr w.metrics "sim.certify_rejects";
+  if not ok then begin
+    Metrics.incr w.metrics "sim.certify_rejects";
+    sim_event w ~severity:Recorder.Error ~name:"certify_reject"
+      ~client:att.client ~seq:att.seq ~attempt:att.attempt_no ()
+  end;
   Metrics.observe w.metrics "sim.certify_wall_s" wall;
   Metrics.observe w.metrics "sim.certify_cpu_s"
     (Repro_obs.Clock.now_cpu () -. t0c);
@@ -539,7 +568,8 @@ let assemble w = assemble_attempts w w.committed
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(trace = Trace.null) ?(metrics = Metrics.null) p topo ~gen =
+let run ?(trace = Trace.null) ?(metrics = Metrics.null)
+    ?(recorder = Recorder.null) p topo ~gen =
   let n = Array.length topo.Template.components in
   let proto = protocol_name p.protocol in
   let w =
@@ -569,6 +599,7 @@ let run ?(trace = Trace.null) ?(metrics = Metrics.null) p topo ~gen =
       session = Repro_core.Engine.create ~obs:(Repro_obs.Sink.v ~metrics ()) ();
       trace;
       metrics;
+      recorder;
       wait_hist = "sim.lock_wait_time." ^ proto;
       hold_hist = "sim.lock_hold_time." ^ proto;
       on_release = None;

@@ -95,6 +95,7 @@ val protocol_name : protocol -> string
 val run :
   ?trace:Repro_obs.Trace.t ->
   ?metrics:Repro_obs.Metrics.t ->
+  ?recorder:Repro_obs.Recorder.t ->
   params ->
   Template.topology ->
   gen:(Repro_workload.Prng.t -> client:int -> seq:int -> Template.t) ->
@@ -121,4 +122,12 @@ val run :
     record distributions; gauges [sim.makespan], [sim.mean_latency] and
     [sim.throughput] summarize the run.  The incremental certification
     path additionally feeds the [monitor.*] metrics of
-    {!Repro_core.Monitor}. *)
+    {!Repro_core.Monitor}.
+
+    With [recorder] (default {!Repro_obs.Recorder.null}), the scheduling
+    decisions that change an execution's fate are kept as a bounded
+    flight-recorder tail: [commit] (Info), [retry] (Debug), [abort]
+    (Warn), and [give_up] / [certify_reject] (Error), each labeled with
+    [client]/[seq]/[attempt] and stamped with the {e simulated} clock so a
+    dumped tail reads in schedule order.  The certification session keeps
+    its own wall-clock timeline and does not share this ring. *)

@@ -249,6 +249,280 @@ let test_checker_telemetry () =
          (fun k -> Metrics.counter_value metrics ("compc.failure." ^ k) > 0)
          [ "front_not_cc"; "no_calculation"; "intra_contradiction" ])
 
+(* ------------------------------------------------------------------ *)
+(* Labels, labeled metrics, Prometheus exposition, recorder            *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_labels_canonical () =
+  let a = Labels.v [ ("b", "2"); ("a", "1") ] in
+  let b = Labels.add "a" "1" (Labels.add "b" "2" Labels.empty) in
+  Alcotest.(check bool) "insertion order irrelevant" true (Labels.equal a b);
+  Alcotest.(check string) "sorted encode" {|{a="1",b="2"}|} (Labels.encode a);
+  let c = Labels.add "a" "9" a in
+  Alcotest.(check bool) "rebinding replaces" true (Labels.find "a" c = Some "9");
+  Alcotest.(check int) "cardinal" 2 (Labels.cardinal c);
+  (match Labels.v [ ("0bad", "x") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid label key accepted");
+  (* escaped values survive the series-key round-trip *)
+  let tricky = Labels.v [ ("msg", "a\"b\\c\nd,e=f}" ) ] in
+  let name, dec = Labels.decode_series (Labels.series "m.x" tricky) in
+  Alcotest.(check string) "name recovered" "m.x" name;
+  Alcotest.(check bool) "labels recovered" true (Labels.equal tricky dec);
+  Alcotest.(check bool) "label-free key decodes as itself" true
+    (Labels.decode_series "plain.name" = ("plain.name", Labels.empty))
+
+let test_metrics_empty_summary () =
+  let m = Metrics.create () in
+  Alcotest.(check bool) "summary of nothing" true (Metrics.summary m "h" = None);
+  Alcotest.(check bool) "percentile of nothing" true
+    (Metrics.percentile m "h" 0.99 = None)
+
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a ~by:2 "c";
+  Metrics.incr b ~by:3 "c";
+  Metrics.incr b ~labels:(Labels.v [ ("p", "x") ]) "c";
+  Metrics.set a "g" 1.0;
+  Metrics.set b "g" 2.0;
+  Metrics.observe a ~buckets "h" 1.0;
+  Metrics.observe b ~buckets "h" 10.0;
+  Metrics.merge ~into:a b;
+  Alcotest.(check int) "counters add" 5 (Metrics.counter_value a "c");
+  Alcotest.(check int) "labeled series carried over" 1
+    (Metrics.counter_value a ~labels:(Labels.v [ ("p", "x") ]) "c");
+  Alcotest.(check (option (float 1e-9))) "gauges take the source" (Some 2.0)
+    (Metrics.gauge_value a "g");
+  let s = Option.get (Metrics.summary a "h") in
+  Alcotest.(check int) "histogram count" 2 s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "histogram sum" 11.0 s.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "histogram max" 10.0 s.Metrics.max;
+  (* same series name under different bucket bounds must refuse *)
+  let c = Metrics.create () in
+  Metrics.observe c ~buckets:[| 1.0; 2.0 |] "h" 1.0;
+  (match Metrics.merge ~into:a c with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "merged histograms with mismatched buckets");
+  (* the null registry absorbs nothing *)
+  Metrics.merge ~into:Metrics.null b;
+  Alcotest.(check bool) "null stays empty" true
+    (Metrics.summary Metrics.null "h" = None)
+
+let test_labeled_metrics () =
+  let m = Metrics.create () in
+  let fast = Labels.v [ ("path", "fast") ] in
+  let full = Labels.v [ ("path", "full") ] in
+  Metrics.incr m ~labels:fast "monitor.append";
+  Metrics.incr m ~labels:fast "monitor.append";
+  Metrics.incr m ~labels:full "monitor.append";
+  Metrics.incr m "monitor.append";
+  Alcotest.(check int) "fast series" 2
+    (Metrics.counter_value m ~labels:fast "monitor.append");
+  Alcotest.(check int) "full series" 1
+    (Metrics.counter_value m ~labels:full "monitor.append");
+  Alcotest.(check int) "unlabeled series distinct" 1
+    (Metrics.counter_value m "monitor.append");
+  Metrics.observe m ~buckets ~labels:fast "wall" 1.5;
+  Alcotest.(check bool) "labeled histogram distinct" true
+    (Metrics.summary m "wall" = None
+    && Metrics.summary m ~labels:fast "wall" <> None);
+  (* null registry: labeled writes are no-ops too *)
+  Metrics.incr Metrics.null ~labels:fast "monitor.append";
+  Alcotest.(check int) "null labeled" 0
+    (Metrics.counter_value Metrics.null ~labels:fast "monitor.append")
+
+let test_prometheus_exposition () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:2 ~labels:(Labels.v [ ("path", "fast") ]) "monitor.append";
+  Metrics.incr m ~labels:(Labels.v [ ("path", "full") ]) "monitor.append";
+  Metrics.set m "engine.nodes" 12.0;
+  Metrics.observe m ~buckets "latency.s" 1.5;
+  Metrics.observe m ~buckets "latency.s" 100.0;
+  let text = Metrics.to_prometheus m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Fmt.str "exposition has %S" needle) true
+        (contains text needle))
+    [
+      "# TYPE monitor_append counter";
+      "monitor_append{path=\"fast\"} 2";
+      "monitor_append{path=\"full\"} 1";
+      "# TYPE engine_nodes gauge";
+      "engine_nodes 12.0";
+      "# TYPE latency_s histogram";
+      "latency_s_bucket{le=\"2.0\"} 1";
+      "latency_s_bucket{le=\"+Inf\"} 2";
+      "latency_s_sum";
+      "latency_s_count 2";
+    ];
+  Alcotest.(check string) "null exposition is empty" ""
+    (Metrics.to_prometheus Metrics.null)
+
+let test_recorder_ring () =
+  (match Recorder.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 accepted");
+  let r = Recorder.create ~capacity:4 () in
+  Alcotest.(check bool) "enabled" true (Recorder.enabled r);
+  Alcotest.(check int) "capacity" 4 (Recorder.capacity r);
+  for i = 1 to 10 do
+    Recorder.record r ~cat:"t"
+      ~labels:(Labels.v [ ("i", string_of_int i) ])
+      "e"
+  done;
+  Alcotest.(check int) "total" 10 (Recorder.total r);
+  Alcotest.(check int) "length = capacity" 4 (Recorder.length r);
+  Alcotest.(check int) "dropped" 6 (Recorder.dropped r);
+  let evs = Recorder.events r in
+  Alcotest.(check (list int)) "retained tail, oldest first" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Recorder.seq) evs);
+  let rec mono = function
+    | a :: (b :: _ as tl) -> a.Recorder.ts <= b.Recorder.ts && mono tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps monotone" true (mono evs);
+  (* absorb replays the tail with fresh sequence numbers, original payload *)
+  let into = Recorder.create ~capacity:8 () in
+  Recorder.record into "pre";
+  Recorder.absorb ~into r;
+  Alcotest.(check int) "absorbed after existing" 5 (Recorder.length into);
+  let second = List.nth (Recorder.events into) 1 in
+  Alcotest.(check bool) "absorbed payload" true
+    (Labels.find "i" second.Recorder.labels = Some "7");
+  (* the JSON dump round-trips and reports the ring accounting *)
+  let j = Json.of_string (Json.to_string (Recorder.to_json r)) in
+  Alcotest.(check bool) "dump accounting" true
+    (Json.member "recorded" j = Some (Json.Int 10)
+    && Json.member "dropped" j = Some (Json.Int 6));
+  (* null recorder: recording is a no-op *)
+  Recorder.record Recorder.null "x";
+  Alcotest.(check bool) "null disabled" false (Recorder.enabled Recorder.null);
+  Alcotest.(check int) "null empty" 0 (Recorder.total Recorder.null);
+  Alcotest.(check bool) "null events" true (Recorder.events Recorder.null = [])
+
+(* The engine's always-on observability: labeled per-path append series,
+   one flight-recorder event per advance, live gauges, and an
+   introspection report that matches the session's real counters. *)
+let test_engine_observability () =
+  let h =
+    Repro_workload.Gen.stack
+      (Repro_workload.Prng.create ~seed:9)
+      ~levels:2 ~roots:6
+  in
+  let metrics = Metrics.create () in
+  let recorder = Recorder.create () in
+  let s = Repro_core.Engine.create ~obs:(Sink.v ~metrics ~recorder ()) () in
+  let n = List.length (Repro_model.History.roots h) in
+  let verdicts =
+    List.init n (fun k ->
+        match
+          Repro_core.Engine.extend s (Repro_model.History.prefix_by_roots h (k + 1))
+        with
+        | Repro_core.Engine.Accepted _ -> "accept"
+        | Repro_core.Engine.Rejected _ -> "reject")
+  in
+  let by_path p =
+    Metrics.counter_value metrics
+      ~labels:(Labels.v [ ("path", p) ])
+      "monitor.append"
+  in
+  Alcotest.(check int) "path series partition the appends"
+    (Metrics.counter_value metrics "monitor.appends")
+    (by_path "initial" + by_path "fast" + by_path "delta" + by_path "full");
+  Alcotest.(check int) "one recorder event per append" n
+    (Recorder.total recorder);
+  List.iter2
+    (fun e verdict ->
+      Alcotest.(check string) "engine category" "engine" e.Recorder.cat;
+      Alcotest.(check bool) "verdict label matches the returned verdict" true
+        (Labels.find "verdict" e.Recorder.labels = Some verdict))
+    (Recorder.events recorder) verdicts;
+  Alcotest.(check bool) "live nodes gauge" true
+    (Metrics.gauge_value metrics "engine.nodes" <> None);
+  let j = Repro_core.Engine.introspect s in
+  match Json.member "session" j with
+  | Some sj ->
+    Alcotest.(check bool) "introspect counts the appends" true
+      (Json.member "appends" sj = Some (Json.Int n))
+  | None -> Alcotest.fail "introspection without a session section"
+
+(* Per-item sinks of a parallel run drain back deterministically: merged
+   labeled counters equal a sequential run's, recorder events come back
+   in input order whatever the claiming interleaving was. *)
+let test_parmap_sink_deterministic () =
+  let items = List.init 12 (fun i -> i) in
+  let run jobs =
+    let metrics = Metrics.create () in
+    let recorder = Recorder.create () in
+    let obs = Sink.v ~metrics ~recorder () in
+    let res =
+      Repro_par.Pool.parmap_sink ~jobs ~obs
+        (fun ~obs i ->
+          Metrics.incr obs.Sink.metrics
+            ~labels:(Labels.v [ ("w", string_of_int (i mod 3)) ])
+            "items";
+          Recorder.record obs.Sink.recorder ~cat:"t"
+            ~labels:(Labels.v [ ("i", string_of_int i) ])
+            "item";
+          i * i)
+        items
+    in
+    ( res,
+      Metrics.counter_value metrics ~labels:(Labels.v [ ("w", "0") ]) "items",
+      List.map
+        (fun e -> Labels.find "i" e.Recorder.labels)
+        (Recorder.events recorder) )
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check bool) "parallel = sequential" true (seq = par);
+  let _, w0, order = par in
+  Alcotest.(check int) "merged labeled counter" 4 w0;
+  Alcotest.(check bool) "recorder drained in input order" true
+    (order = List.map (fun i -> Some (string_of_int i)) items)
+
+(* qcheck: the label-set algebra stays canonical under arbitrary
+   construction orders and survives the series-key encoding. *)
+let labels_qcheck =
+  let open QCheck in
+  let keys = [ "a"; "b"; "c"; "path"; "worker_1" ] in
+  let arb =
+    make
+      ~print:(fun l ->
+        String.concat ";"
+          (List.map (fun (k, value) -> k ^ "=" ^ String.escaped value) l))
+      Gen.(
+        list_size (int_bound 5)
+          (pair (oneofl keys) (string_size ~gen:printable (int_bound 6))))
+  in
+  [
+    Test.make ~count:200 ~name:"label sets are canonical" arb (fun l ->
+        let t = Labels.v l in
+        Labels.equal t (Labels.v (Labels.to_list t))
+        && Labels.encode t = Labels.encode (Labels.v (Labels.to_list t)));
+    Test.make ~count:200 ~name:"series keys decode back" arb (fun l ->
+        let t = Labels.v l in
+        let name, dec = Labels.decode_series (Labels.series "m.name" t) in
+        name = "m.name" && Labels.equal t dec);
+    Test.make ~count:200 ~name:"union is right-biased"
+      (pair arb arb)
+      (fun (la, lb) ->
+        let a = Labels.v la and b = Labels.v lb in
+        let u = Labels.union a b in
+        List.for_all
+          (fun k ->
+            Labels.find k u
+            =
+            match Labels.find k b with
+            | Some value -> Some value
+            | None -> Labels.find k a)
+          keys);
+  ]
+
 let suite =
   [
     ( "obs",
@@ -267,5 +541,19 @@ let suite =
         Alcotest.test_case "telemetry does not perturb the simulation" `Quick
           test_sim_telemetry_is_transparent;
         Alcotest.test_case "checker telemetry" `Quick test_checker_telemetry;
-      ] );
+        Alcotest.test_case "label sets are canonical" `Quick
+          test_labels_canonical;
+        Alcotest.test_case "empty histograms report nothing" `Quick
+          test_metrics_empty_summary;
+        Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+        Alcotest.test_case "labeled metrics series" `Quick test_labeled_metrics;
+        Alcotest.test_case "prometheus exposition" `Quick
+          test_prometheus_exposition;
+        Alcotest.test_case "flight-recorder ring" `Quick test_recorder_ring;
+        Alcotest.test_case "engine observability" `Quick
+          test_engine_observability;
+        Alcotest.test_case "parmap_sink determinism" `Quick
+          test_parmap_sink_deterministic;
+      ]
+      @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) labels_qcheck );
   ]
