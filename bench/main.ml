@@ -247,20 +247,31 @@ let time f =
   (r, Repro_obs.Clock.now_cpu () -. c0, now_wall () -. w0)
 
 (* Allocation profile of one timed row: minor and major words allocated
-   during [f] (deltas of the GC's monotone counters) and the process's
-   top-of-heap high-water mark after it (absolute — the peak is what an
-   operator provisions for).  [quick_stat] does not walk the heap, so the
-   probe itself is cheap. *)
+   during [f] (deltas of the GC's monotone counters), how far [f] pushed
+   the process's top-of-heap high-water mark, and what it left live.
+   Absolute [top_heap_words] is useless per row — the high-water mark is
+   process-global and monotone, so every variant after the hungriest one
+   used to report the identical number.  Compacting before and after
+   isolates the row: the pre-compaction settles inherited garbage (and
+   resets nothing — the mark only ever grows, which is exactly why the
+   {e delta} is the attributable quantity), the post-compaction makes
+   [live_words] mean real retained data rather than heap shape.  The
+   compactions sit outside the rows' internal wall/cpu timers, so timings
+   are unaffected. *)
 let gc_row f =
-  let g0 = Gc.quick_stat () in
+  Gc.compact ();
+  let g0 = Gc.stat () in
   let r = f () in
   let g1 = Gc.quick_stat () in
+  Gc.compact ();
+  let g2 = Gc.stat () in
   let gc =
     Json.Obj
       [
         ("minor_words", Json.Float (g1.Gc.minor_words -. g0.Gc.minor_words));
         ("major_words", Json.Float (g1.Gc.major_words -. g0.Gc.major_words));
-        ("top_heap_words", Json.Int g1.Gc.top_heap_words);
+        ("top_heap_growth_words", Json.Int (g2.Gc.top_heap_words - g0.Gc.top_heap_words));
+        ("live_words_delta", Json.Int (g2.Gc.live_words - g0.Gc.live_words));
       ]
   in
   (r, gc)
@@ -1182,6 +1193,152 @@ let e16 () =
        [ ("rows", Json.Obj rows); ("recorder_memory", Json.Obj mem_rows) ])
 
 (* ------------------------------------------------------------------ *)
+(* E17: the incremental order kernel on open-transaction streams       *)
+(* ------------------------------------------------------------------ *)
+
+(* The O(delta) append claim.  E12's streams grow one {e root} at a time,
+   which the structural delta paths already decide; this experiment streams
+   the other shape — operations appended to transactions that are already
+   open.  Levels stay stable but every append hangs a subtransaction under
+   an old root, so before the order kernel the monitor's only option was a
+   full reduction per append: O(history) each, O(n^2) for the stream.  The
+   kernel re-checks just the perturbed cluster and feeds the edge delta to
+   its incremental topological orders, so the whole stream is O(total
+   delta).  Two criteria, both gated in CI:
+   - wall clock: the kernel stream must beat per-append
+     incremental-closure + full-reduction (the pre-kernel cost of the same
+     appends) — the speedup must grow with root count;
+   - allocation: minor words per steady-state append must stay flat as the
+     root count (hence the history the deltas land in) grows. *)
+
+let e17_prefix ~roots k =
+  (* Base (k = 0): [roots] top transactions, each with one subtransaction
+     updating its own item.  Append i hangs one more subtransaction under
+     root [i mod roots], writing that root's item: the delta is confined
+     to the root's own lineage, so it has constant size however many roots
+     surround it.  All schedule levels exist from the base prefix, so the
+     whole stream is level-stable. *)
+  let open History.Builder in
+  let b = create () in
+  let sp = schedule b ~conflict:Conflict.Same_item "SP" in
+  let sa = schedule b ~conflict:Conflict.Rw "SA" in
+  let rs = Array.init roots (fun j -> root b ~sched:sp (Label.v (Fmt.str "T%d" j))) in
+  let txs = ref [] and ws = ref [] in
+  let add j =
+    let item = Fmt.str "x%d" j in
+    let a = tx b ~parent:rs.(j) ~sched:sa (Label.v ~args:[ item ] "add") in
+    let w = leaf b ~parent:a (Label.v ~args:[ item ] "w") in
+    txs := a :: !txs;
+    ws := w :: !ws
+  in
+  for j = 0 to roots - 1 do add j done;
+  for i = 0 to k - 1 do add (i mod roots) done;
+  log b ~sched:sp (List.rev !txs);
+  log b ~sched:sa (List.rev !ws);
+  seal b
+
+let e17 () =
+  section "e17" "O(delta) appends: the order kernel on open-transaction streams";
+  Fmt.pr
+    "  Each append opens a subtransaction under an existing root (levels@.\
+    \  stable, structure not); baseline is the pre-kernel cost of the same@.\
+    \  stream: incremental closure + one full reduction per append.@.";
+  let roots_max =
+    match Sys.getenv_opt "REPRO_E17_ROOTS_MAX" with
+    | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> max_int)
+    | None -> max_int
+  in
+  let rounds = 4 in
+  let sizes = List.filter (fun r -> r <= roots_max) [ 16; 32; 64; 128; 256 ] in
+  Fmt.pr "  %-10s %6s %8s %12s %12s %8s %7s %5s %10s@." "roots" "nodes"
+    "appends" "monitor-s" "reduce-s" "speedup" "kernel" "full" "mw/append";
+  let headline = ref 0.0 in
+  let rows =
+    List.map
+      (fun roots ->
+        let appends = rounds * roots in
+        let prefix = e17_prefix ~roots in
+        (* Kernel stream: per-append wall and minor-word deltas, measured
+           around the append alone (prefix assembly is the workload
+           generator's cost, not the monitor's). *)
+        let metrics = Metrics.create () in
+        let m = Repro_core.Monitor.create ~metrics () in
+        let mon_wall = ref 0.0 in
+        let minor = Array.make (appends + 1) 0.0 in
+        let rejected = ref 0 in
+        for k = 0 to appends do
+          let p = prefix k in
+          let w0 = Gc.minor_words () in
+          let t0 = now_wall () in
+          let v = Repro_core.Monitor.append m p in
+          mon_wall := !mon_wall +. (now_wall () -. t0);
+          minor.(k) <- Gc.minor_words () -. w0;
+          match v with
+          | Repro_core.Monitor.Accepted _ -> ()
+          | Repro_core.Monitor.Rejected _ -> incr rejected
+        done;
+        if !rejected > 0 then
+          Fmt.pr "  %-10d [UNEXPECTED REJECTS: %d]@." roots !rejected;
+        (* Steady state: the last-quarter window averages appends whose
+           round index — hence delta size — matches across row sizes. *)
+        let q = max 1 (appends / 4) in
+        let mw = ref 0.0 in
+        for k = appends - q + 1 to appends do
+          mw := !mw +. minor.(k)
+        done;
+        let mw = !mw /. float_of_int q in
+        let stats = Repro_core.Monitor.stats m in
+        let by_path p =
+          Metrics.counter_value metrics
+            ~labels:(Repro_obs.Labels.v [ ("path", p) ])
+            "monitor.append"
+        in
+        (* Baseline: same closure deltas, full reduction per append. *)
+        let inc = Repro_core.Observed.inc_create () in
+        let base_wall = ref 0.0 in
+        let prev = ref None in
+        let n_old = ref 0 in
+        for k = 0 to appends do
+          let p = prefix k in
+          let t0 = now_wall () in
+          let rel =
+            match !prev with
+            | None -> Repro_core.Observed.compute p
+            | Some pr ->
+              fst (Repro_core.Observed.extend ~inc ~prev:pr ~n_old:!n_old p)
+          in
+          ignore (Repro_core.Reduction.reduce ~rel p);
+          base_wall := !base_wall +. (now_wall () -. t0);
+          prev := Some rel;
+          n_old := History.n_nodes p
+        done;
+        let nodes = History.n_nodes (prefix appends) in
+        let speedup = if !mon_wall > 0.0 then !base_wall /. !mon_wall else 0.0 in
+        headline := speedup;
+        Fmt.pr "  %-10d %6d %8d %12.4f %12.4f %7.1fx %7d %5d %10.0f@." roots
+          nodes (appends + 1) !mon_wall !base_wall speedup
+          stats.Repro_core.Monitor.kernel_hits (by_path "full") mw;
+        ( Fmt.str "open-stream-roots-%d" roots,
+          Json.Obj
+            [
+              ("roots", Json.Int roots);
+              ("nodes", Json.Int nodes);
+              ("appends", Json.Int (appends + 1));
+              ("monitor_wall_s", Json.Float !mon_wall);
+              ("full_reduce_wall_s", Json.Float !base_wall);
+              ("speedup", Json.Float speedup);
+              ("kernel_hits", Json.Int stats.Repro_core.Monitor.kernel_hits);
+              ("full_hits", Json.Int (by_path "full"));
+              ("minor_words_per_append", Json.Float mw);
+            ] ))
+      sizes
+  in
+  Fmt.pr "  headline (largest stream): %.1fx@." !headline;
+  record_json "e17"
+    (Json.Obj [ ("speedup", Json.Float !headline); ("rows", Json.Obj rows) ])
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1239,7 +1396,7 @@ let all =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("perf", perf); ("micro", micro);
+    ("e17", e17); ("perf", perf); ("micro", micro);
   ]
 
 let () =

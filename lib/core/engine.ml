@@ -20,8 +20,38 @@ type frame = {
   rel : Observed.relations;
   levels : int array; (* per-schedule levels; fast path requires them stable *)
   verdict : verdict;
+  n_obs : int; (* |rel.obs|, carried so per-append gauges skip the O(pairs)
+                  cardinal *)
+  n_inp : int; (* |rel.inp| *)
   mutable cert : Reduction.certificate option;
   mutable prov : Provenance.t option;
+}
+
+(* The session's standing incremental order structures (built lazily, see
+   [kernel_build]): one Pearce–Kelly graph per front level for the
+   conflict-consistency checks and one per reduction step for the cluster
+   quotients, plus the cached serial witness of the final front.  Edges
+   are only ever added — relations only grow under the extension
+   contract — and the whole value is dropped on {!undo}, on a level
+   shift, and on a rejection (sticky from there under stable levels). *)
+type kernel = {
+  k_order : int;
+  cc : Increl.t array;
+      (* [cc.(lvl)]: the level-[lvl] front's constraint graph obs ∪ inp
+         over the dense node universe; non-members stay isolated. *)
+  quot : Increl.t array;
+      (* [quot.(lvl)], lvl >= 1: the step-[lvl] cluster quotient of the
+         layout constraints.  Slot 0 is unused. *)
+  mutable roots_rev : id list; (* every root, newest first *)
+  mutable n_roots : int;
+  mutable serial : id list; (* cached witness order of [roots_rev] *)
+  mutable serial_edges : int;
+      (* [Increl.n_edges cc.(k_order)] when [serial] was sorted; -1 when
+         no witness is cached.  Keys only move when that graph gains an
+         edge, so an unchanged count means the cached witness is still a
+         valid linear extension and an accepting append allocates no new
+         one. *)
+  mutable serial_roots : int; (* [n_roots] when [serial] was cached *)
 }
 
 type t = {
@@ -30,15 +60,23 @@ type t = {
   mutable snapshot : frame option option;
       (* [Some s]: state before the last advance, available to [undo].
          [None]: no undo available. *)
+  inc : Observed.inc; (* dense closure mirror, reused across appends *)
+  mutable kernel : kernel option;
   mutable appends : int;
   mutable fastpath_hits : int;
   mutable delta_hits : int;
+  mutable kernel_hits : int;
   mutable gc0 : Gc.stat;
       (* Gc.quick_stat at session creation: the baseline the introspection
          report's allocation deltas are measured against. *)
 }
 
-type stats = { appends : int; fastpath_hits : int; delta_hits : int }
+type stats = {
+  appends : int;
+  fastpath_hits : int;
+  delta_hits : int;
+  kernel_hits : int;
+}
 
 type explanation = {
   certificate : Reduction.certificate;
@@ -51,9 +89,12 @@ let create ?(obs = Sink.null) () =
     obs;
     cur = None;
     snapshot = None;
+    inc = Observed.inc_create ();
+    kernel = None;
     appends = 0;
     fastpath_hits = 0;
     delta_hits = 0;
+    kernel_hits = 0;
     gc0 = Gc.quick_stat ();
   }
 
@@ -126,13 +167,200 @@ let structure_ok cur h =
    old pairs, levels and groupings are all unchanged) or entirely in the
    new one.  The same argument applies per transaction to the Def. 14
    feasibility graphs and, contracted, to the cluster quotients. *)
-let forward n_old delta =
-  try
-    Rel.iter (fun _ b -> if b < n_old then raise Exit) delta;
-    true
-  with Exit -> false
+let forward n_old pairs = List.for_all (fun ((_, b) : id * id) -> b >= n_old) pairs
 
 exception Fail of Reduction.failure
+
+(* ------------------------------------------------------------------ *)
+(* The incremental order kernel                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Front membership as a key range (cf. {!Front.members_at}): node [v]
+   sits on the level-[i] front iff [node_lo v <= i <= node_hi v].  Levels
+   are stable on every kernel-fed path, so old nodes' ranges never
+   move. *)
+let node_lo h v = History.level_of_node h v
+
+let node_hi h ~order v =
+  match History.parent h v with
+  | None -> order
+  | Some p -> History.level_of_node h p - 1
+
+(* The step-[lvl] cluster map: operations of level-[lvl] transactions
+   stand for their transaction, every other front member for itself (cf.
+   {!Reduction.reduce_step}). *)
+let cls_at h lvl v =
+  match History.parent h v with
+  | Some p when History.level_of_node h p = lvl -> p
+  | _ -> v
+
+let kernel_sync k h =
+  let n = History.n_nodes h in
+  Array.iter (fun g -> Increl.ensure_nodes g n) k.cc;
+  for lvl = 1 to k.k_order do
+    Increl.ensure_nodes k.quot.(lvl) n
+  done
+
+(* Feed one pair: a constraint-graph edge at every front level where both
+   endpoints are members, and — when the pair is a layout constraint
+   (input pair, or observed pair that is a generalized conflict; both
+   facts are static once the pair exists, so deciding them at feed time
+   is final) — a quotient edge at every step where the endpoints sit in
+   distinct clusters.  A constraint landing {e inside} one cluster
+   changes that transaction's Def. 14 feasibility graph instead: [dirty]
+   receives it for an explicit re-check. *)
+let kernel_feed_pair k h ~is_constraint ~dirty a b =
+  let order = k.k_order in
+  let la = node_lo h a and ha = node_hi h ~order a in
+  let lb = node_lo h b and hb = node_hi h ~order b in
+  let lo = max la lb and hi = min ha hb in
+  for lvl = lo to hi do
+    Increl.add_edge k.cc.(lvl) a b
+  done;
+  if is_constraint then
+    for lvl = max 1 (lo + 1) to min order (hi + 1) do
+      let ca = cls_at h lvl a and cb = cls_at h lvl b in
+      if ca <> cb then Increl.add_edge k.quot.(lvl) ca cb
+      else if ca <> a || cb <> b then dirty lvl ca
+    done
+
+let kernel_nothing_dirty _ _ = ()
+
+(* Feed an append's exact relation delta (and register its new roots).
+   O(|delta| x order) plus the affected-region work of the reorders. *)
+let kernel_feed k h (rel : Observed.relations) ~n_old ~dirty
+    (delta : Observed.delta) =
+  kernel_sync k h;
+  for v = n_old to History.n_nodes h - 1 do
+    if History.parent h v = None then begin
+      k.roots_rev <- v :: k.roots_rev;
+      k.n_roots <- k.n_roots + 1
+    end
+  done;
+  List.iter
+    (fun (a, b) ->
+      kernel_feed_pair k h
+        ~is_constraint:(Observed.conflict h rel a b)
+        ~dirty a b)
+    delta.Observed.d_obs;
+  List.iter
+    (fun (a, b) -> kernel_feed_pair k h ~is_constraint:true ~dirty a b)
+    delta.Observed.d_inp
+
+(* Build the kernel from a frame's full relations: the one-time
+   O(|relations| x order) cost paid on the first append that needs it. *)
+let kernel_build h (rel : Observed.relations) =
+  let order = History.order h in
+  let n = History.n_nodes h in
+  let k =
+    {
+      k_order = order;
+      cc = Array.init (order + 1) (fun _ -> Increl.create ~capacity:n ());
+      quot = Array.init (order + 1) (fun _ -> Increl.create ~capacity:n ());
+      roots_rev = List.rev (History.roots h);
+      n_roots = List.length (History.roots h);
+      serial = [];
+      serial_edges = -1;
+      serial_roots = 0;
+    }
+  in
+  kernel_sync k h;
+  Rel.iter
+    (fun a b ->
+      kernel_feed_pair k h
+        ~is_constraint:(Observed.conflict h rel a b)
+        ~dirty:kernel_nothing_dirty a b)
+    rel.Observed.obs;
+  Rel.iter
+    (fun a b ->
+      kernel_feed_pair k h ~is_constraint:true ~dirty:kernel_nothing_dirty a b)
+    rel.Observed.inp;
+  k
+
+(* Def. 14 feasibility of one transaction, re-checked from scratch: its
+   weak intra order joined with the layout constraints among its
+   operations.  Transactions are small, so the |ops|² membership probes
+   are the cheap direction (cf. the [local_constraints] note in
+   {!Reduction}). *)
+let recheck_tx h (rel : Observed.relations) lvl t =
+  let ops = History.children h t in
+  let b = Bitrel.create (Int_set.of_list ops) in
+  Rel.iter
+    (fun x y -> Bitrel.add b x y)
+    (History.node h t).History.intra_weak;
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          if
+            Rel.mem x y rel.Observed.inp
+            || (Rel.mem x y rel.Observed.obs && Observed.conflict h rel x y)
+          then Bitrel.add b x y)
+        ops)
+    ops;
+  match Bitrel.find_cycle b with
+  | Some cycle ->
+    raise (Fail (Reduction.Intra_contradiction { level = lvl; tx = t; cycle }))
+  | None -> ()
+
+(* Decide the append from the kernel state, mirroring {!Reduction.reduce}'s
+   check order: front-0 consistency, then per step the perturbed
+   transactions' feasibility, the cluster quotient and the next front.
+   Acyclicity is an O(1) flag per graph, and the previous verdict accepted
+   every graph this append did not touch, so only the fed edges and the
+   [dirty] transactions can flip the answer. *)
+let kernel_verdict k h rel ~dirty =
+  let cycle_exn g =
+    match Increl.find_cycle g with Some c -> c | None -> assert false
+  in
+  try
+    if not (Increl.acyclic k.cc.(0)) then
+      raise
+        (Fail (Reduction.Front_not_cc { index = 0; cycle = cycle_exn k.cc.(0) }));
+    for lvl = 1 to k.k_order do
+      Hashtbl.iter (fun t l -> if l = lvl then recheck_tx h rel lvl t) dirty;
+      if not (Increl.acyclic k.quot.(lvl)) then
+        raise
+          (Fail
+             (Reduction.No_calculation
+                { level = lvl; cluster_cycle = cycle_exn k.quot.(lvl) }));
+      if not (Increl.acyclic k.cc.(lvl)) then
+        raise
+          (Fail
+             (Reduction.Front_not_cc
+                { index = lvl; cycle = cycle_exn k.cc.(lvl) }))
+    done;
+    (* Accepted.  The final front holds exactly the roots (only they keep
+       membership up to the top level), so the maintained keys of its
+       constraint graph sort them into a witness; the sort — and its
+       allocation — is skipped while that graph gains no edge. *)
+    let g = k.cc.(k.k_order) in
+    let e = Increl.n_edges g in
+    if e <> k.serial_edges then begin
+      k.serial <-
+        List.sort
+          (fun a b -> compare (Increl.pos g a) (Increl.pos g b))
+          k.roots_rev;
+      k.serial_edges <- e;
+      k.serial_roots <- k.n_roots
+    end
+    else if k.serial_roots <> k.n_roots then begin
+      (* Roots that arrived while the graph stayed still are isolated and
+         keyed after every older node: appending them preserves the
+         extension property. *)
+      let fresh = ref [] in
+      let rec take i = function
+        | v :: rest when i > 0 ->
+          fresh := v :: !fresh;
+          take (i - 1) rest
+        | _ -> ()
+      in
+      take (k.n_roots - k.serial_roots) k.roots_rev;
+      k.serial <- k.serial @ !fresh;
+      k.serial_roots <- k.n_roots
+    end;
+    Ok k.serial
+  with Fail f -> Error f
 
 (* Re-run the reduction on the new block only: the part of every front,
    feasibility graph and cluster quotient induced by nodes [>= n_old].
@@ -140,18 +368,40 @@ exception Fail of Reduction.failure
    range over old nodes only), so [delta_obs]/[delta_inp] restricted to
    new×new are exactly the new blocks of the full relations.  Returns the
    serialization tail contributed by the new roots. *)
-let delta_reduce cur (rel : Observed.relations) ~delta_obs ~delta_inp h =
+let delta_reduce cur (rel : Observed.relations) ~d_obs ~d_inp h =
   let n_old = History.n_nodes cur.h in
+  let n_new = History.n_nodes h in
+  let order = History.order h in
   let is_new v = v >= n_old in
-  let new_pairs = Rel.filter (fun a b -> is_new a && is_new b) in
-  let obs2 = new_pairs delta_obs in
-  let inp2 = new_pairs delta_inp in
+  let new_pairs ps =
+    List.fold_left
+      (fun acc (a, b) -> if is_new a && is_new b then Rel.add a b acc else acc)
+      Rel.empty ps
+  in
+  let obs2 = new_pairs d_obs in
+  let inp2 = new_pairs d_inp in
   (* Def. 16 step 1 on the new block: input orders plus the observed pairs
      that are generalized conflicts (commuting pairs may be swapped). *)
   let constraints =
     Rel.union inp2 (Rel.filter (fun a b -> Observed.conflict h rel a b) obs2)
   in
-  let new_members lvl = Int_set.filter is_new (Front.members_at h lvl) in
+  (* Front membership and step transactions of the new block, from the new
+     identifiers alone: an O(delta) pass instead of re-scanning the whole
+     node array per level. *)
+  let members_by_level = Array.make (order + 1) Int_set.empty in
+  let txs_by_level = Array.make (order + 1) [] in
+  for v = n_new - 1 downto n_old do
+    let lo = node_lo h v and hi = node_hi h ~order v in
+    for lvl = lo to hi do
+      members_by_level.(lvl) <- Int_set.add v members_by_level.(lvl)
+    done;
+    match History.sched_of_tx h v with
+    | Some s ->
+      let lvl = History.level h s in
+      txs_by_level.(lvl) <- v :: txs_by_level.(lvl)
+    | None -> ()
+  done;
+  let new_members lvl = members_by_level.(lvl) in
   let check_cc index members =
     let b = Bitrel.create members in
     let restrict r =
@@ -169,12 +419,7 @@ let delta_reduce cur (rel : Observed.relations) ~delta_obs ~delta_inp h =
   (* Mirrors [Reduction.reduce_step] on the new block: isolate the new
      level-[lvl] transactions inside the new part of the previous front. *)
   let step lvl prev_members =
-    let level_txs =
-      History.schedules_at_level h lvl
-      |> List.concat_map (fun s ->
-             Int_set.elements (History.schedule h s).History.transactions)
-      |> List.filter is_new
-    in
+    let level_txs = txs_by_level.(lvl) in
     let cluster = Hashtbl.create 16 in
     List.iter
       (fun t ->
@@ -224,7 +469,6 @@ let delta_reduce cur (rel : Observed.relations) ~delta_obs ~delta_inp h =
     | None -> ()
   in
   try
-    let order = History.order h in
     let members = ref (new_members 0) in
     check_cc 0 !members;
     for lvl = 1 to order do
@@ -270,49 +514,68 @@ let advance ~monitor t h =
         rel;
         levels = levels_of h;
         verdict = verdict_of_certificate certificate;
+        n_obs = Rel.cardinal rel.Observed.obs;
+        n_inp = Rel.cardinal rel.Observed.inp;
         cert = Some certificate;
         prov = None;
       }
     | Some cur ->
-      History.extend_cache ~from:cur.h h;
       let n_old = History.n_nodes cur.h in
-      let rel = Observed.extend ~metrics ~prev:cur.rel ~n_old h in
+      let structure = structure_ok cur h in
+      (* The memo's id-ordered ranks are stable under every extension —
+         including operations appended to old transactions — so the
+         transfer is unconditional, and along the streaming chain it lends
+         the previous snapshot's arrays instead of copying them. *)
+      History.extend_cache ~from:cur.h h;
+      let rel, delta =
+        Observed.extend ~metrics ~inc:t.inc ~prev:cur.rel ~n_old h
+      in
+      let d_obs = delta.Observed.d_obs and d_inp = delta.Observed.d_inp in
       let levels = levels_of h in
-      let delta_obs = Rel.diff rel.Observed.obs cur.rel.Observed.obs in
-      let delta_inp = Rel.diff rel.Observed.inp cur.rel.Observed.inp in
-      let stable = levels = cur.levels && structure_ok cur h in
+      let stable_levels = levels = cur.levels in
+      let stable = stable_levels && structure in
       let verdict, cert =
-        if
-          stable
-          && Rel.is_empty delta_obs
-          && Rel.is_empty delta_inp
-          && fast_path_ok cur h
-        then begin
+        if stable && d_obs = [] && d_inp = [] && fast_path_ok cur h then begin
           path := "fast";
           t.fastpath_hits <- t.fastpath_hits + 1;
           Metrics.incr metrics "monitor.fastpath_hits";
+          (* Keep a standing kernel in step (new nodes, new roots; no
+             edges to feed). *)
+          (match t.kernel with
+          | Some k ->
+            kernel_feed k h rel ~n_old ~dirty:kernel_nothing_dirty delta
+          | None -> ());
           match cur.verdict with
           | Rejected _ as r -> (r, None)
           | Accepted serial ->
             (* New roots are order-isolated on this path; appending them
                in ascending id order is a valid linear extension. *)
-            let delta_roots =
-              List.filter (fun r -> r >= n_old) (History.roots h)
-            in
-            (Accepted (serial @ delta_roots), None)
+            let delta_roots = ref [] in
+            for v = History.n_nodes h - 1 downto n_old do
+              if History.parent h v = None then
+                delta_roots := v :: !delta_roots
+            done;
+            (Accepted (serial @ !delta_roots), None)
         end
-        else if stable && forward n_old delta_obs && forward n_old delta_inp
-        then begin
+        else if stable && forward n_old d_obs && forward n_old d_inp then begin
           path := "delta";
           t.delta_hits <- t.delta_hits + 1;
           Metrics.incr metrics "monitor.delta_hits";
+          (* Dirty marks can only name new transactions here (an
+             intra-cluster constraint needs a new-id target under a
+             common parent, and [structure] holds), and the new block's
+             feasibility is delta_reduce's to check. *)
+          (match t.kernel with
+          | Some k ->
+            kernel_feed k h rel ~n_old ~dirty:kernel_nothing_dirty delta
+          | None -> ());
           match cur.verdict with
           | Rejected _ as r ->
             (* The old block — relations, conflict status, groupings — is
                untouched, so the witness cycle survives the extension. *)
             (r, None)
           | Accepted serial -> (
-            match delta_reduce cur rel ~delta_obs ~delta_inp h with
+            match delta_reduce cur rel ~d_obs ~d_inp h with
             | Ok tail ->
               (* Old→new edges are consistent with every old-before-new
                  interleaving, so concatenation is a linear extension of
@@ -320,11 +583,72 @@ let advance ~monitor t h =
               (Accepted (serial @ tail), None)
             | Error f -> (Rejected f, None))
         end
-        else
+        else if stable_levels then begin
+          (* The genuine fallback rescued by the kernel: levels stable but
+             an edge landed inside the old block (or an operation under an
+             old transaction).  Old nodes keep their front memberships and
+             cluster maps, so the delta perturbs exactly the graphs its
+             edges land in — feed them and read the acyclicity flags. *)
+          path := "kernel";
+          t.kernel_hits <- t.kernel_hits + 1;
+          Metrics.incr metrics "monitor.kernel_hits";
+          match cur.verdict with
+          | Rejected _ as r ->
+            (* Relations only grow and old groupings stand still, so the
+               witness survives; no kernel needed while rejected. *)
+            (r, None)
+          | Accepted _ ->
+            let k =
+              match t.kernel with
+              | Some k -> k
+              | None ->
+                (* First fallback of the session: build from the previous
+                   frame — the state the verdict being extended was
+                   accepted on — then feed this append's delta like any
+                   other. *)
+                let k = kernel_build cur.h cur.rel in
+                t.kernel <- Some k;
+                k
+            in
+            let dirty = Hashtbl.create 8 in
+            let mark lvl tx =
+              if not (Hashtbl.mem dirty tx) then Hashtbl.add dirty tx lvl
+            in
+            (* Transactions whose Def. 14 graph changed shape: old parents
+               that gained operations, and brand-new transactions (never
+               checked before). *)
+            for v = History.n_nodes h - 1 downto n_old do
+              (match History.parent h v with
+              | Some p when p < n_old -> mark (History.level_of_node h p) p
+              | _ -> ());
+              if History.children h v <> [] then
+                mark (History.level_of_node h v) v
+            done;
+            kernel_feed k h rel ~n_old ~dirty:mark delta;
+            (match kernel_verdict k h rel ~dirty with
+            | Ok serial -> (Accepted serial, None)
+            | Error f -> (Rejected f, None))
+        end
+        else begin
+          path := "full";
+          t.kernel <- None;
           let c = Reduction.reduce ~rel ~trace:t.obs.Sink.trace ~metrics h in
           (verdict_of_certificate c, Some c)
+        end
       in
-      { h; rel; levels; verdict; cert; prov = None }
+      (match verdict with
+      | Rejected _ -> t.kernel <- None
+      | Accepted _ -> ());
+      {
+        h;
+        rel;
+        levels;
+        verdict;
+        n_obs = cur.n_obs + List.length d_obs;
+        n_inp = cur.n_inp + List.length d_inp;
+        cert;
+        prov = None;
+      }
   in
   t.snapshot <- Some t.cur;
   t.cur <- Some frame;
@@ -340,10 +664,8 @@ let advance ~monitor t h =
        gauges so a scrape of a monitored stream always has current state
        sizes without an explicit [introspect] call. *)
     Metrics.set metrics "engine.nodes" (float_of_int (History.n_nodes frame.h));
-    Metrics.set metrics "engine.obs_pairs"
-      (float_of_int (Rel.cardinal frame.rel.Observed.obs));
-    Metrics.set metrics "engine.inp_pairs"
-      (float_of_int (Rel.cardinal frame.rel.Observed.inp));
+    Metrics.set metrics "engine.obs_pairs" (float_of_int frame.n_obs);
+    Metrics.set metrics "engine.inp_pairs" (float_of_int frame.n_inp);
     let known, totalp = History.memo_stats frame.h in
     Metrics.set metrics "engine.memo_known_pairs" (float_of_int known);
     Metrics.set metrics "engine.memo_fill_ratio"
@@ -423,13 +745,18 @@ let of_parts ?(obs = Sink.null) h rel certificate =
           rel;
           levels = levels_of h;
           verdict = verdict_of_certificate certificate;
+          n_obs = Rel.cardinal rel.Observed.obs;
+          n_inp = Rel.cardinal rel.Observed.inp;
           cert = Some certificate;
           prov = None;
         };
     snapshot = None;
+    inc = Observed.inc_create ();
+    kernel = None;
     appends = 0;
     fastpath_hits = 0;
     delta_hits = 0;
+    kernel_hits = 0;
     gc0 = Gc.quick_stat ();
   }
 
@@ -438,7 +765,12 @@ let undo t =
   | None -> invalid_arg "Engine.undo: no snapshot held (undo depth is one)"
   | Some s ->
     t.cur <- s;
-    t.snapshot <- None
+    t.snapshot <- None;
+    (* Rolling back shrinks the relations: both standing incremental
+       structures are grow-only mirrors of the advanced state, so drop
+       them and let the next append rebuild from the restored frame. *)
+    Observed.inc_invalidate t.inc;
+    t.kernel <- None
 
 let verdict t = Option.map (fun f -> f.verdict) t.cur
 
@@ -451,8 +783,7 @@ let history t = Option.map (fun f -> f.h) t.cur
 
 let relations t = Option.map (fun f -> f.rel) t.cur
 
-let obs_pairs t =
-  match t.cur with None -> 0 | Some f -> Rel.cardinal f.rel.Observed.obs
+let obs_pairs t = match t.cur with None -> 0 | Some f -> f.n_obs
 
 let provenance t =
   let f = frame_exn t "provenance" in
@@ -484,6 +815,7 @@ let stats (t : t) =
     appends = t.appends;
     fastpath_hits = t.fastpath_hits;
     delta_hits = t.delta_hits;
+    kernel_hits = t.kernel_hits;
   }
 
 (* The state report behind `compcheck --stats` and the monitor's evidence
@@ -499,6 +831,8 @@ let introspect (t : t) =
         ("appends", Json.Int t.appends);
         ("fastpath_hits", Json.Int t.fastpath_hits);
         ("delta_hits", Json.Int t.delta_hits);
+        ("kernel_hits", Json.Int t.kernel_hits);
+        ("kernel_built", Json.Bool (t.kernel <> None));
         ("undo_available", Json.Bool (t.snapshot <> None));
       ]
   in
@@ -542,8 +876,7 @@ let introspect (t : t) =
             [
               ("obs_pairs", Json.Int (Rel.cardinal f.rel.Observed.obs));
               ("inp_pairs", Json.Int (Rel.cardinal f.rel.Observed.inp));
-              ("base_obs_pairs", Json.Int (Rel.cardinal f.rel.Observed.base_obs));
-              ("obs_inv_pairs", Json.Int (Rel.cardinal f.rel.Observed.obs_inv));
+              ("base_obs_pairs", Json.Int (Rel.cardinal (Observed.base f.h)));
             ] );
         ( "conflict_memo",
           Json.Obj

@@ -11,7 +11,7 @@
     - the current history handle and its lazily filled conflict memo
       (carried across extensions by {!History.extend_cache} and onto
       shrink candidates by {!History.View});
-    - the observed-order closure with its inverse ({!Observed.compute} on
+    - the observed-order closure ({!Observed.compute} on
       first load, {!Observed.extend} afterwards);
     - the reduction certificate, cached and — on the incremental paths,
       which prove the verdict without a transcript — derived lazily over
@@ -56,11 +56,11 @@ val create : ?obs:Repro_obs.Sink.t -> unit -> t
     checker metrics of the underlying {!Observed}/{!Reduction} calls plus
     [compc.checks]/[compc.check_wall_s]/[compc.check_cpu_s] per {!analyze}
     and [monitor.appends], [monitor.fastpath_hits], [monitor.delta_hits]
-    and [monitor.append_wall_s] per {!extend}; its trace receives the
-    reduction spans.
+    [monitor.kernel_hits] and [monitor.append_wall_s] per {!extend}; its
+    trace receives the reduction spans.
 
     {!extend} additionally reports the labeled series
-    [monitor.append{path="initial|fast|delta|full"}] and
+    [monitor.append{path="initial|fast|delta|kernel|full"}] and
     [monitor.append_wall_s_by_path{path=...}], and refreshes the live
     [engine.*] state gauges (node count, closure pair counts, conflict-memo
     fill) after every append.  The sink's flight recorder receives one
@@ -100,8 +100,13 @@ val extend : t -> History.t -> verdict
     snapshot the engine (in order): carries the conflict memo by blit and
     grows the closure by worklist saturation; skips the reduction entirely
     when the delta provably cannot change the verdict; re-reduces only the
-    new block when every added pair points into it; and otherwise falls
-    back to a full reduction over the already-extended relations.  The
+    new block when every added pair points into it; decides level-stable
+    appends whose delta lands inside the old block — operations appended
+    to old transactions, edges between old nodes — with the session's
+    incremental order kernel (Pearce–Kelly topological-order/SCC graphs
+    per front level and reduction step, fed only the edge delta); and
+    only when schedule levels shift falls back to a full reduction over
+    the already-extended relations.  The
     verdict equals {!analyze} on the same history (pinned by qcheck); the
     witness may differ in inessentials (delta roots appended last, a
     different — but equally real — witness cycle).  The previous state is
@@ -171,18 +176,24 @@ val shrink : ?max_probes:int -> t -> Shrink.result option
 
 val sink : t -> Repro_obs.Sink.t
 
-type stats = { appends : int; fastpath_hits : int; delta_hits : int }
+type stats = {
+  appends : int;
+  fastpath_hits : int;
+  delta_hits : int;
+  kernel_hits : int;
+}
 
 val stats : t -> stats
 (** Lifetime counters (not rolled back by {!undo}): total advances, how
-    many skipped the reduction entirely on the delta-empty fast path, and
-    how many re-reduced only the new block. *)
+    many skipped the reduction entirely on the delta-empty fast path, how
+    many re-reduced only the new block, and how many were decided by the
+    incremental order kernel. *)
 
 val introspect : t -> Repro_obs.Json.t
 (** The session's state report ([engine-stats/1]): what this session is
     holding in memory and what it cost to get here — history sizing
     (nodes, roots, schedules, order), closure pair counts (observed,
-    input, base, inverse), conflict-memo fill (known pairs / total pair
+    input, base), conflict-memo fill (known pairs / total pair
     space), provenance-index size if built, whether the reduction
     certificate is materialized, the lifetime {!stats} counters,
     [Obj.reachable_words] over the session's current frame (history +

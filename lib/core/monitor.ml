@@ -9,7 +9,12 @@ type verdict = Engine.verdict =
   | Accepted of Repro_order.Ids.id list
   | Rejected of Reduction.failure
 
-type stats = { appends : int; fastpath_hits : int; delta_hits : int }
+type stats = {
+  appends : int;
+  fastpath_hits : int;
+  delta_hits : int;
+  kernel_hits : int;
+}
 
 let create ?metrics ?recorder () =
   Engine.create ~obs:(Repro_obs.Sink.v ?metrics ?recorder ()) ()
@@ -39,4 +44,5 @@ let stats t =
     appends = s.Engine.appends;
     fastpath_hits = s.Engine.fastpath_hits;
     delta_hits = s.Engine.delta_hits;
+    kernel_hits = s.Engine.kernel_hits;
   }

@@ -7,8 +7,9 @@
     incremental {!Engine.extend} — kept for its established vocabulary
     (append/undo/stats).  See {!Engine} for the machinery: the conflict
     memo carried by blit, the worklist-saturated closure, the
-    verdict-carrying fast path, the new-block delta reduction and the full
-    fallback.
+    verdict-carrying fast path, the new-block delta reduction, the
+    incremental order kernel for deltas landing inside the old block, and
+    the full fallback on level shifts.
 
     Verdict equivalence: after any sequence of appends the monitor's
     verdict equals {!Compc.is_correct} on the current history — pinned by
@@ -43,7 +44,7 @@ val create :
   ?metrics:Repro_obs.Metrics.t -> ?recorder:Repro_obs.Recorder.t -> unit -> t
 (** A monitor over the empty prefix (vacuously accepted).  [metrics]
     (default null) receives counters [monitor.appends],
-    [monitor.fastpath_hits], [monitor.delta_hits], the labeled
+    [monitor.fastpath_hits], [monitor.delta_hits], [monitor.kernel_hits], the labeled
     [monitor.append{path=...}] series, histogram [monitor.append_wall_s],
     the live [engine.*] state gauges, and the per-append checker metrics
     of the underlying {!Observed} / {!Reduction} calls.  [recorder]
@@ -82,9 +83,15 @@ val obs_pairs : t -> int
 (** Pairs in the current observed order (0 on the empty prefix) — exposed
     so tests can pin that {!undo} restores state exactly. *)
 
-type stats = { appends : int; fastpath_hits : int; delta_hits : int }
+type stats = {
+  appends : int;
+  fastpath_hits : int;
+  delta_hits : int;
+  kernel_hits : int;
+}
 
 val stats : t -> stats
 (** Lifetime counters (not rolled back by {!undo}): total appends, how
-    many skipped the reduction entirely on the delta-empty fast path, and
-    how many re-reduced only the new block. *)
+    many skipped the reduction entirely on the delta-empty fast path, how
+    many re-reduced only the new block, and how many were decided by the
+    incremental order kernel. *)

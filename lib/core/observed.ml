@@ -6,11 +6,14 @@ type relations = {
   obs : Rel.t;
   inp : Rel.t;
   inp_strong : Rel.t;
-  base_obs : Rel.t;
-  obs_inv : Rel.t;
-      (* Inverse of [obs], maintained so {!extend}'s worklist saturation can
-         join new pairs against predecessors without an O(|obs|) scan. *)
 }
+(* Neither the inverse of [obs] nor the base pairs live here: {!extend}'s
+   worklist saturation joins new pairs against predecessors on the dense
+   mirror's [inv_a] arena, and the base pairs are a pure function of the
+   history ({!base}), recomputed on the rare paths that want them
+   (introspection, provenance checks).  Keeping either in step would put
+   more persistent-map path copying on every append of a monitored
+   stream. *)
 
 (* Static sources of the observed order:
    - rule 1: a weak-output pair involving a leaf is observed as ordered
@@ -160,9 +163,11 @@ let compute_with ?(metrics = Repro_obs.Metrics.null) variant h =
         (Rel.union w sc.History.weak_in, Rel.union s sc.History.strong_in))
       (Rel.empty, Rel.empty) (History.schedules h)
   in
-  { obs; inp; inp_strong; base_obs; obs_inv = Rel.inverse obs }
+  { obs; inp; inp_strong }
 
 let compute ?metrics h = compute_with ?metrics Final h
+
+let base = base_rules
 
 (* The base-rule pairs contributed by the extension: every new weak-output
    pair touches a node [>= n_old] (the orders restricted to shared nodes
@@ -187,16 +192,86 @@ let base_delta h ~n_old =
         end
         else acc
       in
-      List.fold_left
-        (fun acc o ->
-          let ss = Rel.succs s.History.weak_out o in
-          if o >= n_old then Int_set.fold (emit o) ss acc
-          else
-            let _, _, news = Int_set.split (n_old - 1) ss in
-            Int_set.fold (emit o) news acc)
-        acc
-        (History.ops_of_schedule h s.History.sid))
+      (* Walk the operations in place (transactions x children) instead of
+         materializing [ops_of_schedule]'s list, and probe each old
+         source with an allocation-free max-element check before paying
+         for a split: a quiescent schedule then contributes no garbage at
+         all, which is what keeps the monitor's per-append allocation
+         proportional to the delta. *)
+      let source acc o =
+        let ss = Rel.succs s.History.weak_out o in
+        if o >= n_old then Int_set.fold (emit o) ss acc
+        else if (not (Int_set.is_empty ss)) && Int_set.max_elt ss >= n_old
+        then
+          let _, _, news = Int_set.split (n_old - 1) ss in
+          Int_set.fold (emit o) news acc
+        else acc
+      in
+      Int_set.fold
+        (fun t acc -> List.fold_left source acc (History.children h t))
+        s.History.transactions acc)
     Rel.empty (History.schedules h)
+
+type delta = {
+  d_obs : (id * id) list;
+  d_inp : (id * id) list;
+  d_inp_strong : (id * id) list;
+}
+
+(* Dense mirror of the observed closure for the saturation loop: bit
+   arenas for membership and successor/predecessor scans, plus a
+   preallocated flat worklist, so the per-pair joins of {!extend} touch
+   the minor heap only for the persistent [Rel.t] boundary at the end.
+   The mirror is rebuilt from [prev.obs] whenever it is invalid (session
+   start, undo, non-extension advance) — an O(|obs|) bit-set pass that
+   the callers only pay on paths that are already O(|obs|). *)
+type inc = {
+  mutable valid : bool;
+  mutable nodes : int; (* node count the mirror is synced to *)
+  obs_a : Arena.t;
+  inv_a : Arena.t;
+  mutable q : int array; (* flattened (a, b) worklist *)
+  mutable q_len : int;
+}
+
+let inc_create () =
+  {
+    valid = false;
+    nodes = 0;
+    obs_a = Arena.make ~rows:0 ~cols:0;
+    inv_a = Arena.make ~rows:0 ~cols:0;
+    q = Array.make 512 0;
+    q_len = 0;
+  }
+
+let inc_invalidate inc = inc.valid <- false
+
+let inc_sync inc prev_obs ~n_old ~n_new =
+  if not inc.valid then begin
+    Arena.reset inc.obs_a ~rows:n_new ~cols:n_new;
+    Arena.reset inc.inv_a ~rows:n_new ~cols:n_new;
+    Rel.iter
+      (fun a b ->
+        Arena.set inc.obs_a a b;
+        Arena.set inc.inv_a b a)
+      prev_obs;
+    inc.valid <- true;
+    inc.nodes <- n_old
+  end
+  else begin
+    Arena.ensure inc.obs_a ~rows:n_new ~cols:n_new;
+    Arena.ensure inc.inv_a ~rows:n_new ~cols:n_new
+  end
+
+let inc_push inc a b =
+  if inc.q_len + 2 > Array.length inc.q then begin
+    let bigger = Array.make (2 * Array.length inc.q) 0 in
+    Array.blit inc.q 0 bigger 0 inc.q_len;
+    inc.q <- bigger
+  end;
+  inc.q.(inc.q_len) <- a;
+  inc.q.(inc.q_len + 1) <- b;
+  inc.q_len <- inc.q_len + 2
 
 (* Worklist saturation of the Def. 10 rules (Final reading) from an
    already-closed seed: each genuinely new pair is joined against the
@@ -204,27 +279,31 @@ let base_delta h ~n_old =
    parents where the common schedule sees a conflict.  The seed is closed
    under all rules, so only pairs reachable from the delta are ever
    touched — across a monitored run the total work is proportional to the
-   final closure, not to |appends| x |closure|. *)
-let saturate h obs0 inv0 delta =
-  let obs = ref obs0 and inv = ref inv0 in
-  let added = ref 0 in
-  let q = Queue.create () in
-  Rel.iter (fun a b -> Queue.add (a, b) q) delta;
+   final closure, not to |appends| x |closure|.  Runs on the dense
+   mirror; the genuinely new pairs come back in insertion order so the
+   caller can build the persistent relations (and feed the engine's
+   incremental structures) from the exact delta. *)
+let saturate_dense h inc delta =
+  inc.q_len <- 0;
+  Rel.iter (fun a b -> inc_push inc a b) delta;
+  let added = ref [] in
+  let n_added = ref 0 in
+  let head = ref 0 in
   (* No irreflexivity filter: a cycle's closure contains the reflexive
      pairs (the batch kernel materializes them too), and those self-loops
      are what the reduction's cycle searches later trip on. *)
-  while not (Queue.is_empty q) do
-    let a, b = Queue.pop q in
-    if not (Rel.mem a b !obs) then begin
-      obs := Rel.add a b !obs;
-      inv := Rel.add b a !inv;
-      incr added;
-      Int_set.iter
-        (fun c -> if not (Rel.mem a c !obs) then Queue.add (a, c) q)
-        (Rel.succs !obs b);
-      Int_set.iter
-        (fun c -> if not (Rel.mem c b !obs) then Queue.add (c, b) q)
-        (Rel.succs !inv a);
+  while !head < inc.q_len do
+    let a = inc.q.(!head) and b = inc.q.(!head + 1) in
+    head := !head + 2;
+    if not (Arena.get inc.obs_a a b) then begin
+      Arena.set inc.obs_a a b;
+      Arena.set inc.inv_a b a;
+      added := (a, b) :: !added;
+      incr n_added;
+      Arena.row_iter inc.obs_a b (fun c ->
+          if not (Arena.get inc.obs_a a c) then inc_push inc a c);
+      Arena.row_iter inc.inv_a a (fun c ->
+          if not (Arena.get inc.obs_a c b) then inc_push inc c b);
       let climbs =
         match History.common_op_schedule_id h a b with
         | -1 -> true
@@ -232,11 +311,33 @@ let saturate h obs0 inv0 delta =
       in
       if climbs then begin
         let p = History.parent_tx h a and p' = History.parent_tx h b in
-        if p <> p' then Queue.add (p, p') q
+        if p <> p' then inc_push inc p p'
       end
     end
   done;
-  (!obs, !inv, !added)
+  inc.q_len <- 0;
+  (List.rev !added, !n_added)
+
+(* New pairs of one schedule's input order under extension: the order
+   restricted to shared nodes is unchanged (the extension contract), so
+   every new pair touches a new node and is replayed from the source
+   adjacency alone — old sources contribute the tail of their successor
+   sets past [n_old], new sources everything.  The probe per old source
+   is an allocation-free max-element check, so a quiescent schedule costs
+   O(log) per source and allocates nothing. *)
+let input_delta ~n_old ~sources rel acc0 =
+  let acc = ref acc0 in
+  let emit a b = if not (Rel.mem a b !acc) then acc := Rel.add a b !acc in
+  Int_set.iter
+    (fun o ->
+      let ss = Rel.succs rel o in
+      if o >= n_old then Int_set.iter (fun x -> emit o x) ss
+      else if (not (Int_set.is_empty ss)) && Int_set.max_elt ss >= n_old then begin
+        let _, _, news = Int_set.split (n_old - 1) ss in
+        Int_set.iter (fun x -> emit o x) news
+      end)
+    sources;
+  !acc
 
 (* Incremental recomputation for the monitor.  [h] extends the history
    [prev] was computed from, so the old base pairs are still base pairs
@@ -244,33 +345,56 @@ let saturate h obs0 inv0 delta =
    and [prev.obs] = lfp(old base) is a sound seed: the Def. 10 rules are
    monotone, hence lfp(prev.obs ∪ new base) = lfp(new base).  When no new
    base pair appeared, the old closed relation is already the fixpoint and
-   the saturation is skipped entirely. *)
-let extend ?(metrics = Repro_obs.Metrics.null) ~prev ~n_old h =
+   the saturation is skipped entirely.  The input orders are grown the
+   same way — per-schedule delta replay instead of re-unioning every
+   schedule — so the per-append cost tracks the delta, not the prefix. *)
+let extend ?(metrics = Repro_obs.Metrics.null) ?inc ~prev ~n_old h =
   let enabled = Repro_obs.Metrics.enabled metrics in
   let t0w = if enabled then Repro_obs.Clock.now_wall () else 0.0 in
+  let n_new = History.n_nodes h in
   let delta_base = base_delta h ~n_old in
-  let obs, obs_inv, added =
-    if Rel.is_empty delta_base then (prev.obs, prev.obs_inv, 0)
-    else saturate h prev.obs prev.obs_inv delta_base
+  let obs, d_obs, added =
+    if Rel.is_empty delta_base then (prev.obs, [], 0)
+    else begin
+      let inc =
+        match inc with
+        | Some i -> i
+        | None -> inc_create () (* one-shot mirror: correct, unshared *)
+      in
+      inc_sync inc prev.obs ~n_old ~n_new;
+      let pairs, n_added = saturate_dense h inc delta_base in
+      let obs =
+        List.fold_left (fun o (a, b) -> Rel.add a b o) prev.obs pairs
+      in
+      (obs, pairs, n_added)
+    end
   in
-  let base_obs = Rel.union prev.base_obs delta_base in
+  (match inc with
+  | Some i when i.valid -> i.nodes <- n_new
+  | _ -> ());
   if enabled then begin
     let module M = Repro_obs.Metrics in
     M.observe metrics "compc.observed_wall_s"
       (Repro_obs.Clock.now_wall () -. t0w);
-    M.set metrics "compc.obs_base_pairs" (float_of_int (Rel.cardinal base_obs));
-    M.set metrics "compc.obs_pairs" (float_of_int (Rel.cardinal obs));
     M.observe metrics "compc.obs_saturated_pairs" (float_of_int added);
     M.observe metrics "compc.obs_delta_base_pairs"
       (float_of_int (Rel.cardinal delta_base))
   end;
-  let inp, inp_strong =
+  let d_inp, d_inp_strong =
     List.fold_left
       (fun (w, s) (sc : History.schedule) ->
-        (Rel.union w sc.History.weak_in, Rel.union s sc.History.strong_in))
+        let sources = sc.History.transactions in
+        ( input_delta ~n_old ~sources sc.History.weak_in w,
+          input_delta ~n_old ~sources sc.History.strong_in s ))
       (Rel.empty, Rel.empty) (History.schedules h)
   in
-  { obs; inp; inp_strong; base_obs; obs_inv }
+  let inp = Rel.fold (fun a b r -> Rel.add a b r) d_inp prev.inp in
+  let inp_strong =
+    Rel.fold (fun a b r -> Rel.add a b r) d_inp_strong prev.inp_strong
+  in
+  ( { obs; inp; inp_strong },
+    { d_obs; d_inp = Rel.to_list d_inp; d_inp_strong = Rel.to_list d_inp_strong }
+  )
 
 let conflict h rel a b =
   a <> b

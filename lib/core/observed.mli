@@ -42,14 +42,13 @@ type relations = {
       (** The union of all schedules' weak input orders [→] — the input-order
           component of every computational front (Def. 12). *)
   inp_strong : Rel.t;  (** The union of all strong input orders [⇒]. *)
-  base_obs : Rel.t;
-      (** The base pairs (union of weak output orders) before propagation
-          and closure; useful for explanation output. *)
-  obs_inv : Rel.t;
-      (** The inverse of [obs], maintained alongside it so {!extend} can
-          join new pairs against predecessors without scanning the whole
-          relation. *)
 }
+
+val base : History.t -> Rel.t
+(** The base pairs of the observed order (the Def. 10 rules applied to the
+    weak output orders, before propagation and closure) — a pure function
+    of the history, recomputed on demand rather than carried in
+    {!relations}; useful for explanation output. *)
 
 val compute : ?metrics:Repro_obs.Metrics.t -> History.t -> relations
 (** Least fixpoint of the Def. 10 rules over the whole history.
@@ -64,26 +63,61 @@ val compute : ?metrics:Repro_obs.Metrics.t -> History.t -> relations
     (monotonic wall clock) and [compc.observed_cpu_s] (process CPU clock —
     these diverge under the parallel batch drivers). *)
 
+type delta = {
+  d_obs : (Ids.id * Ids.id) list;
+      (** Observed pairs in [obs] but not [prev.obs], in saturation
+          (insertion) order. *)
+  d_inp : (Ids.id * Ids.id) list;  (** New weak input pairs. *)
+  d_inp_strong : (Ids.id * Ids.id) list;  (** New strong input pairs. *)
+}
+(** The exact growth of an {!extend} step — what the append added to each
+    relation.  Callers that maintain their own incremental structures
+    (the engine's order kernel) consume these instead of diffing the
+    persistent relations, which would cost O(|closure|) per append. *)
+
+type inc
+(** Reusable dense scratch for {!extend}: a Bigarray bit mirror of the
+    observed closure and its inverse (arenas only) plus a flat worklist, so the
+    saturation loop probes and scans bits instead of allocating through
+    the persistent maps.  One value per monitored session; it is rebuilt
+    from [prev.obs] transparently after {!inc_invalidate}. *)
+
+val inc_create : unit -> inc
+
+val inc_invalidate : inc -> unit
+(** Mark the mirror stale (the session rolled back or recomputed from
+    scratch); the next {!extend} rebuilds it from its [prev] argument. *)
+
 val extend :
   ?metrics:Repro_obs.Metrics.t ->
+  ?inc:inc ->
   prev:relations ->
   n_old:int ->
   History.t ->
-  relations
+  relations * delta
 (** [extend ~prev ~n_old h] recomputes {!relations} for [h] given that [h]
     {e extends} the history [prev] was computed from — [n_old] nodes, same
     schedules, shared nodes keep identifiers/labels/parents, relations
-    only grow (the {!History.prefix_by_roots} chain shape).  The base
-    rules only ever add pairs under extension and every new weak-output
-    pair touches a node [>= n_old], so the delta base pairs are replayed
-    from the new endpoints' adjacency alone; the Def. 10 rules are
-    monotone, so the closure is then grown from [prev.obs] by worklist
-    saturation — joining each genuinely new pair against current
-    successors/predecessors and climbing it — instead of restarting the
-    dense fixpoint.  When no new base pair appeared the closed relation is
-    reused as-is.  Equals {!compute} [h] (the [Final] variant); across a
-    monitored run the total saturation work is proportional to the final
-    closure size.  [metrics] additionally receives the histograms
+    restricted to shared nodes only grow (the {!History.prefix_by_roots}
+    chain shape).  The base rules only ever add pairs under extension and
+    every new weak-output pair touches a node [>= n_old], so the delta
+    base pairs are replayed from the new endpoints' adjacency alone; the
+    Def. 10 rules are monotone, so the closure is then grown from
+    [prev.obs] by worklist saturation — joining each genuinely new pair
+    against current successors/predecessors and climbing it — instead of
+    restarting the dense fixpoint.  When no new base pair appeared the
+    closed relation is reused as-is.  The input orders are grown the same
+    way: per-schedule replay of the successor-set tails past [n_old]
+    (every new input pair touches a new node, by the extension contract),
+    instead of re-unioning every schedule's full order.  Equals
+    {!compute} [h] (the [Final] variant)
+    on the relations, and the returned {!delta} is exactly the pairwise
+    difference; across a monitored run the total saturation work is
+    proportional to the final closure size.
+
+    [inc] supplies the reusable dense mirror; without it a private one is
+    built for the call (correct, but the O(|obs|) rebuild recurs on every
+    append).  [metrics] additionally receives the histograms
     [compc.obs_delta_base_pairs] and [compc.obs_saturated_pairs]. *)
 
 (** {1 Ablation support}

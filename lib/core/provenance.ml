@@ -28,8 +28,8 @@ let key t a b = (a * t.n) + b
    [Observed.saturate] run from an empty seed over the full base: pairs are
    recorded at first derivation, so a [Trans]/[Climb] reason only ever
    references pairs recorded earlier.  The base classification mirrors
-   [Observed.base_rules]; the test suite pins the seed equality against
-   [rel.base_obs] and the final equality against [rel.obs]. *)
+   [Observed.base]; the test suite pins the final equality against
+   [rel.obs]. *)
 let build h (rel : Observed.relations) =
   let n = History.n_nodes h in
   let entries = Hashtbl.create (2 * Rel.cardinal rel.Observed.obs) in

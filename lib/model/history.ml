@@ -41,6 +41,10 @@ type ccache = {
   op_sched : int array; (* node id -> schedule it is an operation of; -1 *)
   op_count : int array; (* per schedule: number of operations *)
   tables : (Bytes.t * Bytes.t) option array; (* per schedule: known, value *)
+  mutable donated : bool;
+      (* arrays and tables lent to one extension's cache (see
+         [extend_cache]); a second extension of the same snapshot must
+         deep-copy its share instead *)
 }
 
 type t = {
@@ -99,21 +103,28 @@ let cache h =
     let op_index = Array.make n (-1) in
     let op_sched = Array.make n (-1) in
     let op_count = Array.make ns 0 in
-    Array.iter
-      (fun (s : schedule) ->
-        let i = ref 0 in
-        Int_set.iter
-          (fun t ->
-            List.iter
-              (fun c ->
-                op_index.(c) <- !i;
-                op_sched.(c) <- s.sid;
-                incr i)
-              h.nodes.(t).children)
-          s.transactions;
-        op_count.(s.sid) <- !i)
-      h.scheds;
-    let c = { op_index; op_sched; op_count; tables = Array.make ns None } in
+    (* Ranks are assigned in ascending node-id order — NOT in the
+       schedules' transaction-traversal order.  Under the monitor's
+       extension contract new nodes always take larger ids, so id-ordered
+       ranks of shared operations never shift, whatever transaction the
+       new operations hang under; that is what lets [extend_cache] carry
+       the triangular tables across every extension (a traversal-ordered
+       rank shifts as soon as an operation is appended to a non-final
+       transaction). *)
+    for v = 0 to n - 1 do
+      match h.nodes.(v).parent with
+      | None -> ()
+      | Some p -> (
+        match h.nodes.(p).sched with
+        | None -> ()
+        | Some s ->
+          op_index.(v) <- op_count.(s);
+          op_sched.(v) <- s;
+          op_count.(s) <- op_count.(s) + 1)
+    done;
+    let c =
+      { op_index; op_sched; op_count; tables = Array.make ns None; donated = false }
+    in
     h.ccache <- Some c;
     c
 
@@ -174,48 +185,115 @@ let conflicts h s a b =
 
 (* Carry a previous snapshot's conflict memo into an extension of it.  The
    monitor certifies a growing prefix: each snapshot repeats every node of
-   the previous one (same ids, labels, parents, children) and appends new
-   nodes with strictly larger ids.  Under that shape the dense per-schedule
-   operation indices are stable — [cache] walks transactions in ascending
-   id order and new transactions sort after every old one — and the
-   triangular bitmatrix layout ([bit (hi, lo) = hi*(hi-1)/2 + lo]) makes
-   the old table a bit-prefix of the new one, so the memo transfers with
-   one blit per schedule.  No-op when [h] already has a cache (both caches
-   memoize the same pure predicate, so nothing would be gained) or when
-   [from] has none. *)
+   the previous one (same ids, labels, parents, children lists that only
+   grow) and appends new nodes with strictly larger ids.  [cache] ranks
+   operations in ascending id order, so every shared operation keeps its
+   rank in the extension — even when new operations hang under old
+   transactions — and the triangular layout ([bit (hi, lo) =
+   hi*(hi-1)/2 + lo]) puts every old pair at the same slot, with all old
+   slots packed below [m_old*(m_old-1)/2].
+
+   That prefix property is what makes the transfer O(delta) amortized
+   instead of O(n) per append: along a linear extension chain (the
+   monitor's shape) the dense rank arrays and the tables are {e lent} to
+   the extension — the new cache indexes the new operations into the very
+   same arrays (ids >= n_old are dead to [from]) and keeps the same table
+   bytes, growing either geometrically when capacity runs out.  Lending is
+   linear: the first extension flips [donated], and a second extension of
+   the same snapshot (the monitor's undo-then-reappend fork) deep-copies
+   the old prefix instead, so diverging extensions can never write into
+   each other's slots.  [op_count] is always copied — it is the record of
+   [from]'s own rank range, needed to bound a later fork's copy.
+
+   No-op when [h] already has a cache (both caches memoize the same pure
+   predicate, so nothing would be gained) or when [from] has none. *)
 let extend_cache ~from h =
-  if Array.length h.nodes < Array.length from.nodes then
+  let n_old = Array.length from.nodes and n = Array.length h.nodes in
+  if n < n_old then
     invalid_arg "History.extend_cache: target has fewer nodes than source";
   if Array.length h.scheds <> Array.length from.scheds then
     invalid_arg "History.extend_cache: schedule counts differ";
   match (from.ccache, h.ccache) with
   | None, _ | _, Some _ -> ()
   | Some old, None ->
-    let c = cache h in
-    Array.iter
-      (fun (s : schedule) ->
-        let sid = s.sid in
-        match old.tables.(sid) with
+    let fork = old.donated in
+    old.donated <- true;
+    (* Valid prefix of each table in bits: [from]'s own pairs only.  A
+       lent table may carry the extension's bits above this range; a
+       forked copy must not inherit them (its new operations reuse the
+       same slots for different labels). *)
+    let prefix_bits sid =
+      let m = old.op_count.(sid) in
+      m * (m - 1) / 2
+    in
+    let copy_prefix src bits =
+      let bytes = Bytes.make (max 1 ((bits + 7) / 8)) '\000' in
+      Bytes.blit src 0 bytes 0 (bits / 8);
+      if bits land 7 <> 0 then
+        Bytes.set bytes (bits / 8)
+          (Char.chr (Char.code (Bytes.get src (bits / 8)) land ((1 lsl (bits land 7)) - 1)));
+      bytes
+    in
+    let op_index, op_sched =
+      if (not fork) && Array.length old.op_index >= n then
+        (old.op_index, old.op_sched)
+      else begin
+        (* A fork is a fresh copy, not amortized growth of the lineage: it
+           must size to the extension, never double the source's capacity
+           (along an extend/undo/extend chain each accepted fork becomes
+           the next source, and doubling here compounds exponentially). *)
+        let cap = if fork then n else max n (2 * Array.length old.op_index) in
+        let oi = Array.make cap (-1) and os = Array.make cap (-1) in
+        Array.blit old.op_index 0 oi 0 n_old;
+        Array.blit old.op_sched 0 os 0 n_old;
+        (oi, os)
+      end
+    in
+    let op_count = Array.copy old.op_count in
+    for v = n_old to n - 1 do
+      (match h.nodes.(v).parent with
+      | None -> op_index.(v) <- -1; op_sched.(v) <- -1
+      | Some p -> (
+        match h.nodes.(p).sched with
+        | None -> op_index.(v) <- -1; op_sched.(v) <- -1
+        | Some s ->
+          op_index.(v) <- op_count.(s);
+          op_sched.(v) <- s;
+          op_count.(s) <- op_count.(s) + 1))
+    done;
+    let tables =
+      if fork then
+        Array.mapi
+          (fun sid kv ->
+            match kv with
+            | None -> None
+            | Some (oknown, ovalue) ->
+              let bits = prefix_bits sid in
+              Some (copy_prefix oknown bits, copy_prefix ovalue bits))
+          old.tables
+      else old.tables
+    in
+    (* Grow any lent or copied table whose capacity no longer covers the
+       extension's pair range (geometric, so a streaming chain amortizes
+       the reallocation over the appends that filled the capacity). *)
+    Array.iteri
+      (fun sid kv ->
+        match kv with
         | None -> ()
-        | Some (oknown, ovalue) ->
-          let m_old = old.op_count.(sid) in
-          let m_new = c.op_count.(sid) in
-          if m_new < m_old then
-            invalid_arg "History.extend_cache: schedule shrank";
-          let bits = m_old * (m_old - 1) / 2 in
-          let bytes = (bits + 7) / 8 in
-          let known, value =
-            match c.tables.(sid) with
-            | Some kv -> kv
-            | None ->
-              let nbytes = max 1 (((m_new * (m_new - 1) / 2) + 7) / 8) in
-              let kv = (Bytes.make nbytes '\000', Bytes.make nbytes '\000') in
-              c.tables.(sid) <- Some kv;
-              kv
-          in
-          Bytes.blit oknown 0 known 0 bytes;
-          Bytes.blit ovalue 0 value 0 bytes)
-      h.scheds
+        | Some (known, value) ->
+          let m = op_count.(sid) in
+          let need = max 1 (((m * (m - 1) / 2) + 7) / 8) in
+          if need > Bytes.length known then begin
+            let cap = max need (2 * Bytes.length known) in
+            let grow src =
+              let bytes = Bytes.make cap '\000' in
+              Bytes.blit src 0 bytes 0 (Bytes.length src);
+              bytes
+            in
+            tables.(sid) <- Some (grow known, grow value)
+          end)
+      tables;
+    h.ccache <- Some { op_index; op_sched; op_count; tables; donated = false }
 
 (* Introspection: how much of the conflict-pair space the memo has decided.
    The total counts one slot per unordered pair of same-schedule operations
@@ -253,7 +331,10 @@ let memo_stats h =
             !n)
         0 c.tables
   in
-  (known, total)
+  (* Tables lent along an extension chain (see [extend_cache]) can carry
+     decided bits for the extension's pairs above this history's own
+     range; clamp so the ratio stays a ratio. *)
+  (min known total, total)
 
 let descendants h i =
   let rec go acc = function
@@ -786,14 +867,13 @@ module View = struct
   let new_id v i = if mem v i then v.map.(i) else -1
 
   (* Transfer the base history's conflict memo onto the materialized
-     restriction.  [cache] ranks a schedule's operations by walking its
-     transactions in ascending id order and each transaction's children in
-     creation order; a restriction keeps relative id order and children
-     order, so the old-rank -> new-rank map over surviving operations is
-     monotone and every surviving unordered pair keeps its (hi, lo)
-     orientation.  Conflict decisions depend only on labels (unchanged) and
-     on Explicit id pairs (remapped by [to_history] along the same id map),
-     so known bits transfer verbatim. *)
+     restriction.  [cache] ranks a schedule's operations in ascending node-id
+     order; a restriction keeps relative id order, so the old-rank ->
+     new-rank map over surviving operations is monotone and every surviving
+     unordered pair keeps its (hi, lo) orientation.  Conflict decisions
+     depend only on labels (unchanged) and on Explicit id pairs (remapped by
+     [to_history] along the same id map), so known bits transfer
+     verbatim. *)
   let seed_cache v (h' : history) =
     match v.vbase.ccache with
     | None -> ()
@@ -805,19 +885,17 @@ module View = struct
           | None -> ()
           | Some (oknown, ovalue) ->
             let m_old = old.op_count.(s.sid) in
-            (* New rank of each surviving operation, indexed by old rank. *)
+            (* New rank of each surviving operation, indexed by old rank;
+               ascending id order matches the rank assignment of [cache]. *)
             let nr = Array.make (max 1 m_old) (-1) in
             let survivors = ref 0 in
-            Int_set.iter
-              (fun t ->
-                List.iter
-                  (fun o ->
-                    if v.kept.(o) then begin
-                      nr.(old.op_index.(o)) <- !survivors;
-                      incr survivors
-                    end)
-                  v.vbase.nodes.(t).children)
-              s.transactions;
+            Array.iteri
+              (fun o _ ->
+                if old.op_sched.(o) = s.sid && v.kept.(o) then begin
+                  nr.(old.op_index.(o)) <- !survivors;
+                  incr survivors
+                end)
+              v.vbase.nodes;
             if !survivors > 1 && !survivors = c.op_count.(s.sid) then begin
               let m_new = !survivors in
               let known, value =

@@ -8,7 +8,11 @@ let empty = Int_map.empty
 
 let is_empty = Int_map.is_empty
 
-let succs r a = match Int_map.find_opt a r with Some s -> s | None -> Int_set.empty
+(* [find]/[Not_found] rather than [find_opt]: a probe must not allocate a
+   [Some] box, because the monitor's delta recovery probes every operation
+   of every schedule per append and the misses/hits would otherwise put an
+   O(n) floor under the per-append garbage. *)
+let succs r a = try Int_map.find a r with Not_found -> Int_set.empty
 
 let add a b r =
   let s = succs r a in

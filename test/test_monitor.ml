@@ -1,11 +1,18 @@
 (* The incremental monitor against the batch checker: prefix-equivalence
-   on generated executions, undo semantics, and the extension edge cases
+   on generated executions, undo semantics, the extension edge cases
    (empty delta, first delta into a previously empty schedule, universe
-   growth from the empty prefix). *)
+   growth from the empty prefix), and the incremental order kernel on
+   open-transaction streams — appends that land operations under {e old}
+   roots, where levels stay stable but the structural fast paths do not
+   apply. *)
 open Repro_model
 open Repro_workload
 module Compc = Repro_core.Compc
 module Monitor = Repro_core.Monitor
+module Observed = Repro_core.Observed
+module Rel = Repro_order.Rel
+module Metrics = Repro_obs.Metrics
+module Labels = Repro_obs.Labels
 
 let history_of_seed seed =
   let rng = Prng.create ~seed in
@@ -121,6 +128,27 @@ let test_undo_depth () =
     (Invalid_argument "Monitor.undo: no snapshot held (undo depth is one)")
     (fun () -> Monitor.undo m)
 
+let test_undo_refork_allocation_linear () =
+  (* The certify protocol's append/undo/append shape: a re-extension of a
+     donated snapshot forks the conflict memo, and each accepted fork
+     becomes the next snapshot.  A fork must size its rank arrays to the
+     extension, never double the source's capacity — along this chain the
+     doubling compounds (every accept-after-undo doubles the arrays), which
+     once ran the simulator's 427-node committed prefix into gigabytes. *)
+  let h = Gen.stack (Prng.create ~seed:7) ~levels:2 ~roots:24 in
+  let m = Monitor.create () in
+  ignore (Monitor.append m (History.prefix_by_roots h 1));
+  let a0 = Gc.allocated_bytes () in
+  for i = 2 to n_roots h do
+    ignore (Monitor.append m (History.prefix_by_roots h i));
+    Monitor.undo m;
+    ignore (Monitor.append m (History.prefix_by_roots h i))
+  done;
+  let mb = (Gc.allocated_bytes () -. a0) /. 1048576.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "fork-chain allocation stays linear (%.1f MB)" mb)
+    true (mb < 64.0)
+
 let test_non_extension_rejected () =
   let h = stack_history () in
   let m = Monitor.create () in
@@ -129,6 +157,162 @@ let test_non_extension_rejected () =
     (Invalid_argument
        "History.extend_cache: target has fewer nodes than source") (fun () ->
       ignore (Monitor.append m (History.prefix_by_roots h 1)))
+
+(* ------------------------------------------------------------------ *)
+(* The incremental order kernel: open-transaction streams               *)
+(* ------------------------------------------------------------------ *)
+
+(* The [prefix_by_roots] chains above always hang new nodes under new
+   roots, so they exercise the delta paths.  The kernel path is for the
+   other streaming shape: operations appended to transactions that are
+   already open.  Both streams below keep schedule levels stable while
+   every round parents its new subtransaction under an {e old} root. *)
+
+let by_path metrics p =
+  Metrics.counter_value metrics ~labels:(Labels.v [ ("path", p) ]) "monitor.append"
+
+(* Accepting stream: one root whose subtransactions all update the same
+   item, serialized by the low-level schedule's log.  Every round adds a
+   conflicting write, so the delta is never empty and the root's intra
+   feasibility graph is genuinely re-checked. *)
+let open_stream k =
+  let open History.Builder in
+  let b = create () in
+  let sp = schedule b ~conflict:Conflict.Same_item "SP" in
+  let sa = schedule b ~conflict:Conflict.Rw "SA" in
+  let r0 = root b ~sched:sp (Label.v "T1") in
+  let txs = ref [] and ws = ref [] in
+  for _ = 1 to k do
+    let a = tx b ~parent:r0 ~sched:sa (Label.v ~args:[ "x" ] "add") in
+    let w = leaf b ~parent:a (Label.v ~args:[ "x" ] "w") in
+    txs := a :: !txs;
+    ws := w :: !ws
+  done;
+  log b ~sched:sp (List.rev !txs);
+  log b ~sched:sa (List.rev !ws);
+  seal b
+
+(* Rejecting stream, figure-3 shaped: two roots that each invoke both
+   low-level schedules, which serialize them in opposite directions.  The
+   offending subtransaction arrives in round 2 under the old root [n0],
+   and the cyclic observed pair it climbs to lands entirely inside the
+   old block — the case the kernel exists for.  Round 3 extends the
+   already-rejected prefix (the verdict must stay sticky). *)
+let reject_stream k =
+  let open History.Builder in
+  let b = create () in
+  let sp = schedule b ~conflict:Conflict.Same_item "SP" in
+  let sq = schedule b ~conflict:Conflict.Same_item "SQ" in
+  let sa = schedule b ~conflict:Conflict.Rw "SA" in
+  let sb = schedule b ~conflict:Conflict.Rw "SB" in
+  let n0 = root b ~sched:sp (Label.v "T1") in
+  let n1 = root b ~sched:sq (Label.v "T2") in
+  (* round 1: SA serializes n0's write before n1's; SB only sees n1 *)
+  let a0 = tx b ~parent:n0 ~sched:sa (Label.v ~args:[ "x" ] "add") in
+  let wa0 = leaf b ~parent:a0 (Label.v ~args:[ "x" ] "w") in
+  let a1 = tx b ~parent:n1 ~sched:sa (Label.v ~args:[ "x" ] "add") in
+  let wa1 = leaf b ~parent:a1 (Label.v ~args:[ "x" ] "w") in
+  let b1 = tx b ~parent:n1 ~sched:sb (Label.v ~args:[ "y" ] "add") in
+  let wb1 = leaf b ~parent:b1 (Label.v ~args:[ "y" ] "w") in
+  (* round 2: SB serializes n1's write before n0's — opposite of SA *)
+  let sp_ops = ref [ a0 ] and sa_ops = ref [ wa0; wa1 ] and sb_ops = ref [ wb1 ] in
+  if k >= 2 then begin
+    let b0 = tx b ~parent:n0 ~sched:sb (Label.v ~args:[ "y" ] "add") in
+    let wb0 = leaf b ~parent:b0 (Label.v ~args:[ "y" ] "w") in
+    sp_ops := !sp_ops @ [ b0 ];
+    sb_ops := !sb_ops @ [ wb0 ]
+  end;
+  (* round 3: an unrelated write under n0 after the rejection *)
+  if k >= 3 then begin
+    let a2 = tx b ~parent:n0 ~sched:sa (Label.v ~args:[ "z" ] "add") in
+    let wa2 = leaf b ~parent:a2 (Label.v ~args:[ "z" ] "w") in
+    sp_ops := !sp_ops @ [ a2 ];
+    sa_ops := !sa_ops @ [ wa2 ]
+  end;
+  log b ~sched:sp !sp_ops;
+  log b ~sched:sq [ a1; b1 ];
+  log b ~sched:sa !sa_ops;
+  log b ~sched:sb !sb_ops;
+  seal b
+
+let test_kernel_accepting_stream () =
+  let rounds = 6 in
+  let metrics = Metrics.create () in
+  let m = Monitor.create ~metrics () in
+  for k = 1 to rounds do
+    let p = open_stream k in
+    let v = Monitor.append m p in
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d matches the batch checker" k)
+      (Compc.is_correct p) (accepted_verdict v);
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d accepted" k)
+      true (accepted_verdict v)
+  done;
+  (* Round 1 is the initial analysis; every later round appends under the
+     old root, which only the kernel path decides. *)
+  let stats = Monitor.stats m in
+  Alcotest.(check int) "kernel decides the open-transaction appends"
+    (rounds - 1) stats.Monitor.kernel_hits;
+  Alcotest.(check int) "labeled series agrees with the counter"
+    stats.Monitor.kernel_hits (by_path metrics "kernel");
+  Alcotest.(check int) "no full reductions after the first round" 0
+    (by_path metrics "full")
+
+let test_kernel_rejecting_stream () =
+  let metrics = Metrics.create () in
+  let m = Monitor.create ~metrics () in
+  let verdicts =
+    List.map
+      (fun k ->
+        let p = reject_stream k in
+        let v = Monitor.append m p in
+        Alcotest.(check bool)
+          (Printf.sprintf "round %d matches the batch checker" k)
+          (Compc.is_correct p) (accepted_verdict v);
+        v)
+      [ 1; 2; 3 ]
+  in
+  (match verdicts with
+  | [ v1; v2; v3 ] ->
+    Alcotest.(check bool) "one-sided serialization accepted" true
+      (accepted_verdict v1);
+    Alcotest.(check bool) "opposite serialization rejected" false
+      (accepted_verdict v2);
+    Alcotest.(check bool) "rejection is sticky under extension" false
+      (accepted_verdict v3)
+  | _ -> Alcotest.fail "three rounds expected");
+  Alcotest.(check int) "both extensions decided by the kernel" 2
+    (Monitor.stats m).Monitor.kernel_hits
+
+(* The kernel's inputs: Observed.extend's reported delta is exactly the
+   pairwise growth of each relation — same pairs as two full diffs of the
+   persistent relations, at O(delta) cost. *)
+let prop_extend_delta_exact =
+  QCheck.Test.make ~name:"Observed.extend delta = pairwise relation diff"
+    ~count:200 arb_seed (fun seed ->
+      let h = history_of_seed seed in
+      let inc = Observed.inc_create () in
+      let prev = ref (Observed.compute (History.prefix_by_roots h 0)) in
+      let n_old = ref (History.n_nodes (History.prefix_by_roots h 0)) in
+      let ok = ref true in
+      for k = 1 to n_roots h do
+        let p = History.prefix_by_roots h k in
+        let rel, delta = Observed.extend ~inc ~prev:!prev ~n_old:!n_old p in
+        let exact d grown old =
+          Rel.equal (Rel.of_list d) (Rel.diff grown old)
+        in
+        if
+          not
+            (exact delta.Observed.d_obs rel.Observed.obs !prev.Observed.obs
+            && exact delta.Observed.d_inp rel.Observed.inp !prev.Observed.inp
+            && exact delta.Observed.d_inp_strong rel.Observed.inp_strong
+                 !prev.Observed.inp_strong)
+        then ok := false;
+        prev := rel;
+        n_old := History.n_nodes p
+      done;
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
@@ -182,8 +366,15 @@ let suite =
           test_empty_delta_fastpath;
         Alcotest.test_case "undo restores state" `Quick test_undo_restores;
         Alcotest.test_case "undo depth is one" `Quick test_undo_depth;
+        Alcotest.test_case "undo/re-extend fork-chain allocation" `Quick
+          test_undo_refork_allocation_linear;
         Alcotest.test_case "non-extension rejected" `Quick
           test_non_extension_rejected;
+        Alcotest.test_case "kernel: accepting open-transaction stream" `Quick
+          test_kernel_accepting_stream;
+        Alcotest.test_case "kernel: rejection inside the old block" `Quick
+          test_kernel_rejecting_stream;
       ] );
-    qsuite "monitor:props" [ prop_prefix_equivalence; prop_undo_roundtrip ];
+    qsuite "monitor:props"
+      [ prop_prefix_equivalence; prop_undo_roundtrip; prop_extend_delta_exact ];
   ]

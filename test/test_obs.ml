@@ -433,7 +433,8 @@ let test_engine_observability () =
   in
   Alcotest.(check int) "path series partition the appends"
     (Metrics.counter_value metrics "monitor.appends")
-    (by_path "initial" + by_path "fast" + by_path "delta" + by_path "full");
+    (by_path "initial" + by_path "fast" + by_path "delta" + by_path "kernel"
+   + by_path "full");
   Alcotest.(check int) "one recorder event per append" n
     (Recorder.total recorder);
   List.iter2
