@@ -19,28 +19,206 @@ open Repro_model
 module Json = Repro_obs.Json
 module Metrics = Repro_obs.Metrics
 
-(* Refresh the expensive introspection-derived gauges (reachable heap
-   words) from a full [Engine.introspect] walk — polled periodically, not
-   per append; the cheap [engine.*] gauges are refreshed by the engine
+(* Refresh the memory gauge from the cheap introspection path — counters
+   plus the memo/arena byte accounting, no [Obj.reachable_words] walk, so
+   polling stays O(1) however long the stream gets.  The full walk still
+   runs once where it matters: embedded (deep) in a rejection's evidence
+   report.  The cheap [engine.*] state gauges are refreshed by the engine
    itself on every advance. *)
 let snapshot_gauges metrics s =
   if Metrics.enabled metrics then
-    match Repro_core.Engine.introspect s with
+    match Repro_core.Engine.introspect ~deep:false s with
     | Json.Obj fields -> (
       match List.assoc_opt "memory" fields with
       | Some (Json.Obj mem) -> (
-        match List.assoc_opt "reachable_words" mem with
+        match List.assoc_opt "resident_estimate_words" mem with
         | Some (Json.Int w) ->
-          Metrics.set metrics "engine.reachable_words" (float_of_int w)
+          Metrics.set metrics "engine.resident_estimate_words" (float_of_int w)
         | _ -> ())
       | _ -> ())
     | _ -> ()
 
 let introspect_every = 32
 
+(* Streaming mode (path "-"): certify appends as they arrive on stdin
+   instead of slurping the whole description first, so live streams can
+   be piped into the monitor (and into the compserve smoke tests).  A
+   flush point is the arrival of each new root declaration — chunked
+   streams are root-major, so each flush certifies exactly one more
+   root.  A prefix that does not yet parse, is not yet model-valid, or
+   adds no nodes simply defers to the next flush point; a printed
+   history whose order lines all trail the node declarations therefore
+   certifies once, at end of stream — the historical slurp behaviour. *)
+let run_stream ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr)
+    ?(obs = Repro_obs.Sink.null) ?(progress = Cli_common.Progress.null)
+    ?window ~brief explain format shrink skip_validation () =
+  let explain = explain || shrink || format <> `Text in
+  let hpf = if format = `Text then ppf else eppf in
+  let metrics = obs.Repro_obs.Sink.metrics in
+  let recorder =
+    if Repro_obs.Recorder.enabled obs.Repro_obs.Sink.recorder then
+      obs.Repro_obs.Sink.recorder
+    else Repro_obs.Recorder.create ()
+  in
+  let s =
+    Repro_core.Engine.create
+      ~obs:(Repro_obs.Sink.v ~metrics ~recorder ())
+      ?window ()
+  in
+  let text = Buffer.create 4096 in
+  let nodes = ref 0 in
+  let appends = ref 0 in
+  let t0 = Repro_obs.Clock.now_wall () in
+  let show_progress () =
+    if Cli_common.Progress.enabled progress then begin
+      let dt = Repro_obs.Clock.now_wall () -. t0 in
+      let rate = if dt > 0.0 then float_of_int !appends /. dt else 0.0 in
+      let p99 =
+        match Metrics.percentile metrics "monitor.append_wall_s" 0.99 with
+        | Some v -> Fmt.str "  p99 append %.2fms" (v *. 1e3)
+        | None -> ""
+      in
+      Cli_common.Progress.update progress
+        (Fmt.str "monitor -: append %d  %.0f appends/s%s" !appends rate p99)
+    end
+  in
+  let reject_evidence f h =
+    snapshot_gauges metrics s;
+    Cli_common.Progress.finish progress;
+    let rel = Repro_core.Engine.relations s in
+    if brief then Fmt.pf ppf "-: monitor: reject at append %d@." !appends
+    else begin
+      Fmt.pf hpf "append %d: reject@." !appends;
+      Fmt.pf hpf "first violating append: %d; %a@." !appends
+        (Repro_core.Reduction.pp_failure ?rel h)
+        f
+    end;
+    if explain then begin
+      let extra =
+        [
+          ( "prefix",
+            Json.Obj [ ("index", Json.Int !appends); ("of", Json.Int !appends) ]
+          );
+          ("flight_recorder", Repro_obs.Recorder.to_json recorder);
+          ("engine", Repro_core.Engine.introspect s);
+        ]
+      in
+      Cmd_explain.report ~extra ppf format shrink s
+    end;
+    1
+  in
+  (* One certification attempt over the accumulated text.  [`Deferred]
+     folds three mid-stream states — unparseable yet, model-invalid yet,
+     no new nodes — that all mean "wait for more input". *)
+  let try_append () =
+    match Repro_histlang.Syntax.parse (Buffer.contents text) with
+    | exception Repro_histlang.Syntax.Parse_error _ -> `Deferred
+    | exception Invalid_argument _ -> `Deferred
+    | h ->
+      if History.n_nodes h <= !nodes then `Deferred
+      else if
+        (not skip_validation) && Repro_model.Validate.check h <> []
+      then `Deferred
+      else begin
+        nodes := History.n_nodes h;
+        incr appends;
+        match Repro_core.Engine.extend s h with
+        | Repro_core.Engine.Accepted _ ->
+          if !appends mod introspect_every = 0 then snapshot_gauges metrics s;
+          show_progress ();
+          if not brief then Fmt.pf hpf "append %d: accept@." !appends;
+          `Ok
+        | Repro_core.Engine.Rejected f -> `Reject (reject_evidence f h)
+      end
+  in
+  let is_root_line line =
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do
+      incr i
+    done;
+    !i + 4 <= n
+    && String.sub line !i 4 = "root"
+    && (!i + 4 = n || line.[!i + 4] = ' ' || line.[!i + 4] = '\t')
+  in
+  let roots_seen = ref 0 in
+  let rec pump () =
+    match input_line stdin with
+    | exception End_of_file -> finish ()
+    | line ->
+      let flush_now = is_root_line line && !roots_seen > 0 in
+      let code = if flush_now then try_append () else `Deferred in
+      if is_root_line line then incr roots_seen;
+      Buffer.add_string text line;
+      Buffer.add_char text '\n';
+      (match code with `Reject c -> c | `Ok | `Deferred -> pump ())
+  and finish () =
+    (* End of stream: the full description must parse and validate (the
+       same gate the file path applies up front), then the final prefix
+       is certified. *)
+    match Repro_histlang.Syntax.parse (Buffer.contents text) with
+    | exception Repro_histlang.Syntax.Parse_error e ->
+      Cli_common.Progress.finish progress;
+      let msg = Fmt.str "parse error: %a" Repro_histlang.Syntax.pp_error e in
+      if brief then Fmt.pf ppf "-: error: %s@." msg
+      else Fmt.pf eppf "compcheck: %s@." msg;
+      2
+    | exception Invalid_argument msg ->
+      Cli_common.Progress.finish progress;
+      if brief then Fmt.pf ppf "-: error: invalid history: %s@." msg
+      else Fmt.pf eppf "compcheck: invalid history: %s@." msg;
+      2
+    | h ->
+      let validation = Repro_model.Validate.check h in
+      if validation <> [] && not skip_validation then begin
+        Cli_common.Progress.finish progress;
+        if brief then
+          Fmt.pf ppf "-: invalid: %d model violation%s@." (List.length validation)
+            (if List.length validation = 1 then "" else "s")
+        else begin
+          Fmt.pf eppf "history violates the composite-system model (Defs. 3-4):@.";
+          List.iter
+            (fun e -> Fmt.pf eppf "  %a@." (Repro_model.Validate.pp_error h) e)
+            validation
+        end;
+        2
+      end
+      else begin
+        match (if History.n_nodes h > !nodes then try_append () else `Ok) with
+        | `Reject c -> c
+        | `Ok | `Deferred ->
+          snapshot_gauges metrics s;
+          Cli_common.Progress.finish progress;
+          let fast =
+            (Repro_core.Engine.stats s).Repro_core.Engine.fastpath_hits
+          in
+          if brief then
+            Fmt.pf ppf "-: monitor: accept (%d append%s)@." !appends
+              (if !appends = 1 then "" else "s")
+          else
+            Fmt.pf hpf
+              "monitor: accept - %d stream append%s Comp-C (%d reductions \
+               skipped on the fast path)@."
+              !appends
+              (if !appends = 1 then "" else "s")
+              fast;
+          if explain then begin
+            if Repro_core.Engine.history s = None then
+              ignore (Repro_core.Engine.extend s h);
+            Cmd_explain.report ppf format shrink s
+          end;
+          0
+      end
+  in
+  pump ()
+
 let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr)
-    ?(obs = Repro_obs.Sink.null) ?(progress = Cli_common.Progress.null) ~brief
-    explain format shrink skip_validation path =
+    ?(obs = Repro_obs.Sink.null) ?(progress = Cli_common.Progress.null)
+    ?window ~brief explain format shrink skip_validation path =
+  if path = "-" then
+    run_stream ~ppf ~eppf ~obs ~progress ?window ~brief explain format shrink
+      skip_validation ()
+  else
   let explain = explain || shrink || format <> `Text in
   let hpf = if format = `Text then ppf else eppf in
   Cli_common.with_history ~ppf ~eppf ~brief ~skip_validation path @@ fun h ->
@@ -52,7 +230,9 @@ let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr)
   in
   let n = List.length (History.roots h) in
   let s =
-    Repro_core.Engine.create ~obs:(Repro_obs.Sink.v ~metrics ~recorder ()) ()
+    Repro_core.Engine.create
+      ~obs:(Repro_obs.Sink.v ~metrics ~recorder ())
+      ?window ()
   in
   let t0 = Repro_obs.Clock.now_wall () in
   let show_progress k =

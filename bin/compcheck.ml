@@ -13,7 +13,7 @@
 open Cmdliner
 
 let run paths criterion explain format shrink stats skip_validation dot jobs
-    monitor fail_fast metrics_out metrics_format progress =
+    monitor window fail_fast metrics_out metrics_format progress =
   let monitor_conflict =
     monitor
     && (stats || dot <> None || String.lowercase_ascii criterion <> "comp-c")
@@ -22,6 +22,16 @@ let run paths criterion explain format shrink stats skip_validation dot jobs
     Fmt.epr
       "compcheck: --monitor decides Comp-C prefix by prefix and cannot be \
        combined with --stats, --dot or another --criterion@.";
+    2
+  end
+  else if window <> None && not monitor then begin
+    Fmt.epr
+      "compcheck: --window bounds a streaming session's memory and requires \
+       --monitor@.";
+    2
+  end
+  else if (match window with Some w -> w <= 0 | None -> false) then begin
+    Fmt.epr "compcheck: --window must be positive@.";
     2
   end
   else if format = `Dot && List.length paths > 1 then begin
@@ -45,7 +55,7 @@ let run paths criterion explain format shrink stats skip_validation dot jobs
         if monitor then
           Cmd_monitor.run ~obs
             ~progress:(Cli_common.Progress.create progress_on)
-            ~brief:false explain format shrink skip_validation path
+            ?window ~brief:false explain format shrink skip_validation path
         else
           Cmd_check.run ~obs ~brief:false criterion explain format shrink
             stats skip_validation dot path
@@ -69,8 +79,8 @@ let run paths criterion explain format shrink stats skip_validation dot jobs
             Cmd_batch.run ?jobs ~on_done ~obs ~fail_fast
               (fun ~ppf ~eppf ~obs path ->
                 if monitor then
-                  Cmd_monitor.run ~ppf ~eppf ~obs ~brief:true explain format
-                    shrink skip_validation path
+                  Cmd_monitor.run ~ppf ~eppf ~obs ?window ~brief:true explain
+                    format shrink skip_validation path
                 else
                   Cmd_check.run ~ppf ~eppf ~obs ~brief:true criterion explain
                     format shrink stats skip_validation None path)
@@ -157,11 +167,23 @@ let monitor_arg =
      (one monitor append per root transaction, in id order) and report the \
      first violating prefix index instead of one verdict for the whole \
      history.  Comp-C only; incompatible with $(b,--stats), $(b,--dot) and \
-     other criteria.  With $(b,--explain) (and $(b,--format)/$(b,--shrink)) \
+     other criteria.  With FILE $(b,-) the description is certified as it \
+     arrives on stdin, one append per streamed root, so live streams can \
+     be piped in.  With $(b,--explain) (and $(b,--format)/$(b,--shrink)) \
      the full forensic evidence report is emitted for the first violating \
      prefix."
   in
   Arg.(value & flag & info [ "monitor" ] ~doc)
+
+let window_arg =
+  let doc =
+    "Monitor mode: bounded-memory streaming.  Once the active suffix \
+     reaches $(docv) nodes after an accepted append, the certified prefix \
+     is folded into a compact summary and its dense per-node state \
+     released, so the session's resident memory is proportional to the \
+     window, not the stream.  Verdicts are unchanged."
+  in
+  Arg.(value & opt (some int) None & info [ "window" ] ~docv:"NODES" ~doc)
 
 let fail_fast_arg =
   let doc =
@@ -235,7 +257,7 @@ let cmd =
     Term.(
       const run $ paths_arg $ criterion_arg $ explain_arg $ format_arg
       $ shrink_arg $ stats_arg $ skip_validation_arg $ dot_arg $ jobs_arg
-      $ monitor_arg $ fail_fast_arg $ metrics_out_arg
+      $ monitor_arg $ window_arg $ fail_fast_arg $ metrics_out_arg
       $ Cli_common.metrics_format_arg $ progress_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,3 @@
+(* compserve: entry point.  The daemon, the drive client and the command
+   line all live in {!Cmd_serve}. *)
+let () = exit (Cmdliner.Cmd.eval' Cmd_serve.cmd)

@@ -54,6 +54,16 @@ type kernel = {
   mutable serial_roots : int; (* [n_roots] when [serial] was cached *)
 }
 
+type summary = {
+  s_nodes : int; (* the fold point: every node below it is folded *)
+  s_roots : int;
+  s_serial : id list; (* the certified serial witness at the fold *)
+  s_front_sizes : int array; (* per-level front cardinality at the fold *)
+  s_boundary_obs : (id * id) list;
+      (* observed pairs crossing the previous fold point — the seam
+         between the previously folded region and this window *)
+}
+
 type t = {
   obs : Sink.t;
   mutable cur : frame option;
@@ -62,6 +72,19 @@ type t = {
          [None]: no undo available. *)
   inc : Observed.inc; (* dense closure mirror, reused across appends *)
   mutable kernel : kernel option;
+  mutable floor : int;
+      (* nodes below this are folded: their dense per-node state (closure
+         pairs, memo rows, arena rows, provenance) was released by
+         {!truncate} and the frame's relations cover the window only.
+         0 = untruncated.  The kernel is never kept while folded. *)
+  mutable summary : summary option; (* the immutable fold record *)
+  window : int option; (* auto-truncation watermark, in window nodes *)
+  mutable eff_window : int;
+      (* current watermark: starts at [window] and doubles (capped at 8x)
+         every time a breach forces a restore, so a stream whose appends
+         keep reaching into the fold stops thrashing fold/restore *)
+  mutable truncations : int;
+  mutable restores : int;
   mutable appends : int;
   mutable fastpath_hits : int;
   mutable delta_hits : int;
@@ -84,13 +107,23 @@ type explanation = {
   cycle_edges : ((id * id) * Reduction.edge) list;
 }
 
-let create ?(obs = Sink.null) () =
+let create ?(obs = Sink.null) ?window () =
+  (match window with
+  | Some w when w <= 0 ->
+    invalid_arg "Engine.create: window must be positive"
+  | _ -> ());
   {
     obs;
     cur = None;
     snapshot = None;
     inc = Observed.inc_create ();
     kernel = None;
+    floor = 0;
+    summary = None;
+    window;
+    eff_window = (match window with Some w -> w | None -> max_int);
+    truncations = 0;
+    restores = 0;
     appends = 0;
     fastpath_hits = 0;
     delta_hits = 0;
@@ -488,6 +521,142 @@ let delta_reduce cur (rel : Observed.relations) ~d_obs ~d_inp h =
     | None -> assert false
   with Fail f -> Error f
 
+(* ------------------------------------------------------------------ *)
+(* Frontier truncation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild the exact dense state of a truncated session in place: the
+   frame's full relations are recomputed from its (complete) history and
+   the floor drops to 0.  The carried verdict is untouched — windowed
+   verdicts are exact (see the truncation invariants in DESIGN.md §14) —
+   so nothing is re-decided; only the derived dense state is
+   re-materialized.  Paid on the rare appends the window cannot decide
+   (level shifts, appends into old transactions, backward edges, probes
+   into the folded region) and on forensic demands against a truncated
+   frame. *)
+let restore t =
+  match t.cur with
+  | Some f when t.floor > 0 ->
+    let metrics = t.obs.Sink.metrics in
+    let rel = Observed.compute ~metrics f.h in
+    t.cur <-
+      Some
+        {
+          f with
+          rel;
+          n_obs = Rel.cardinal rel.Observed.obs;
+          n_inp = Rel.cardinal rel.Observed.inp;
+          cert = None;
+          prov = None;
+        };
+    t.floor <- 0;
+    t.summary <- None;
+    t.snapshot <- None;
+    t.kernel <- None;
+    Observed.inc_rebase t.inc ~floor:0;
+    t.restores <- t.restores + 1;
+    (* Back off the watermark: a stream whose appends keep reaching into
+       the fold would otherwise thrash truncate/restore. *)
+    (match t.window with
+    | Some w -> t.eff_window <- min (2 * t.eff_window) (8 * w)
+    | None -> ());
+    Metrics.incr metrics "engine.restores";
+    if Recorder.enabled t.obs.Sink.recorder then
+      Recorder.record t.obs.Sink.recorder ~severity:Recorder.Warn
+        ~cat:"engine"
+        ~labels:(Labels.v [ ("nodes", string_of_int (History.n_nodes f.h)) ])
+        "restore"
+  | _ -> ()
+
+(* Fold the certified prefix into an immutable summary and release the
+   dense per-node state: the frame keeps its history and verdict (the
+   serial witness is part of the summary and of every later Accepted
+   verdict), but the closure relations are emptied, the conflict memo's
+   planes are dropped ({!History.memo_release}), the dense mirror rebases
+   onto the (initially empty) window and gives its Bigarray store back,
+   and the kernel, snapshot, certificate and provenance index are
+   released.  Session memory is O(active window) from here until a
+   restore.  Idempotent: folding at an unchanged node count is a no-op.
+   Only an accepted prefix can be folded — a rejection's witness lives in
+   the dense state that truncation releases. *)
+let truncate t =
+  match t.cur with
+  | None -> ()
+  | Some f ->
+    let n = History.n_nodes f.h in
+    if n > t.floor then begin
+      match f.verdict with
+      | Rejected _ ->
+        invalid_arg
+          "Engine.truncate: only an accepted (certified) prefix can be folded"
+      | Accepted serial ->
+        let metrics = t.obs.Sink.metrics in
+        let order = History.order f.h in
+        let fronts =
+          Array.init (order + 1) (fun l ->
+              Int_set.cardinal (Front.members_at f.h l))
+        in
+        let prev_floor = t.floor in
+        let boundary =
+          List.rev
+            (Rel.fold
+               (fun a b acc ->
+                 if a < prev_floor && b >= prev_floor then (a, b) :: acc
+                 else acc)
+               f.rel.Observed.obs [])
+        in
+        t.summary <-
+          Some
+            {
+              s_nodes = n;
+              s_roots = List.length (History.roots f.h);
+              s_serial = serial;
+              s_front_sizes = fronts;
+              s_boundary_obs = boundary;
+            };
+        t.cur <-
+          Some
+            {
+              f with
+              rel =
+                {
+                  Observed.obs = Rel.empty;
+                  inp = Rel.empty;
+                  inp_strong = Rel.empty;
+                };
+              n_obs = 0;
+              n_inp = 0;
+              cert = None;
+              prov = None;
+            };
+        History.memo_release f.h;
+        Observed.inc_rebase t.inc ~floor:n;
+        t.kernel <- None;
+        t.snapshot <- None;
+        t.floor <- n;
+        t.truncations <- t.truncations + 1;
+        Metrics.incr metrics "engine.truncations";
+        Metrics.set metrics "engine.floor" (float_of_int n);
+        if Recorder.enabled t.obs.Sink.recorder then
+          Recorder.record t.obs.Sink.recorder ~severity:Recorder.Info
+            ~cat:"engine"
+            ~labels:
+              (Labels.v
+                 [
+                   ("nodes", string_of_int n);
+                   ("roots", string_of_int (List.length (History.roots f.h)));
+                 ])
+            "truncate"
+    end
+
+let summary t = t.summary
+
+let floor t = t.floor
+
+let truncations t = t.truncations
+
+let restores t = t.restores
+
 (* Advance the session to [h].  [monitor] selects the metric vocabulary:
    the monitor-facing [extend] reports [monitor.appends] and
    [monitor.append_wall_s]; the batch-facing [analyze] wraps this call in
@@ -519,23 +688,43 @@ let advance ~monitor t h =
         cert = Some certificate;
         prov = None;
       }
-    | Some cur ->
-      let n_old = History.n_nodes cur.h in
-      let structure = structure_ok cur h in
-      (* The memo's id-ordered ranks are stable under every extension —
-         including operations appended to old transactions — so the
-         transfer is unconditional, and along the streaming chain it lends
-         the previous snapshot's arrays instead of copying them. *)
-      History.extend_cache ~from:cur.h h;
-      let rel, delta =
-        Observed.extend ~metrics ~inc:t.inc ~prev:cur.rel ~n_old h
-      in
-      let d_obs = delta.Observed.d_obs and d_inp = delta.Observed.d_inp in
-      let levels = levels_of h in
-      let stable_levels = levels = cur.levels in
-      let stable = stable_levels && structure in
-      let verdict, cert =
-        if stable && d_obs = [] && d_inp = [] && fast_path_ok cur h then begin
+    | Some cur0 ->
+      (* A truncated session (floor > 0) decides the streaming-shaped
+         appends over the window alone; any other shape — a level shift,
+         an operation appended into an old transaction, a backward edge,
+         or a derived pair reaching into the folded region
+         ([Below_floor]) — restores the exact dense state first and
+         re-decides.  At most one retry: restore drops the floor to 0.
+         Windowed verdicts are exact (DESIGN.md §14), so a restore never
+         changes an already-carried verdict. *)
+      let rec decide cur =
+        let n_old = History.n_nodes cur.h in
+        let structure = structure_ok cur h in
+        (* The memo's id-ordered ranks are stable under every extension —
+           including operations appended to old transactions — so the
+           transfer is unconditional, and along the streaming chain it
+           lends the previous snapshot's arrays instead of copying them. *)
+        History.extend_cache ~from:cur.h h;
+        match Observed.extend ~metrics ~inc:t.inc ~prev:cur.rel ~n_old h with
+        | exception Observed.Below_floor _ ->
+          restore t;
+          decide (match t.cur with Some f -> f | None -> assert false)
+        | rel, delta ->
+          let d_obs = delta.Observed.d_obs and d_inp = delta.Observed.d_inp in
+          let levels = levels_of h in
+          let stable_levels = levels = cur.levels in
+          let stable = stable_levels && structure in
+          let fast =
+            stable && d_obs = [] && d_inp = [] && fast_path_ok cur h
+          in
+          let fwd = stable && forward n_old d_obs && forward n_old d_inp in
+          if (not (fast || fwd)) && t.floor > 0 then begin
+            restore t;
+            decide (match t.cur with Some f -> f | None -> assert false)
+          end
+          else begin
+          let verdict, cert =
+            if fast then begin
           path := "fast";
           t.fastpath_hits <- t.fastpath_hits + 1;
           Metrics.incr metrics "monitor.fastpath_hits";
@@ -557,7 +746,7 @@ let advance ~monitor t h =
             done;
             (Accepted (serial @ !delta_roots), None)
         end
-        else if stable && forward n_old d_obs && forward n_old d_inp then begin
+            else if fwd then begin
           path := "delta";
           t.delta_hits <- t.delta_hits + 1;
           Metrics.incr metrics "monitor.delta_hits";
@@ -629,26 +818,31 @@ let advance ~monitor t h =
             | Ok serial -> (Accepted serial, None)
             | Error f -> (Rejected f, None))
         end
-        else begin
-          path := "full";
-          t.kernel <- None;
-          let c = Reduction.reduce ~rel ~trace:t.obs.Sink.trace ~metrics h in
-          (verdict_of_certificate c, Some c)
-        end
+            else begin
+              path := "full";
+              t.kernel <- None;
+              let c =
+                Reduction.reduce ~rel ~trace:t.obs.Sink.trace ~metrics h
+              in
+              (verdict_of_certificate c, Some c)
+            end
+          in
+          (match verdict with
+          | Rejected _ -> t.kernel <- None
+          | Accepted _ -> ());
+          {
+            h;
+            rel;
+            levels;
+            verdict;
+            n_obs = cur.n_obs + List.length d_obs;
+            n_inp = cur.n_inp + List.length d_inp;
+            cert;
+            prov = None;
+          }
+          end
       in
-      (match verdict with
-      | Rejected _ -> t.kernel <- None
-      | Accepted _ -> ());
-      {
-        h;
-        rel;
-        levels;
-        verdict;
-        n_obs = cur.n_obs + List.length d_obs;
-        n_inp = cur.n_inp + List.length d_inp;
-        cert;
-        prov = None;
-      }
+      decide cur0
   in
   t.snapshot <- Some t.cur;
   t.cur <- Some frame;
@@ -692,7 +886,20 @@ let advance ~monitor t h =
   end;
   frame.verdict
 
-let extend t h = advance ~monitor:true t h
+(* The auto-truncation watermark, checked before each monitored append:
+   once the certified window holds [eff_window] or more nodes, fold it.
+   Only an accepted frame folds (a rejection's witness needs the dense
+   state), and only sessions created with [?window]. *)
+let maybe_truncate t =
+  match (t.window, t.cur) with
+  | Some _, Some { verdict = Accepted _; h = hh; _ }
+    when History.n_nodes hh - t.floor >= t.eff_window ->
+    truncate t
+  | _ -> ()
+
+let extend t h =
+  maybe_truncate t;
+  advance ~monitor:true t h
 
 let frame_exn t name =
   match t.cur with
@@ -700,6 +907,7 @@ let frame_exn t name =
   | None -> invalid_arg ("Engine." ^ name ^ ": session holds no history")
 
 let certificate t =
+  restore t;
   let f = frame_exn t "certificate" in
   match f.cert with
   | Some c -> c
@@ -753,6 +961,12 @@ let of_parts ?(obs = Sink.null) h rel certificate =
     snapshot = None;
     inc = Observed.inc_create ();
     kernel = None;
+    floor = 0;
+    summary = None;
+    window = None;
+    eff_window = max_int;
+    truncations = 0;
+    restores = 0;
     appends = 0;
     fastpath_hits = 0;
     delta_hits = 0;
@@ -762,7 +976,12 @@ let of_parts ?(obs = Sink.null) h rel certificate =
 
 let undo t =
   match t.snapshot with
-  | None -> invalid_arg "Engine.undo: no snapshot held (undo depth is one)"
+  | None ->
+    if t.floor > 0 then
+      (* The pre-truncation state was released with the fold; there is
+         nothing exact to roll back to. *)
+      invalid_arg "Engine.undo: cannot roll back across a truncation boundary"
+    else invalid_arg "Engine.undo: no snapshot held (undo depth is one)"
   | Some s ->
     t.cur <- s;
     t.snapshot <- None;
@@ -786,6 +1005,7 @@ let relations t = Option.map (fun f -> f.rel) t.cur
 let obs_pairs t = match t.cur with None -> 0 | Some f -> f.n_obs
 
 let provenance t =
+  restore t;
   let f = frame_exn t "provenance" in
   match f.prov with
   | Some p -> p
@@ -818,12 +1038,56 @@ let stats (t : t) =
     kernel_hits = t.kernel_hits;
   }
 
+(* A counter-based estimate of the session's resident certification
+   state, in words: the persistent closure pairs, the conflict-memo
+   planes, the dense mirror's Bigarray store (off-heap, invisible to
+   [Obj.reachable_words]) and the kernel's adjacency arrays.  Excludes
+   the immutable history itself — the estimate tracks the {e dense
+   derived} state that frontier truncation bounds, which is what the
+   memory-flatness gates watch.  O(1); safe to poll per append. *)
+let resident_estimate_words (t : t) =
+  match t.cur with
+  | None -> 0
+  | Some f ->
+    let pairs = (f.n_obs + f.n_inp) * 8 in
+    let memo = (History.memo_bytes f.h + 7) / 8 in
+    let mirror = Observed.inc_resident_words t.inc in
+    let kernel =
+      match t.kernel with
+      | None -> 0
+      | Some k ->
+        Array.fold_left (fun acc g -> acc + Increl.resident_words g) 0 k.cc
+        + Array.fold_left
+            (fun acc g -> acc + Increl.resident_words g)
+            0 k.quot
+    in
+    let prov =
+      match f.prov with None -> 0 | Some p -> Provenance.cardinal p * 8
+    in
+    pairs + memo + mirror + kernel + prov
+
+let summary_json = function
+  | None -> Json.Null
+  | Some s ->
+    Json.Obj
+      [
+        ("nodes", Json.Int s.s_nodes);
+        ("roots", Json.Int s.s_roots);
+        ("serial_len", Json.Int (List.length s.s_serial));
+        ( "front_sizes",
+          Json.List
+            (Array.to_list (Array.map (fun n -> Json.Int n) s.s_front_sizes))
+        );
+        ("boundary_obs_pairs", Json.Int (List.length s.s_boundary_obs));
+      ]
+
 (* The state report behind `compcheck --stats` and the monitor's evidence
    dumps: what this session is holding in memory and what it cost to get
-   here.  [Obj.reachable_words] walks the frame (history, relations, memo,
-   certificate, provenance index) — on-demand introspection only, never on
-   the append path. *)
-let introspect (t : t) =
+   here.  [deep] (default true) walks the frame with
+   [Obj.reachable_words] — history, relations, memo, certificate,
+   provenance index — which costs O(prefix); [~deep:false] substitutes
+   the O(1) {!resident_estimate_words}, the polling path. *)
+let introspect ?(deep = true) (t : t) =
   let gc = Gc.quick_stat () in
   let session =
     Json.Obj
@@ -834,6 +1098,11 @@ let introspect (t : t) =
         ("kernel_hits", Json.Int t.kernel_hits);
         ("kernel_built", Json.Bool (t.kernel <> None));
         ("undo_available", Json.Bool (t.snapshot <> None));
+        ("floor", Json.Int t.floor);
+        ("truncations", Json.Int t.truncations);
+        ("restores", Json.Int t.restores);
+        ( "window",
+          match t.window with None -> Json.Null | Some w -> Json.Int w );
       ]
   in
   let gc_json =
@@ -856,6 +1125,7 @@ let introspect (t : t) =
         ("schema", Json.String "engine-stats/1");
         ("history", Json.Null);
         ("session", session);
+        ("summary", summary_json t.summary);
         ("gc", gc_json);
       ]
   | Some f ->
@@ -900,9 +1170,17 @@ let introspect (t : t) =
         ( "certificate",
           Json.Obj [ ("materialized", Json.Bool (f.cert <> None)) ] );
         ("session", session);
+        ("summary", summary_json t.summary);
         ( "memory",
           Json.Obj
-            [ ("reachable_words", Json.Int (Obj.reachable_words (Obj.repr f))) ]
-        );
+            (( "resident_estimate_words",
+               Json.Int (resident_estimate_words t) )
+            ::
+            (if deep then
+               [
+                 ( "reachable_words",
+                   Json.Int (Obj.reachable_words (Obj.repr f)) );
+               ]
+             else [])) );
         ("gc", gc_json);
       ]

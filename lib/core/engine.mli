@@ -50,8 +50,18 @@ type verdict =
       (** Comp-C, with a witness serial order of the root transactions. *)
   | Rejected of Reduction.failure
 
-val create : ?obs:Repro_obs.Sink.t -> unit -> t
-(** A session over the empty prefix (vacuously accepted).  [obs] (default
+val create : ?obs:Repro_obs.Sink.t -> ?window:int -> unit -> t
+(** A session over the empty prefix (vacuously accepted).
+
+    [window] (default: none) arms auto-truncation: before each monitored
+    append, once the certified active window holds at least [window]
+    nodes, the session folds it with {!truncate}, so resident memory is
+    O(window) instead of O(prefix) on streaming-shaped appends.  The
+    effective watermark doubles (capped at 8x) each time an append forces
+    a {e restore} — see {!truncate} — so ill-shaped streams do not thrash.
+    Raises [Invalid_argument] when [window <= 0].
+
+    [obs] (default
     {!Repro_obs.Sink.null}) receives, through its metrics registry, the
     checker metrics of the underlying {!Observed}/{!Reduction} calls plus
     [compc.checks]/[compc.check_wall_s]/[compc.check_cpu_s] per {!analyze}
@@ -115,7 +125,62 @@ val extend : t -> History.t -> verdict
 val undo : t -> unit
 (** Roll back the last {!extend}/{!analyze} — the certify-reject path of
     the simulator.  Undo depth is one: raises [Invalid_argument] when no
-    snapshot is held (before any advance, or twice in a row). *)
+    snapshot is held (before any advance, or twice in a row).  A
+    truncation boundary is a hard wall: immediately after {!truncate}
+    (which releases the pre-fold state, snapshot included) undo raises
+    [Invalid_argument] with a distinct "cannot roll back across a
+    truncation boundary" message.  Appends made {e after} a fold undo
+    normally, within the window. *)
+
+(** {1 Frontier truncation}
+
+    The level-by-level reduction only ever consults the open frontier of
+    a certified prefix: once a prefix is accepted and its roots closed,
+    its interior contributes nothing to any future verdict decided over
+    forward, window-shaped appends.  {!truncate} exploits this by folding
+    the certified prefix into an immutable {!summary} and releasing the
+    dense per-node state — closure pairs, conflict-memo planes
+    ({!History.memo_release}), the dense mirror's Bigarray arenas, the
+    order kernel, the provenance index — so a monitored session's memory
+    is O(active window), not O(prefix).
+
+    {b Invariants.}  The history handle and the carried verdict (with its
+    full serial witness) survive the fold; verdicts after a fold equal
+    the untruncated session's (pinned by qcheck).  Appends the window
+    cannot decide exactly — a schedule-level shift, an operation appended
+    into an old transaction, a backward edge, or a derived observed pair
+    reaching {e into} the folded region — trigger an automatic {e
+    restore}: the dense state is recomputed from the (complete) history,
+    the floor drops to 0, and the append is re-decided exactly.  Restores
+    are counted and reported; forensic entry points ({!certificate},
+    {!provenance}, {!explain}) restore implicitly. *)
+
+type summary = {
+  s_nodes : int;  (** the fold point: every node below it is folded *)
+  s_roots : int;  (** root transactions in the folded prefix *)
+  s_serial : id list;  (** the certified serial witness at the fold *)
+  s_front_sizes : int array;
+      (** per-level computational-front cardinality at the fold *)
+  s_boundary_obs : (id * id) list;
+      (** observed pairs crossing the {e previous} fold point — the seam
+          between the previously folded region and the window this fold
+          absorbed; empty on a session's first fold *)
+}
+(** The compact record of a folded prefix, replaced on each fold. *)
+
+val truncate : t -> unit
+(** Fold the current certified prefix.  No-op on the empty session and at
+    an unchanged fold point ([truncate; truncate] ≡ [truncate]); raises
+    [Invalid_argument] when the current verdict is a rejection (its
+    witness lives in the dense state a fold would release).  Clears the
+    undo snapshot. *)
+
+val summary : t -> summary option
+(** The record of the most recent fold; [None] before any fold and after
+    a restore. *)
+
+val floor : t -> int
+(** Nodes below this identifier are folded; 0 when untruncated. *)
 
 (** {1 The session's state} *)
 
@@ -189,7 +254,23 @@ val stats : t -> stats
     many re-reduced only the new block, and how many were decided by the
     incremental order kernel. *)
 
-val introspect : t -> Repro_obs.Json.t
+val truncations : t -> int
+(** Lifetime fold count. *)
+
+val restores : t -> int
+(** Lifetime count of dense-state restores (window breaches and forensic
+    demands against a truncated frame). *)
+
+val resident_estimate_words : t -> int
+(** O(1) counter-based estimate of the session's resident {e dense
+    certification} state, in words: closure pairs, conflict-memo planes,
+    the mirror's off-heap Bigarray store (invisible to
+    [Obj.reachable_words]), kernel adjacency and the provenance index.
+    Excludes the immutable history array.  This is the quantity frontier
+    truncation bounds, and the series the memory-flatness CI gates
+    watch. *)
+
+val introspect : ?deep:bool -> t -> Repro_obs.Json.t
 (** The session's state report ([engine-stats/1]): what this session is
     holding in memory and what it cost to get here — history sizing
     (nodes, roots, schedules, order), closure pair counts (observed,
@@ -199,6 +280,12 @@ val introspect : t -> Repro_obs.Json.t
     [Obj.reachable_words] over the session's current frame (history +
     relations + caches), and [Gc.quick_stat] allocation deltas since the
     session was created.  On the empty session the [history] field is
-    null and only the session/gc sections are reported.  On-demand: walks
-    the reachable heap, so callers poll it periodically (the monitor CLI
-    does) rather than per append. *)
+    null and only the session/gc sections are reported.  The [session]
+    section also carries the truncation state (floor, fold and restore
+    counts, configured window) and a [summary] field renders the current
+    {!summary}.
+
+    [deep] (default [true]) walks the reachable heap with
+    [Obj.reachable_words] — O(prefix), so callers poll it sparingly;
+    [~deep:false] reports only the O(1) {!resident_estimate_words} in the
+    [memory] section (the monitor CLI's polling path). *)

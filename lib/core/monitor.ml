@@ -16,10 +16,10 @@ type stats = {
   kernel_hits : int;
 }
 
-let create ?metrics ?recorder () =
-  Engine.create ~obs:(Repro_obs.Sink.v ?metrics ?recorder ()) ()
+let create ?metrics ?recorder ?window () =
+  Engine.create ~obs:(Repro_obs.Sink.v ?metrics ?recorder ()) ?window ()
 
-let introspect = Engine.introspect
+let introspect ?deep t = Engine.introspect ?deep t
 
 let append = Engine.extend
 
@@ -27,10 +27,18 @@ let verdict = Engine.verdict
 
 let accepted = Engine.accepted
 
+let truncate = Engine.truncate
+
+let floor = Engine.floor
+
 let undo t =
   try Engine.undo t
-  with Invalid_argument _ ->
-    invalid_arg "Monitor.undo: no snapshot held (undo depth is one)"
+  with Invalid_argument msg ->
+    (* Keep the historical no-snapshot message; let the truncation-boundary
+       refusal surface distinctly (a different caller mistake). *)
+    if msg = "Engine.undo: cannot roll back across a truncation boundary" then
+      invalid_arg "Monitor.undo: cannot roll back across a truncation boundary"
+    else invalid_arg "Monitor.undo: no snapshot held (undo depth is one)"
 
 let history = Engine.history
 

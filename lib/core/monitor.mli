@@ -41,8 +41,18 @@ type verdict =
   | Rejected of Reduction.failure
 
 val create :
-  ?metrics:Repro_obs.Metrics.t -> ?recorder:Repro_obs.Recorder.t -> unit -> t
-(** A monitor over the empty prefix (vacuously accepted).  [metrics]
+  ?metrics:Repro_obs.Metrics.t ->
+  ?recorder:Repro_obs.Recorder.t ->
+  ?window:int ->
+  unit ->
+  t
+(** A monitor over the empty prefix (vacuously accepted).  [window]
+    (default unbounded) enables bounded-memory streaming: once the active
+    suffix reaches [window] nodes after an accepted append, the certified
+    prefix is folded into a compact summary and its dense per-node state
+    released — see {!Engine.truncate}.  Verdicts are unchanged (parity is
+    pinned by [test/test_truncate.ml]); {!undo} across the fold boundary
+    is refused.  Raises [Invalid_argument] when [window <= 0].  [metrics]
     (default null) receives counters [monitor.appends],
     [monitor.fastpath_hits], [monitor.delta_hits], [monitor.kernel_hits], the labeled
     [monitor.append{path=...}] series, histogram [monitor.append_wall_s],
@@ -51,8 +61,10 @@ val create :
     (default null) receives one flight-recorder event per append — the
     bounded operational prehistory dumped with a violation's evidence. *)
 
-val introspect : t -> Repro_obs.Json.t
-(** The underlying session's state report; see {!Engine.introspect}. *)
+val introspect : ?deep:bool -> t -> Repro_obs.Json.t
+(** The underlying session's state report; see {!Engine.introspect}.
+    [~deep:false] (default [true]) skips the [Obj.reachable_words] walk —
+    the cheap-estimate path for high-frequency polling. *)
 
 val append : t -> History.t -> verdict
 (** [append t h] advances the monitor to [h] — which must extend the
@@ -68,7 +80,18 @@ val accepted : t -> bool
 val undo : t -> unit
 (** Roll back the last {!append} — the certify-reject path of the
     simulator.  Undo depth is one: raises [Invalid_argument] when no
-    snapshot is held (before any append, or twice in a row). *)
+    snapshot is held (before any append, or twice in a row), and also
+    when the last append crossed a truncation boundary (the folded state
+    cannot be resurrected; the message says so distinctly). *)
+
+val truncate : t -> unit
+(** Fold the certified prefix now; see {!Engine.truncate}.  Typically
+    unnecessary — pass [?window] to {!create} and the monitor truncates
+    itself from the append path. *)
+
+val floor : t -> int
+(** Nodes below this id are folded into the summary (0 when never
+    truncated); see {!Engine.floor}. *)
 
 val history : t -> History.t option
 (** Current snapshot. *)

@@ -228,16 +228,27 @@ type delta = {
 type inc = {
   mutable valid : bool;
   mutable nodes : int; (* node count the mirror is synced to *)
+  mutable floor : int;
+      (* nodes below this are folded (engine frontier truncation): the
+         arenas index by [id - floor] and mirror only pairs with both
+         endpoints at or above it.  Pairs from a folded source into the
+         window ("boundary pairs") are tracked outside the arenas; a
+         pair {e targeting} the folded region cannot be represented at
+         all and raises {!Below_floor} — the engine's cue to restore the
+         exact dense state. *)
   obs_a : Arena.t;
   inv_a : Arena.t;
   mutable q : int array; (* flattened (a, b) worklist *)
   mutable q_len : int;
 }
 
+exception Below_floor of id * id
+
 let inc_create () =
   {
     valid = false;
     nodes = 0;
+    floor = 0;
     obs_a = Arena.make ~rows:0 ~cols:0;
     inv_a = Arena.make ~rows:0 ~cols:0;
     q = Array.make 512 0;
@@ -246,21 +257,48 @@ let inc_create () =
 
 let inc_invalidate inc = inc.valid <- false
 
+let inc_floor inc = inc.floor
+
+(* Move the mirror's floor.  Raising it (truncation) also gives the
+   arenas' backing store back — the whole point of the fold is that the
+   dense O(prefix²) bits stop being resident; lowering it to 0 (restore)
+   just invalidates, since the next sync will need the full size again. *)
+let inc_rebase inc ~floor =
+  if floor < 0 then invalid_arg "Observed.inc_rebase: negative floor";
+  inc.floor <- floor;
+  inc.valid <- false;
+  if floor > 0 then begin
+    Arena.shrink inc.obs_a ~rows:0 ~cols:0;
+    Arena.shrink inc.inv_a ~rows:0 ~cols:0;
+    if Array.length inc.q > 512 then inc.q <- Array.make 512 0
+  end
+
+let inc_resident_words inc =
+  ((Arena.resident_bytes inc.obs_a + Arena.resident_bytes inc.inv_a + 7) / 8)
+  + Array.length inc.q
+
 let inc_sync inc prev_obs ~n_old ~n_new =
+  let fl = inc.floor in
+  let w = max 0 (n_new - fl) in
   if not inc.valid then begin
-    Arena.reset inc.obs_a ~rows:n_new ~cols:n_new;
-    Arena.reset inc.inv_a ~rows:n_new ~cols:n_new;
+    Arena.reset inc.obs_a ~rows:w ~cols:w;
+    Arena.reset inc.inv_a ~rows:w ~cols:w;
     Rel.iter
       (fun a b ->
-        Arena.set inc.obs_a a b;
-        Arena.set inc.inv_a b a)
+        (* Boundary pairs (folded source) live only in the persistent
+           relation; pairs targeting the folded region never occur in a
+           window relation (see [saturate_dense]). *)
+        if a >= fl && b >= fl then begin
+          Arena.set inc.obs_a (a - fl) (b - fl);
+          Arena.set inc.inv_a (b - fl) (a - fl)
+        end)
       prev_obs;
     inc.valid <- true;
     inc.nodes <- n_old
   end
   else begin
-    Arena.ensure inc.obs_a ~rows:n_new ~cols:n_new;
-    Arena.ensure inc.inv_a ~rows:n_new ~cols:n_new
+    Arena.ensure inc.obs_a ~rows:w ~cols:w;
+    Arena.ensure inc.inv_a ~rows:w ~cols:w
   end
 
 let inc_push inc a b =
@@ -282,37 +320,72 @@ let inc_push inc a b =
    final closure, not to |appends| x |closure|.  Runs on the dense
    mirror; the genuinely new pairs come back in insertion order so the
    caller can build the persistent relations (and feed the engine's
-   incremental structures) from the exact delta. *)
-let saturate_dense h inc delta =
+   incremental structures) from the exact delta.
+
+   With a nonzero floor (frontier truncation) the arenas cover only the
+   window and three pair shapes are distinguished:
+   - window pairs (both endpoints >= floor): handled exactly as before,
+     at offset coordinates;
+   - boundary pairs (folded source, window target): deduplicated against
+     [prev_obs] and a per-call table, joined against the {e successors}
+     of the window endpoint only and climbed as usual.  The predecessor
+     joins through the folded region are skipped — they can only produce
+     further boundary pairs (a folded node's predecessors are folded,
+     because no window-to-folded pair exists short of a breach), and
+     boundary pairs are never consulted by the forward/delta machinery
+     that decides windowed verdicts;
+   - pairs targeting the folded region: {!Below_floor}.  Such a pair
+     would have to be joined against the folded closure to stay exact,
+     so the caller must restore the dense state and recompute. *)
+let saturate_dense h inc ~prev_obs delta =
   inc.q_len <- 0;
   Rel.iter (fun a b -> inc_push inc a b) delta;
+  let fl = inc.floor in
+  let boundary = if fl > 0 then Hashtbl.create 16 else Hashtbl.create 0 in
   let added = ref [] in
   let n_added = ref 0 in
   let head = ref 0 in
+  let climb a b =
+    let climbs =
+      match History.common_op_schedule_id h a b with
+      | -1 -> true
+      | s -> History.conflicts h s a b
+    in
+    if climbs then begin
+      let p = History.parent_tx h a and p' = History.parent_tx h b in
+      if p <> p' then inc_push inc p p'
+    end
+  in
   (* No irreflexivity filter: a cycle's closure contains the reflexive
      pairs (the batch kernel materializes them too), and those self-loops
      are what the reduction's cycle searches later trip on. *)
   while !head < inc.q_len do
     let a = inc.q.(!head) and b = inc.q.(!head + 1) in
     head := !head + 2;
-    if not (Arena.get inc.obs_a a b) then begin
-      Arena.set inc.obs_a a b;
-      Arena.set inc.inv_a b a;
+    if b < fl then raise (Below_floor (a, b))
+    else if a < fl then begin
+      if not (Hashtbl.mem boundary (a, b)) && not (Rel.mem a b prev_obs)
+      then begin
+        Hashtbl.add boundary (a, b) ();
+        added := (a, b) :: !added;
+        incr n_added;
+        Arena.row_iter inc.obs_a (b - fl) (fun c ->
+            let c = c + fl in
+            if not (Hashtbl.mem boundary (a, c)) && not (Rel.mem a c prev_obs)
+            then inc_push inc a c);
+        climb a b
+      end
+    end
+    else if not (Arena.get inc.obs_a (a - fl) (b - fl)) then begin
+      Arena.set inc.obs_a (a - fl) (b - fl);
+      Arena.set inc.inv_a (b - fl) (a - fl);
       added := (a, b) :: !added;
       incr n_added;
-      Arena.row_iter inc.obs_a b (fun c ->
-          if not (Arena.get inc.obs_a a c) then inc_push inc a c);
-      Arena.row_iter inc.inv_a a (fun c ->
-          if not (Arena.get inc.obs_a c b) then inc_push inc c b);
-      let climbs =
-        match History.common_op_schedule_id h a b with
-        | -1 -> true
-        | s -> History.conflicts h s a b
-      in
-      if climbs then begin
-        let p = History.parent_tx h a and p' = History.parent_tx h b in
-        if p <> p' then inc_push inc p p'
-      end
+      Arena.row_iter inc.obs_a (b - fl) (fun c ->
+          if not (Arena.get inc.obs_a (a - fl) c) then inc_push inc a (c + fl));
+      Arena.row_iter inc.inv_a (a - fl) (fun c ->
+          if not (Arena.get inc.obs_a c (b - fl)) then inc_push inc (c + fl) b);
+      climb a b
     end
   done;
   inc.q_len <- 0;
@@ -362,7 +435,7 @@ let extend ?(metrics = Repro_obs.Metrics.null) ?inc ~prev ~n_old h =
         | None -> inc_create () (* one-shot mirror: correct, unshared *)
       in
       inc_sync inc prev.obs ~n_old ~n_new;
-      let pairs, n_added = saturate_dense h inc delta_base in
+      let pairs, n_added = saturate_dense h inc ~prev_obs:prev.obs delta_base in
       let obs =
         List.fold_left (fun o (a, b) -> Rel.add a b o) prev.obs pairs
       in

@@ -88,6 +88,31 @@ val inc_invalidate : inc -> unit
 (** Mark the mirror stale (the session rolled back or recomputed from
     scratch); the next {!extend} rebuilds it from its [prev] argument. *)
 
+exception Below_floor of Ids.id * Ids.id
+(** Raised by {!extend} on a windowed mirror when the saturation derives a
+    pair {e targeting} a node below the floor: staying exact would require
+    joining against the folded closure, which was released.  The engine
+    treats this as a window breach and restores the full dense state. *)
+
+val inc_rebase : inc -> floor:int -> unit
+(** Move the mirror's floor (frontier truncation): nodes below [floor]
+    are folded, the arenas index by [id - floor] and mirror only pairs
+    with both endpoints at or above it, and raising the floor releases
+    the arenas' backing store.  Implies {!inc_invalidate}.  Pairs from a
+    folded source into the window ("boundary pairs") are kept in the
+    persistent relation only and joined against window successors on the
+    fly; pairs targeting the folded region raise {!Below_floor} during
+    {!extend}.  [~floor:0] restores the untruncated regime (the next
+    sync rebuilds full-size).  Raises [Invalid_argument] on a negative
+    floor. *)
+
+val inc_floor : inc -> int
+
+val inc_resident_words : inc -> int
+(** Approximate words held by the mirror's backing store (the Bigarray
+    arenas live off the OCaml heap, so [Obj.reachable_words] cannot see
+    them) — the memory-accounting probe for engine introspection. *)
+
 val extend :
   ?metrics:Repro_obs.Metrics.t ->
   ?inc:inc ->

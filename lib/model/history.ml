@@ -40,6 +40,12 @@ type ccache = {
   op_index : int array; (* node id -> index among its schedule's ops; -1 *)
   op_sched : int array; (* node id -> schedule it is an operation of; -1 *)
   op_count : int array; (* per schedule: number of operations *)
+  floors : int array;
+      (* per schedule: ranks below this are released — their memo rows were
+         dropped by [memo_release] and those pairs evaluate uncached.  The
+         triangular tables index by {e windowed} rank (absolute rank minus
+         floor), so releasing a prefix actually frees its bytes instead of
+         leaving a dead lower triangle in place. *)
   tables : (Bytes.t * Bytes.t) option array; (* per schedule: known, value *)
   mutable donated : bool;
       (* arrays and tables lent to one extension's cache (see
@@ -123,7 +129,14 @@ let cache h =
           op_count.(s) <- op_count.(s) + 1)
     done;
     let c =
-      { op_index; op_sched; op_count; tables = Array.make ns None; donated = false }
+      {
+        op_index;
+        op_sched;
+        op_count;
+        floors = Array.make ns 0;
+        tables = Array.make ns None;
+        donated = false;
+      }
     in
     h.ccache <- Some c;
     c
@@ -150,22 +163,30 @@ let conflicts h s a b =
   if parent h a = parent h b then false
   else begin
     let c = cache h in
-    if c.op_sched.(a) <> s || c.op_sched.(b) <> s then
-      (* Not a pair of [s]'s operations: evaluate directly (callers that
-         respect the Def. 10/11 side conditions never take this path). *)
+    if
+      c.op_sched.(a) <> s || c.op_sched.(b) <> s
+      || c.op_index.(a) < c.floors.(s)
+      || c.op_index.(b) < c.floors.(s)
+    then
+      (* Not a pair of [s]'s operations, or at least one endpoint's memo
+         row was released by [memo_release]: evaluate directly.  (Callers
+         that respect the Def. 10/11 side conditions only take the first
+         branch for cross-schedule probes; the second is the truncated
+         monitor touching a boundary pair, which is rare by design.) *)
       Conflict.eval h.scheds.(s).conflict ~get_label:(label h) a b
     else begin
+      let floor = c.floors.(s) in
       let known, value =
         match c.tables.(s) with
         | Some kv -> kv
         | None ->
-          let m = c.op_count.(s) in
+          let m = c.op_count.(s) - floor in
           let bytes = max 1 (((m * (m - 1) / 2) + 7) / 8) in
           let kv = (Bytes.make bytes '\000', Bytes.make bytes '\000') in
           c.tables.(s) <- Some kv;
           kv
       in
-      let ia = c.op_index.(a) and ib = c.op_index.(b) in
+      let ia = c.op_index.(a) - floor and ib = c.op_index.(b) - floor in
       let lo = min ia ib and hi = max ia ib in
       let bit = (hi * (hi - 1) / 2) + lo in
       let byte = bit lsr 3 and mask = 1 lsl (bit land 7) in
@@ -221,9 +242,11 @@ let extend_cache ~from h =
     (* Valid prefix of each table in bits: [from]'s own pairs only.  A
        lent table may carry the extension's bits above this range; a
        forked copy must not inherit them (its new operations reuse the
-       same slots for different labels). *)
+       same slots for different labels).  Ranks below the schedule's
+       floor were released and the table indexes by windowed rank, so
+       the prefix is the windowed pair count. *)
     let prefix_bits sid =
-      let m = old.op_count.(sid) in
+      let m = old.op_count.(sid) - old.floors.(sid) in
       m * (m - 1) / 2
     in
     let copy_prefix src bits =
@@ -250,6 +273,7 @@ let extend_cache ~from h =
       end
     in
     let op_count = Array.copy old.op_count in
+    let floors = Array.copy old.floors in
     for v = n_old to n - 1 do
       (match h.nodes.(v).parent with
       | None -> op_index.(v) <- -1; op_sched.(v) <- -1
@@ -281,7 +305,7 @@ let extend_cache ~from h =
         match kv with
         | None -> ()
         | Some (known, value) ->
-          let m = op_count.(sid) in
+          let m = op_count.(sid) - floors.(sid) in
           let need = max 1 (((m * (m - 1) / 2) + 7) / 8) in
           if need > Bytes.length known then begin
             let cap = max need (2 * Bytes.length known) in
@@ -293,7 +317,8 @@ let extend_cache ~from h =
             tables.(sid) <- Some (grow known, grow value)
           end)
       tables;
-    h.ccache <- Some { op_index; op_sched; op_count; tables; donated = false }
+    h.ccache <-
+      Some { op_index; op_sched; op_count; floors; tables; donated = false }
 
 (* Introspection: how much of the conflict-pair space the memo has decided.
    The total counts one slot per unordered pair of same-schedule operations
@@ -335,6 +360,35 @@ let memo_stats h =
      decided bits for the extension's pairs above this history's own
      range; clamp so the ratio stays a ratio. *)
   (min known total, total)
+
+(* Release every schedule's memo rows: raise the floor to the current
+   operation count and drop the triangular tables.  Pairs wholly below
+   the floor evaluate uncached from then on; pairs among operations
+   appended {e after} the release re-memoize in fresh, windowed tables
+   (see [floors] and [conflicts]).  The engine calls this when it folds a
+   certified prefix — the released pairs belong to the folded region and
+   are re-probed at most on its boundary.  Forcing the cache first makes
+   release idempotent and keeps a later [extend_cache] carrying the
+   floors forward. *)
+let memo_release h =
+  let c = cache h in
+  Array.iteri
+    (fun s _ ->
+      c.floors.(s) <- c.op_count.(s);
+      c.tables.(s) <- None)
+    c.tables
+
+(* Bytes held by the allocated memo planes — the cheap memory-accounting
+   probe ([memo_stats] counts decided pairs, not storage). *)
+let memo_bytes h =
+  match h.ccache with
+  | None -> 0
+  | Some c ->
+    Array.fold_left
+      (fun acc -> function
+        | None -> acc
+        | Some (k, v) -> acc + Bytes.length k + Bytes.length v)
+      0 c.tables
 
 let descendants h i =
   let rec go acc = function
@@ -883,6 +937,11 @@ module View = struct
         (fun (s : schedule) ->
           match old.tables.(s.sid) with
           | None -> ()
+          | Some _ when old.floors.(s.sid) > 0 ->
+            (* A released prefix shifted the table to windowed ranks; the
+               old-rank -> new-rank transfer below assumes floor-0 ranks,
+               so skip — the restriction re-memoizes lazily. *)
+            ()
           | Some (oknown, ovalue) ->
             let m_old = old.op_count.(s.sid) in
             (* New rank of each surviving operation, indexed by old rank;

@@ -137,6 +137,21 @@ val memo_stats : t -> int * int
     introspection for the engine's state report — reads the memo, never
     fills it. *)
 
+val memo_release : t -> unit
+(** Release the conflict memo's storage for every operation currently in
+    the history: the triangular planes are dropped and those pairs
+    evaluate uncached from then on, while operations appended {e after}
+    the release memoize again in fresh tables covering only the new
+    window.  Semantically invisible (the memo caches a pure predicate);
+    this is the engine's frontier-truncation hook, where the released
+    pairs belong to a folded prefix and are re-probed at most on its
+    boundary.  Idempotent, and {!extend_cache} carries the release
+    forward along an extension chain. *)
+
+val memo_bytes : t -> int
+(** Bytes currently held by the allocated memo planes — the storage-side
+    counterpart of {!memo_stats}, for cheap resident-memory estimates. *)
+
 val descendants : t -> id -> Int_set.t
 (** Proper descendants ([Act] of Def. 4.6, transitively). *)
 

@@ -77,6 +77,25 @@ let reset t ~rows ~cols =
   t.ncols <- 0;
   ensure t ~rows ~cols
 
+(* Like {!reset}, but also give capacity back when the backing buffer is
+   more than 4x what the new window needs — the truncation path, where a
+   mirror built over a long prefix rebases onto a small active window and
+   should stop pinning O(prefix^2) bits. *)
+let shrink t ~rows ~cols =
+  let stride = max 1 (bytes_for cols) in
+  let cap_rows = max 1 rows in
+  let need = stride * cap_rows in
+  if Bigarray.Array1.dim t.buf > 4 * need then begin
+    t.buf <- alloc need;
+    t.stride <- stride;
+    t.cap_rows <- cap_rows;
+    t.nrows <- rows;
+    t.ncols <- cols
+  end
+  else reset t ~rows ~cols
+
+let resident_bytes t = Bigarray.Array1.dim t.buf
+
 let check t what i j =
   if i < 0 || i >= t.nrows || j < 0 || j >= t.ncols then
     invalid_arg

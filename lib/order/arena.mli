@@ -39,6 +39,16 @@ val reset : t -> rows:int -> cols:int -> unit
     when capacity allows — the cheap-rebuild path for incremental
     mirrors. *)
 
+val shrink : t -> rows:int -> cols:int -> unit
+(** Like {!reset}, but reallocates the backing buffer down when it holds
+    more than 4x the bytes the new window needs — the truncation path,
+    where a mirror rebases from a long prefix onto a small window and
+    must release, not just zero, the dense bits. *)
+
+val resident_bytes : t -> int
+(** Bytes of backing store currently allocated (off the OCaml heap, so
+    invisible to [Obj.reachable_words]) — the memory-accounting probe. *)
+
 val set : t -> int -> int -> unit
 (** [set t i j] sets bit [(i, j)].  Raises [Invalid_argument] outside the
     active window. *)

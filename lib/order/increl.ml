@@ -90,6 +90,18 @@ let n_nodes t = t.n
 
 let n_edges t = t.edges
 
+let resident_words t =
+  let nested a =
+    Array.fold_left (fun acc (v : int array) -> acc + Array.length v + 1) 0 a
+  in
+  nested t.out_e + nested t.in_e
+  + Array.length t.out_n
+  + Array.length t.in_n + Array.length t.uf + Array.length t.rank
+  + Array.length t.nxt + Array.length t.ord
+  + ((Bytes.length t.cyc + 7) / 8)
+  + Array.length t.stamp_f + Array.length t.stamp_b + Array.length t.stk
+  + Array.length t.fwd + Array.length t.bwd
+
 let grow t want =
   let cap = ref t.cap in
   while !cap < want do

@@ -29,6 +29,11 @@ val n_nodes : t -> int
 val n_edges : t -> int
 (** Inserted edge count, duplicates included. *)
 
+val resident_words : t -> int
+(** Approximate heap words held by the backing arrays (adjacency
+    vectors, order/union-find state, search scratch) — the cheap
+    memory-accounting probe for engine introspection. *)
+
 val ensure_nodes : t -> int -> unit
 (** Grow the node universe to at least the given count; fresh nodes are
     isolated and ordered after every existing one. *)

@@ -1,0 +1,520 @@
+(* Multi-stream certification service: the library half of [compserve].
+
+   Everything transport-independent lives here — the per-root chunker
+   that turns a history file into a streamable prefix chain, the wire
+   codec of the length-prefixed line protocol, and the sharded execution
+   core that multiplexes many monitored streams across worker domains —
+   so the daemon in [bin/cmd_serve.ml] is only sockets and a select
+   loop, and the tests drive the full stack in-process. *)
+
+open Repro_model
+open Repro_obs
+module Engine = Repro_core.Engine
+module Reduction = Repro_core.Reduction
+module Syntax = Repro_histlang.Syntax
+
+(* ------------------------------------------------------------------ *)
+(* Per-root chunking                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Chunks = struct
+  type t = { preamble : string; chunks : string list }
+
+  (* The histlang NAME alphabet; schedule names outside it (or colliding
+     with a keyword) cannot round-trip through the textual protocol. *)
+  let name_ok s =
+    s <> ""
+    && (not
+          (List.mem s
+             [ "schedule"; "root"; "tx"; "leaf"; "order"; "intra"; "input"; "log" ]))
+    && String.for_all
+         (fun c ->
+           (c >= 'A' && c <= 'Z')
+           || (c >= 'a' && c <= 'z')
+           || (c >= '0' && c <= '9')
+           || c = '_' || c = '.' || c = '\'' || c = '-')
+         s
+
+  let spec_string = function
+    | Conflict.Rw -> "rw"
+    | Conflict.Never -> "never"
+    | Conflict.Always -> "always"
+    | Conflict.Same_item -> "same-item"
+    | Conflict.Table pairs ->
+      Fmt.str "table(%a)"
+        Fmt.(list ~sep:(any ",") (pair ~sep:(any "/") string string))
+        pairs
+    | Conflict.Explicit _ ->
+      invalid_arg
+        "Server.Chunks.of_history: explicit conflict specifications reference \
+         node names and cannot be streamed"
+
+  (* Split [h] into a schedule preamble plus one chunk per root
+     transaction, such that [preamble ^ chunk_1 ^ .. ^ chunk_k] parses to
+     [History.prefix_by_roots h k]: node declarations follow the same
+     root-major depth-first order (so the parser assigns the same
+     identifiers), and each relation line lands in the chunk of its
+     later endpoint's root.  Log lines are omitted — [Builder.seal]
+     validates a log as a full permutation of its schedule's operations,
+     so no restriction of one is replayable, and no certification path
+     consults them (they are builder-input validation only). *)
+  let of_history h =
+    List.iter
+      (fun (s : History.schedule) ->
+        if not (name_ok s.History.sname) then
+          invalid_arg
+            (Fmt.str
+               "Server.Chunks.of_history: schedule name %S is not streamable"
+               s.History.sname))
+      (History.schedules h);
+    let pre = Buffer.create 256 in
+    List.iter
+      (fun (s : History.schedule) ->
+        Buffer.add_string pre
+          (Fmt.str "schedule %s conflict %s\n" s.History.sname
+             (spec_string s.History.conflict)))
+      (History.schedules h);
+    let roots = History.roots h in
+    let n_chunks = List.length roots in
+    let nmap = Hashtbl.create 64 in
+    (* original id -> root-major DFS rank *)
+    let chunk_of = Hashtbl.create 64 in
+    (* original id -> chunk index *)
+    let ctr = ref 0 in
+    List.iteri
+      (fun ci r ->
+        let rec dfs i =
+          Hashtbl.replace nmap i !ctr;
+          incr ctr;
+          Hashtbl.replace chunk_of i ci;
+          List.iter dfs (History.children h i)
+        in
+        dfs r)
+      roots;
+    let nn i = Fmt.str "n%d" (Hashtbl.find nmap i) in
+    let sname sid = (History.schedule h sid).History.sname in
+    let bufs = Array.init n_chunks (fun _ -> Buffer.create 256) in
+    let add ci line = Buffer.add_string bufs.(ci) line in
+    List.iteri
+      (fun ci r ->
+        let rec dfs i =
+          let n = History.node h i in
+          (match (n.History.parent, n.History.sched) with
+          | None, Some s ->
+            add ci (Fmt.str "root %s @@ %s %a\n" (nn i) (sname s) Label.pp n.History.label)
+          | Some p, Some s ->
+            add ci
+              (Fmt.str "tx %s @@ %s parent %s %a\n" (nn i) (sname s) (nn p) Label.pp
+                 n.History.label)
+          | Some p, None ->
+            add ci (Fmt.str "leaf %s parent %s %a\n" (nn i) (nn p) Label.pp n.History.label)
+          | None, None -> assert false);
+          List.iter dfs n.History.children
+        in
+        dfs r)
+      roots;
+    for i = 0 to History.n_nodes h - 1 do
+      let n = History.node h i in
+      let ci = Hashtbl.find chunk_of i in
+      Repro_order.Rel.iter
+        (fun a b ->
+          let bang = Repro_order.Rel.mem a b n.History.intra_strong in
+          add ci
+            (Fmt.str "intra%s : %s < %s\n" (if bang then "!" else "") (nn a) (nn b)))
+        n.History.intra_weak
+    done;
+    (* A cross-root pair belongs to the chunk of whichever endpoint's
+       root comes later — both names are in scope by then, and the
+       restriction to the first k chunks is exactly the restriction to
+       the first k roots' subtrees. *)
+    let later a b = max (Hashtbl.find chunk_of a) (Hashtbl.find chunk_of b) in
+    List.iter
+      (fun (s : History.schedule) ->
+        Repro_order.Rel.iter
+          (fun a b ->
+            if History.is_root h a && History.is_root h b then
+              let bang = Repro_order.Rel.mem a b s.History.strong_in in
+              add (later a b)
+                (Fmt.str "input%s : %s < %s\n" (if bang then "!" else "") (nn a) (nn b)))
+          s.History.weak_in;
+        Repro_order.Rel.iter
+          (fun a b ->
+            let bang = Repro_order.Rel.mem a b s.History.strong_out in
+            add (later a b)
+              (Fmt.str "order%s %s : %s < %s\n"
+                 (if bang then "!" else "")
+                 s.History.sname (nn a) (nn b)))
+          s.History.weak_out)
+      (History.schedules h);
+    { preamble = Buffer.contents pre; chunks = Array.to_list (Array.map Buffer.contents bufs) }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Wire = struct
+  type request =
+    | Open of { stream : string; window : int option }
+    | Append of { stream : string; body : string }
+    | Verdict of string
+    | Explain of string
+    | Close of string
+    | Stats
+
+  type response =
+    | Ok
+    | Verdict_r of { stream : string; accepted : bool; detail : string }
+    | Json_r of Json.t
+    | Err of string
+
+  type 'a decoded = Need_more | Got of 'a * int | Malformed of string * int
+
+  let stream_ok s =
+    s <> "" && String.for_all (fun c -> c > ' ' && c < '\x7f') s
+
+  let encode_request = function
+    | Open { stream; window = None } -> Fmt.str "open %s\n" stream
+    | Open { stream; window = Some w } -> Fmt.str "open %s %d\n" stream w
+    | Append { stream; body } ->
+      Fmt.str "append %s %d\n%s" stream (String.length body) body
+    | Verdict s -> Fmt.str "verdict %s\n" s
+    | Explain s -> Fmt.str "explain %s\n" s
+    | Close s -> Fmt.str "close %s\n" s
+    | Stats -> "stats\n"
+
+  let encode_response = function
+    | Ok -> "ok\n"
+    | Verdict_r { stream; accepted; detail } ->
+      Fmt.str "verdict %s %s%s\n" stream
+        (if accepted then "accept" else "reject")
+        (if detail = "" then "" else " " ^ detail)
+    | Json_r j ->
+      let payload = Json.to_string j in
+      Fmt.str "json %d\n%s\n" (String.length payload) payload
+    | Err msg ->
+      let msg = String.map (fun c -> if c = '\n' then ' ' else c) msg in
+      Fmt.str "err %s\n" msg
+
+  (* One framed item out of [buf] starting at [pos]: the command line up
+     to '\n', plus — for body-carrying frames — the declared number of
+     raw bytes after it.  [Need_more] until the frame is complete, so
+     callers accumulate reads and retry; [Malformed] consumes the
+     offending line so one bad frame does not wedge the connection. *)
+  let split_words line =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+  let decode_request buf ~pos =
+    match String.index_from_opt buf pos '\n' with
+    | None -> Need_more
+    | Some nl -> (
+      let line = String.sub buf pos (nl - pos) in
+      let consumed_line = nl - pos + 1 in
+      let malformed msg = Malformed (msg, consumed_line) in
+      match split_words line with
+      | [ "open"; sid ] when stream_ok sid ->
+        Got (Open { stream = sid; window = None }, consumed_line)
+      | [ "open"; sid; w ] when stream_ok sid -> (
+        match int_of_string_opt w with
+        | Some w when w > 0 -> Got (Open { stream = sid; window = Some w }, consumed_line)
+        | _ -> malformed "open: window must be a positive integer")
+      | [ "append"; sid; n ] when stream_ok sid -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+          if String.length buf - (nl + 1) < n then Need_more
+          else
+            Got
+              ( Append { stream = sid; body = String.sub buf (nl + 1) n },
+                consumed_line + n )
+        | _ -> malformed "append: expected a byte count")
+      | [ "verdict"; sid ] when stream_ok sid -> Got (Verdict sid, consumed_line)
+      | [ "explain"; sid ] when stream_ok sid -> Got (Explain sid, consumed_line)
+      | [ "close"; sid ] when stream_ok sid -> Got (Close sid, consumed_line)
+      | [ "stats" ] -> Got (Stats, consumed_line)
+      | [] -> malformed "empty request line"
+      | w :: _ -> malformed (Fmt.str "unknown or malformed request %S" w))
+
+  let decode_response buf ~pos =
+    match String.index_from_opt buf pos '\n' with
+    | None -> Need_more
+    | Some nl -> (
+      let line = String.sub buf pos (nl - pos) in
+      let consumed_line = nl - pos + 1 in
+      match split_words line with
+      | [ "ok" ] -> Got (Ok, consumed_line)
+      | "verdict" :: sid :: verdict :: detail when verdict = "accept" || verdict = "reject"
+        ->
+        Got
+          ( Verdict_r
+              {
+                stream = sid;
+                accepted = verdict = "accept";
+                detail = String.concat " " detail;
+              },
+            consumed_line )
+      | [ "json"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+          (* payload + trailing '\n' *)
+          if String.length buf - (nl + 1) < n + 1 then Need_more
+          else
+            Got (Json_r (Json.of_string (String.sub buf (nl + 1) n)), consumed_line + n + 1)
+        | _ -> Malformed ("json: expected a byte count", consumed_line))
+      | "err" :: rest -> Got (Err (String.concat " " rest), consumed_line)
+      | _ -> Malformed (Fmt.str "unknown response line %S" line, consumed_line))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sharded execution core                                              *)
+(* ------------------------------------------------------------------ *)
+
+type stream = {
+  text : Buffer.t;  (* accumulated history description *)
+  eng : Engine.t;
+  recorder : Recorder.t;  (* per-stream flight recorder *)
+  mutable nodes : int;  (* node count after the last good append *)
+  mutable appends : int;
+}
+
+type job = { req : Wire.request; k : Wire.response -> unit }
+
+(* Shard-private state, only ever touched by the owning worker domain of
+   the {!Repro_par.Shards} set — which is what lets the streams table
+   and the metrics registry go lock-free. *)
+type shard = {
+  index : int;
+  streams : (string, stream) Hashtbl.t;
+  metrics : Metrics.t;
+  labels : Labels.t;  (* {shard=<index>} on every serve.* series *)
+}
+
+type t = {
+  pool : job Repro_par.Shards.t;
+  state : shard array;  (* indexed by shard index *)
+  window : int option;  (* default truncation window for new streams *)
+}
+
+let shard_count t = Array.length t.state
+
+(* ---- stream operations (run on the owning shard's domain) ---- *)
+
+let verdict_response sid (v : Engine.verdict) =
+  match v with
+  | Engine.Accepted serial ->
+    Wire.Verdict_r
+      {
+        stream = sid;
+        accepted = true;
+        detail = String.concat " " (List.map string_of_int serial);
+      }
+  | Engine.Rejected f ->
+    Wire.Verdict_r
+      { stream = sid; accepted = false; detail = Reduction.failure_kind f }
+
+let exec_open ~window:default_window sh sid window =
+  if Hashtbl.mem sh.streams sid then Wire.Err (Fmt.str "stream %s already open" sid)
+  else begin
+    let recorder = Recorder.create () in
+    let eng =
+      Engine.create
+        ~obs:(Sink.v ~metrics:sh.metrics ~recorder ())
+        ?window:(match window with Some _ -> window | None -> default_window)
+        ()
+    in
+    Hashtbl.replace sh.streams sid
+      { text = Buffer.create 1024; eng; recorder; nodes = 0; appends = 0 };
+    Metrics.incr sh.metrics ~labels:sh.labels "serve.open";
+    Metrics.set sh.metrics ~labels:sh.labels "serve.streams"
+      (float_of_int (Hashtbl.length sh.streams));
+    Wire.Ok
+  end
+
+let exec_append sh sid body =
+  match Hashtbl.find_opt sh.streams sid with
+  | None -> Wire.Err (Fmt.str "no such stream %s" sid)
+  | Some s -> (
+    let t0 = Clock.now_wall () in
+    let rollback = Buffer.length s.text in
+    Buffer.add_string s.text body;
+    (* The protocol streams text, so the extension contract is enforced
+       structurally: re-parse the accumulated description (identifiers
+       are assigned by declaration order, so shared nodes keep theirs)
+       and hand the engine the grown history.  On any failure the
+       appended bytes are rolled back — a bad chunk must not wedge the
+       stream. *)
+    match Syntax.parse (Buffer.contents s.text) with
+    | exception Syntax.Parse_error e ->
+      Buffer.truncate s.text rollback;
+      Wire.Err (Fmt.str "parse error: %a" Syntax.pp_error e)
+    | exception Invalid_argument msg ->
+      Buffer.truncate s.text rollback;
+      Wire.Err (Fmt.str "invalid history: %s" msg)
+    | h -> (
+      if History.n_nodes h <= s.nodes then begin
+        Buffer.truncate s.text rollback;
+        Wire.Err
+          (Fmt.str "append adds no nodes (%d before, %d after): not an extension"
+             s.nodes (History.n_nodes h))
+      end
+      else
+        match Engine.extend s.eng h with
+        | exception Invalid_argument msg ->
+          Buffer.truncate s.text rollback;
+          Wire.Err (Fmt.str "not an extension: %s" msg)
+        | v ->
+          s.nodes <- History.n_nodes h;
+          s.appends <- s.appends + 1;
+          Metrics.incr sh.metrics ~labels:sh.labels "serve.append";
+          Metrics.observe sh.metrics ~labels:sh.labels "serve.append_wall_s"
+            (Clock.now_wall () -. t0);
+          verdict_response sid v))
+
+let exec_verdict sh sid =
+  match Hashtbl.find_opt sh.streams sid with
+  | None -> Wire.Err (Fmt.str "no such stream %s" sid)
+  | Some s -> (
+    match Engine.verdict s.eng with
+    | None -> Wire.Verdict_r { stream = sid; accepted = true; detail = "empty" }
+    | Some v -> verdict_response sid v)
+
+let exec_explain sh sid =
+  match Hashtbl.find_opt sh.streams sid with
+  | None -> Wire.Err (Fmt.str "no such stream %s" sid)
+  | Some s ->
+    Wire.Json_r
+      (Json.Obj
+         [
+           ("schema", Json.String "compserve-explain/1");
+           ("stream", Json.String sid);
+           ("appends", Json.Int s.appends);
+           ("nodes", Json.Int s.nodes);
+           ("engine", Engine.introspect ~deep:false s.eng);
+           ("flight_recorder", Recorder.to_json s.recorder);
+         ])
+
+let exec_close sh sid =
+  if not (Hashtbl.mem sh.streams sid) then Wire.Err (Fmt.str "no such stream %s" sid)
+  else begin
+    Hashtbl.remove sh.streams sid;
+    Metrics.incr sh.metrics ~labels:sh.labels "serve.close";
+    Metrics.set sh.metrics ~labels:sh.labels "serve.streams"
+      (float_of_int (Hashtbl.length sh.streams));
+    Wire.Ok
+  end
+
+let exec_shard_stats sh =
+  Wire.Json_r
+    (Json.Obj
+       [
+         ("shard", Json.Int sh.index);
+         ("streams", Json.Int (Hashtbl.length sh.streams));
+         ("metrics", Metrics.to_json sh.metrics);
+       ])
+
+let exec ~window sh (req : Wire.request) =
+  match req with
+  | Wire.Open { stream; window = w } -> exec_open ~window sh stream w
+  | Wire.Append { stream; body } -> exec_append sh stream body
+  | Wire.Verdict sid -> exec_verdict sh sid
+  | Wire.Explain sid -> exec_explain sh sid
+  | Wire.Close sid -> exec_close sh sid
+  | Wire.Stats -> exec_shard_stats sh
+
+(* ---- shard workers ---- *)
+
+let create ?shards ?window () =
+  (match window with
+  | Some w when w <= 0 -> invalid_arg "Server.create: window must be positive"
+  | _ -> ());
+  let n =
+    match shards with
+    | Some n when n > 0 -> n
+    | Some _ -> invalid_arg "Server.create: shards must be positive"
+    | None -> max 1 (min 8 (Domain.recommended_domain_count () - 1))
+  in
+  let state =
+    Array.init n (fun i ->
+        {
+          index = i;
+          streams = Hashtbl.create 16;
+          metrics = Metrics.create ();
+          labels = Labels.v [ ("shard", string_of_int i) ];
+        })
+  in
+  let run i job =
+    let resp =
+      try exec ~window state.(i) job.req
+      with exn -> Wire.Err (Fmt.str "internal error: %s" (Printexc.to_string exn))
+    in
+    try job.k resp with _ -> ()
+  in
+  { pool = Repro_par.Shards.create ~shards:n ~run; state; window }
+
+let submit_shard t index job =
+  if not (Repro_par.Shards.submit_to t.pool index job) then
+    try job.k (Wire.Err "server draining") with _ -> ()
+
+(* [Stats] fans a barrier job out to every shard and assembles the
+   per-shard reports in index order once the last one lands; everything
+   else rides its stream's home shard, which is what gives one stream a
+   single-threaded history of appends. *)
+let submit t (req : Wire.request) k =
+  match req with
+  | Wire.Stats ->
+    let n = Array.length t.state in
+    let acc = Array.make n Json.Null in
+    let mu = Mutex.create () in
+    let left = ref n in
+    for i = 0 to n - 1 do
+      submit_shard t i
+        {
+          req;
+          k =
+            (fun r ->
+              acc.(i) <- (match r with Wire.Json_r j -> j | _ -> Json.Null);
+              Mutex.lock mu;
+              decr left;
+              let last = !left = 0 in
+              Mutex.unlock mu;
+              if last then
+                k
+                  (Wire.Json_r
+                     (Json.Obj
+                        [
+                          ("schema", Json.String "compserve-stats/1");
+                          ("shards", Json.List (Array.to_list acc));
+                        ])));
+        }
+    done
+  | Wire.Open { stream; _ } | Wire.Append { stream; _ } | Wire.Verdict stream
+  | Wire.Explain stream | Wire.Close stream ->
+    submit_shard t (Repro_par.Shards.shard_index t.pool stream) { req; k }
+
+let request t req =
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let slot = ref None in
+  submit t req (fun r ->
+      Mutex.lock mu;
+      slot := Some r;
+      Condition.signal cv;
+      Mutex.unlock mu);
+  Mutex.lock mu;
+  while !slot = None do
+    Condition.wait cv mu
+  done;
+  let r = match !slot with Some r -> r | None -> assert false in
+  Mutex.unlock mu;
+  r
+
+let drain t = Repro_par.Shards.drain t.pool
+
+(* Shard registries are written lock-free on their worker domains, so a
+   coherent merged snapshot is only guaranteed once the queues are idle;
+   benches and post-drain reporting call this between phases, with
+   happens-before established by the completion callbacks they already
+   waited on. *)
+let metrics_snapshot t =
+  let into = Metrics.create () in
+  Array.iter (fun sh -> Metrics.merge ~into sh.metrics) t.state;
+  into

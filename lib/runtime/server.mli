@@ -1,0 +1,114 @@
+(** Multi-stream certification service: the transport-independent half of
+    the [compserve] daemon.
+
+    A server multiplexes many monitored certification streams across a
+    fixed pool of worker domains.  Each stream is an incremental
+    {!Repro_core.Engine} session fed textual history chunks (the
+    {!Repro_histlang.Syntax} language); streams are assigned to shards by
+    name hash, so one stream's appends execute single-threaded in arrival
+    order while distinct streams certify in parallel.  With a truncation
+    [window] every stream runs in bounded dense memory — the engine folds
+    each certified prefix into a summary as the stream grows (see
+    {!Repro_core.Engine.truncate}).
+
+    The socket transport lives in [bin/cmd_serve.ml]; tests and the E18
+    benchmark drive {!submit}/{!request} in-process. *)
+
+(** Per-root chunking: turn a history file into a streamable chain. *)
+module Chunks : sig
+  type t = {
+    preamble : string;  (** Schedule declarations; send in the first append. *)
+    chunks : string list;  (** One chunk per root transaction, in root order. *)
+  }
+
+  val of_history : Repro_model.History.t -> t
+  (** Split a history into a schedule preamble plus one textual chunk per
+      root transaction such that [preamble ^ chunk_1 ^ .. ^ chunk_k]
+      parses to {!Repro_model.History.prefix_by_roots}[ h k] — same
+      root-major depth-first identifier assignment, relations restricted
+      to the first [k] roots' subtrees (each relation line rides the
+      chunk of its later endpoint).  Log lines are omitted: they are
+      builder-input validation only (a full-permutation check no
+      restriction satisfies) and no certification path consults them.
+      Raises [Invalid_argument] on histories that cannot round-trip
+      through the language: [Explicit] conflict specifications, schedule
+      names outside the NAME alphabet. *)
+end
+
+(** The length-prefixed line protocol, both directions.  Requests:
+    {v
+    open <stream> [<window>]
+    append <stream> <nbytes>\n<nbytes of history text>
+    verdict <stream>
+    explain <stream>
+    close <stream>
+    stats
+    v}
+    Responses: [ok], [verdict <stream> accept <serial ids>],
+    [verdict <stream> reject <failure-kind>], [json <nbytes>\n<payload>\n],
+    [err <message>]. *)
+module Wire : sig
+  type request =
+    | Open of { stream : string; window : int option }
+    | Append of { stream : string; body : string }
+    | Verdict of string
+    | Explain of string
+    | Close of string
+    | Stats
+
+  type response =
+    | Ok
+    | Verdict_r of { stream : string; accepted : bool; detail : string }
+    | Json_r of Repro_obs.Json.t
+    | Err of string
+
+  type 'a decoded =
+    | Need_more  (** Frame incomplete; accumulate more bytes and retry. *)
+    | Got of 'a * int  (** Decoded item and the number of bytes consumed. *)
+    | Malformed of string * int
+        (** Bad frame: diagnostic plus bytes to skip (the offending line),
+            so one malformed request does not wedge the connection. *)
+
+  val encode_request : request -> string
+  val encode_response : response -> string
+
+  val decode_request : string -> pos:int -> request decoded
+  (** Decode one request frame starting at [pos]. *)
+
+  val decode_response : string -> pos:int -> response decoded
+end
+
+type t
+
+val create : ?shards:int -> ?window:int -> unit -> t
+(** Start a server with [shards] worker domains (default: capped at the
+    machine's recommended domain count, at most 8) and a default
+    truncation [window] applied to streams that do not request their own
+    (default: unbounded, no truncation).  Raises [Invalid_argument] on a
+    non-positive value of either. *)
+
+val shard_count : t -> int
+
+val submit : t -> Wire.request -> (Wire.response -> unit) -> unit
+(** Enqueue a request on its stream's home shard; the continuation runs
+    on the worker domain once the request executes (so it must be quick
+    and thread-safe — typically: push the encoded response onto a locked
+    outbox and wake the transport).  [Stats] fans out to every shard as a
+    synchronous barrier job and the continuation receives the merged
+    per-shard report.  After {!drain} every request answers
+    [Err "server draining"]. *)
+
+val request : t -> Wire.request -> Wire.response
+(** Blocking {!submit}: enqueue and wait for the response.  Must not be
+    called from a shard worker (it would deadlock on its own queue). *)
+
+val drain : t -> unit
+(** Graceful shutdown: stop accepting work, let every shard finish its
+    queued requests, and join the worker domains.  Idempotent. *)
+
+val metrics_snapshot : t -> Repro_obs.Metrics.t
+(** Merge every shard's registry into a fresh one (counters add,
+    histograms add bucket-wise; series keep their [shard=i] label).
+    Shard registries are written without locks on the worker domains, so
+    call this only when no requests are in flight — after the responses
+    you waited for, or after {!drain}. *)

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the compserve daemon: STREAMS concurrent streams
+# over a Unix socket must reproduce compcheck --monitor's per-prefix
+# verdicts file by file, and SIGTERM must drain cleanly (exit 0, every
+# queued request answered).  Run from the repository root after
+# `dune build`; binaries are taken from _build, not `dune exec`, so the
+# daemon and the client never contend for the build lock.
+set -euo pipefail
+
+BIN=${BIN:-"$PWD/_build/default/bin"}
+STREAMS=${STREAMS:-8}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+SOCK="$DIR/serve.sock"
+
+for i in $(seq 1 "$STREAMS"); do
+  # Mixed shapes and seeds: some streams reject on a prefix, some accept
+  # through the whole file — parity must hold in both regimes.
+  shape=$([ $((i % 2)) -eq 0 ] && echo stack || echo general)
+  "$BIN/compgen.exe" --shape "$shape" --levels 2 --roots 4 --seed "$i" \
+    > "$DIR/h$i.ct"
+done
+
+"$BIN/compserve.exe" --socket "$SOCK" --shards 4 --window 8 \
+  2> "$DIR/daemon.log" &
+DPID=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+if ! [ -S "$SOCK" ]; then
+  echo "daemon never bound $SOCK" >&2
+  cat "$DIR/daemon.log" >&2
+  exit 1
+fi
+
+cd "$DIR"
+client_rc=0
+"$BIN/compserve.exe" --connect "$SOCK" h*.ct > client.out || client_rc=$?
+# exit 1 just means some stream rejected; 2+ is a protocol/usage failure
+test "$client_rc" -le 1
+
+for i in $(seq 1 "$STREAMS"); do
+  grep "^h$i.ct: prefix" client.out | sed "s/^h$i\.ct: //" > "served.$i"
+  mon_rc=0
+  "$BIN/compcheck.exe" --monitor "h$i.ct" > "mon_raw.$i" || mon_rc=$?
+  test "$mon_rc" -le 1
+  grep "^prefix" "mon_raw.$i" > "mon.$i" || true
+  if ! diff "served.$i" "mon.$i"; then
+    echo "verdict divergence on stream h$i.ct" >&2
+    exit 1
+  fi
+done
+
+kill -TERM "$DPID"
+drain_rc=0
+wait "$DPID" || drain_rc=$?
+test "$drain_rc" -eq 0
+grep -q "draining" daemon.log
+grep -q "drained" daemon.log
+echo "serve smoke OK: $STREAMS streams, verdict parity, clean drain"

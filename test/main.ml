@@ -5,4 +5,5 @@ let () =
    @ Test_runtime.suite @ Test_histlang.suite @ Test_obs.suite
    @ Test_kernel.suite @ Test_increl.suite @ Test_monitor.suite
    @ Test_engine.suite
+   @ Test_truncate.suite @ Test_server.suite
    @ Test_forensics.suite)

@@ -1,0 +1,336 @@
+(* The compserve library core, in-process: per-root chunking against the
+   [prefix_by_roots] chain it promises to reproduce, the wire codec
+   (round-trips, incremental framing, malformed-line recovery), and the
+   sharded multi-stream server — many concurrent streams certified with
+   verdict parity against a plain monitor, stats barrier, graceful
+   drain. *)
+open Repro_model
+open Repro_workload
+module Engine = Repro_core.Engine
+module Monitor = Repro_core.Monitor
+module Reduction = Repro_core.Reduction
+module Server = Repro_runtime.Server
+module Syntax = Repro_histlang.Syntax
+module Json = Repro_obs.Json
+
+let history_of_seed seed =
+  let rng = Prng.create ~seed in
+  match seed mod 4 with
+  | 0 -> Gen.flat rng ~roots:(3 + (seed mod 3))
+  | 1 -> Gen.stack rng ~levels:2 ~roots:(2 + (seed mod 3))
+  | 2 -> Gen.fork rng ~branches:2 ~roots:3
+  | _ -> Gen.general rng ~schedules:3 ~roots:(3 + (seed mod 2))
+
+let arb_seed = QCheck.make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000)
+
+let n_roots h = List.length (History.roots h)
+
+let stack_history () = Gen.stack (Prng.create ~seed:42) ~levels:2 ~roots:4
+
+(* ------------------------------------------------------------------ *)
+(* Chunker                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every concatenated chunk prefix parses to the corresponding
+   root-prefix: same node count and labels (identifier assignment is the
+   same root-major DFS), and the same Comp-C verdict. *)
+let prop_chunks_parity =
+  QCheck.Test.make ~count:80 ~name:"chunk prefixes = prefix_by_roots"
+    arb_seed (fun seed ->
+      let h = history_of_seed seed in
+      let { Server.Chunks.preamble; chunks } = Server.Chunks.of_history h in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf preamble;
+      let ok = ref (List.length chunks = n_roots h) in
+      List.iteri
+        (fun i chunk ->
+          Buffer.add_string buf chunk;
+          let parsed = Syntax.parse (Buffer.contents buf) in
+          let p = History.prefix_by_roots h (i + 1) in
+          if History.n_nodes parsed <> History.n_nodes p then ok := false
+          else begin
+            for v = 0 to History.n_nodes p - 1 do
+              if not (Label.equal (History.label parsed v) (History.label p v))
+              then ok := false
+            done;
+            if
+              Repro_core.Compc.is_correct parsed <> Repro_core.Compc.is_correct p
+            then ok := false
+          end)
+        chunks;
+      !ok)
+
+let test_chunks_explicit_refused () =
+  let h =
+    Syntax.parse
+      "schedule S conflict rw\nroot T @ S T\nleaf a parent T w(x)\nlog S : a\n"
+  in
+  (* Rebuild with an explicit spec through the builder is roundabout;
+     parse rejects explicit specs in text, so drive the error through a
+     bad schedule name instead, then check the Explicit refusal message
+     against a handcrafted history. *)
+  ignore h;
+  let b = History.Builder.create () in
+  let s = History.Builder.schedule b ~conflict:(Conflict.Explicit []) "S" in
+  let t = History.Builder.root b ~sched:s (Label.v "T") in
+  ignore (History.Builder.leaf b ~parent:t (Label.read "x"));
+  let h = History.Builder.seal b in
+  Alcotest.(check bool) "explicit spec refused" true
+    (match Server.Chunks.of_history h with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let reqs =
+    [
+      Server.Wire.Open { stream = "s1"; window = None };
+      Server.Wire.Open { stream = "s2"; window = Some 256 };
+      Server.Wire.Append { stream = "s1"; body = "root n0 @ S T\nleaf n1 parent n0 w(x)\n" };
+      Server.Wire.Append { stream = "s1"; body = "" };
+      Server.Wire.Verdict "s1";
+      Server.Wire.Explain "s-x.y";
+      Server.Wire.Close "s1";
+      Server.Wire.Stats;
+    ]
+  in
+  let encoded = String.concat "" (List.map Server.Wire.encode_request reqs) in
+  let rec decode_all pos acc =
+    if pos >= String.length encoded then List.rev acc
+    else
+      match Server.Wire.decode_request encoded ~pos with
+      | Server.Wire.Got (r, n) -> decode_all (pos + n) (r :: acc)
+      | _ -> Alcotest.fail "decode stalled on well-formed input"
+  in
+  Alcotest.(check bool) "request round-trip" true (decode_all 0 [] = reqs);
+  let resps =
+    [
+      Server.Wire.Ok;
+      Server.Wire.Verdict_r { stream = "s1"; accepted = true; detail = "0 3" };
+      Server.Wire.Verdict_r
+        { stream = "s1"; accepted = false; detail = "cycle_in_clusters" };
+      Server.Wire.Json_r (Json.Obj [ ("a", Json.Int 1) ]);
+      Server.Wire.Err "no such stream s9";
+    ]
+  in
+  let encoded = String.concat "" (List.map Server.Wire.encode_response resps) in
+  let rec decode_all pos acc =
+    if pos >= String.length encoded then List.rev acc
+    else
+      match Server.Wire.decode_response encoded ~pos with
+      | Server.Wire.Got (r, n) -> decode_all (pos + n) (r :: acc)
+      | _ -> Alcotest.fail "response decode stalled"
+  in
+  Alcotest.(check bool) "response round-trip" true (decode_all 0 [] = resps)
+
+let test_wire_incremental () =
+  let full = Server.Wire.encode_request (Server.Wire.Append { stream = "s"; body = "hello\n" }) in
+  (* Every strict prefix of a framed request wants more bytes. *)
+  for cut = 0 to String.length full - 1 do
+    match Server.Wire.decode_request (String.sub full 0 cut) ~pos:0 with
+    | Server.Wire.Need_more -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "prefix of %d bytes should be incomplete" cut)
+  done;
+  match Server.Wire.decode_request full ~pos:0 with
+  | Server.Wire.Got (Server.Wire.Append { body; _ }, n) ->
+    Alcotest.(check int) "consumed everything" (String.length full) n;
+    Alcotest.(check string) "body intact" "hello\n" body
+  | _ -> Alcotest.fail "decode failed on the full frame"
+
+let test_wire_malformed () =
+  let buf = "frobnicate x\nstats\n" in
+  match Server.Wire.decode_request buf ~pos:0 with
+  | Server.Wire.Malformed (_, n) -> (
+    (* The bad line is skipped; the connection resynchronizes. *)
+    match Server.Wire.decode_request buf ~pos:n with
+    | Server.Wire.Got (Server.Wire.Stats, _) -> ()
+    | _ -> Alcotest.fail "did not resynchronize after a malformed line")
+  | _ -> Alcotest.fail "malformed line not flagged"
+
+(* ------------------------------------------------------------------ *)
+(* Server                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let expect_ok = function
+  | Server.Wire.Ok -> ()
+  | Server.Wire.Err e -> Alcotest.fail ("unexpected err: " ^ e)
+  | _ -> Alcotest.fail "expected ok"
+
+(* Drive [streams] concurrent streams (seeded histories) through one
+   server, interleaving appends round-robin, and return the per-stream
+   verdict sequences. *)
+let drive server ~streams ~window =
+  let data =
+    Array.init streams (fun i ->
+        let h = history_of_seed (i * 37) in
+        (Printf.sprintf "stream-%d" i, h, Server.Chunks.of_history h))
+  in
+  Array.iter
+    (fun (sid, _, _) ->
+      expect_ok (Server.request server (Server.Wire.Open { stream = sid; window })))
+    data;
+  let verdicts = Array.make streams [] in
+  let max_chunks =
+    Array.fold_left (fun m (_, _, c) -> max m (List.length c.Server.Chunks.chunks)) 0 data
+  in
+  for k = 0 to max_chunks - 1 do
+    Array.iteri
+      (fun i (sid, _, c) ->
+        match List.nth_opt c.Server.Chunks.chunks k with
+        | None -> ()
+        | Some chunk ->
+          let body = if k = 0 then c.Server.Chunks.preamble ^ chunk else chunk in
+          (match Server.request server (Server.Wire.Append { stream = sid; body }) with
+          | Server.Wire.Verdict_r { accepted; detail; _ } ->
+            verdicts.(i) <- (accepted, detail) :: verdicts.(i)
+          | Server.Wire.Err e -> Alcotest.fail ("append failed: " ^ e)
+          | _ -> Alcotest.fail "expected a verdict"))
+      data
+  done;
+  (data, Array.map List.rev verdicts)
+
+(* The reference sequence: a plain in-process monitor over the same
+   prefix chain. *)
+let reference h =
+  let m = Monitor.create () in
+  List.init (n_roots h) (fun k ->
+      match Monitor.append m (History.prefix_by_roots h (k + 1)) with
+      | Monitor.Accepted _ -> (true, "")
+      | Monitor.Rejected f -> (false, Reduction.failure_kind f))
+
+let check_parity data verdicts =
+  Array.iteri
+    (fun i (sid, h, _) ->
+      let ref_seq = reference h in
+      let got = verdicts.(i) in
+      Alcotest.(check int)
+        (sid ^ ": one verdict per root") (List.length ref_seq) (List.length got);
+      List.iter2
+        (fun (ra, rf) (ga, gf) ->
+          Alcotest.(check bool) (sid ^ ": acceptance parity") ra ga;
+          if not ra then Alcotest.(check string) (sid ^ ": failure kind parity") rf gf)
+        ref_seq got)
+    data
+
+let test_server_multi_stream () =
+  let server = Server.create ~shards:4 () in
+  let data, verdicts = drive server ~streams:12 ~window:None in
+  check_parity data verdicts;
+  Server.drain server
+
+let test_server_windowed_parity () =
+  (* Same drive with a tiny per-stream truncation window: verdicts must
+     not move. *)
+  let server = Server.create ~shards:4 ~window:6 () in
+  let data, verdicts = drive server ~streams:8 ~window:None in
+  check_parity data verdicts;
+  Server.drain server
+
+let test_server_stream_lifecycle () =
+  let server = Server.create ~shards:2 () in
+  let h = stack_history () in
+  let { Server.Chunks.preamble; chunks } = Server.Chunks.of_history h in
+  expect_ok (Server.request server (Server.Wire.Open { stream = "s"; window = None }));
+  (match Server.request server (Server.Wire.Open { stream = "s"; window = None }) with
+  | Server.Wire.Err _ -> ()
+  | _ -> Alcotest.fail "double open must fail");
+  (match Server.request server (Server.Wire.Append { stream = "nope"; body = "x" }) with
+  | Server.Wire.Err _ -> ()
+  | _ -> Alcotest.fail "append to unknown stream must fail");
+  (* Verdict before any append: the empty prefix. *)
+  (match Server.request server (Server.Wire.Verdict "s") with
+  | Server.Wire.Verdict_r { accepted = true; detail = "empty"; _ } -> ()
+  | _ -> Alcotest.fail "empty stream should report the vacuous accept");
+  let body = preamble ^ List.hd chunks in
+  (match Server.request server (Server.Wire.Append { stream = "s"; body }) with
+  | Server.Wire.Verdict_r { accepted = true; _ } -> ()
+  | _ -> Alcotest.fail "first chunk should be accepted");
+  (* A parse error rolls the stream back; the next good append lands. *)
+  (match Server.request server (Server.Wire.Append { stream = "s"; body = "leaf ) x\n" }) with
+  | Server.Wire.Err _ -> ()
+  | _ -> Alcotest.fail "bad chunk must be refused");
+  (match
+     Server.request server (Server.Wire.Append { stream = "s"; body = List.nth chunks 1 })
+   with
+  | Server.Wire.Verdict_r _ -> ()
+  | Server.Wire.Err e -> Alcotest.fail ("stream wedged after bad chunk: " ^ e)
+  | _ -> Alcotest.fail "expected a verdict");
+  (* Explain carries the engine snapshot and the flight recorder. *)
+  (match Server.request server (Server.Wire.Explain "s") with
+  | Server.Wire.Json_r (Json.Obj fields) ->
+    Alcotest.(check bool) "explain has engine snapshot" true
+      (List.mem_assoc "engine" fields);
+    Alcotest.(check bool) "explain has flight recorder" true
+      (List.mem_assoc "flight_recorder" fields)
+  | _ -> Alcotest.fail "expected json");
+  expect_ok (Server.request server (Server.Wire.Close "s"));
+  (match Server.request server (Server.Wire.Close "s") with
+  | Server.Wire.Err _ -> ()
+  | _ -> Alcotest.fail "double close must fail");
+  Server.drain server
+
+let test_server_stats_and_drain () =
+  let server = Server.create ~shards:3 () in
+  let h = stack_history () in
+  let { Server.Chunks.preamble; chunks } = Server.Chunks.of_history h in
+  for i = 0 to 5 do
+    let sid = Printf.sprintf "t%d" i in
+    expect_ok (Server.request server (Server.Wire.Open { stream = sid; window = None }));
+    expect_ok
+      (match
+         Server.request server
+           (Server.Wire.Append { stream = sid; body = preamble ^ List.hd chunks })
+       with
+      | Server.Wire.Verdict_r _ -> Server.Wire.Ok
+      | r -> r)
+  done;
+  (match Server.request server Server.Wire.Stats with
+  | Server.Wire.Json_r (Json.Obj fields) -> (
+    Alcotest.(check bool) "stats schema" true
+      (List.assoc_opt "schema" fields = Some (Json.String "compserve-stats/1"));
+    match List.assoc_opt "shards" fields with
+    | Some (Json.List shards) ->
+      Alcotest.(check int) "one report per shard" 3 (List.length shards);
+      let streams =
+        List.fold_left
+          (fun acc -> function
+            | Json.Obj f -> (
+              match List.assoc_opt "streams" f with
+              | Some (Json.Int n) -> acc + n
+              | _ -> acc)
+            | _ -> acc)
+          0 shards
+      in
+      Alcotest.(check int) "all streams accounted for" 6 streams
+    | _ -> Alcotest.fail "stats lacks shard reports")
+  | _ -> Alcotest.fail "expected stats json");
+  Server.drain server;
+  (match Server.request server (Server.Wire.Verdict "t0") with
+  | Server.Wire.Err msg ->
+    Alcotest.(check string) "post-drain refusal" "server draining" msg
+  | _ -> Alcotest.fail "drained server must refuse work");
+  (* Idempotent. *)
+  Server.drain server
+
+let suite =
+  [
+    ( "server",
+      [
+        Alcotest.test_case "chunker refuses explicit specs" `Quick
+          test_chunks_explicit_refused;
+        Alcotest.test_case "wire round-trip" `Quick test_wire_roundtrip;
+        Alcotest.test_case "wire incremental framing" `Quick test_wire_incremental;
+        Alcotest.test_case "wire malformed recovery" `Quick test_wire_malformed;
+        Alcotest.test_case "multi-stream verdict parity" `Quick
+          test_server_multi_stream;
+        Alcotest.test_case "windowed multi-stream parity" `Quick
+          test_server_windowed_parity;
+        Alcotest.test_case "stream lifecycle" `Quick test_server_stream_lifecycle;
+        Alcotest.test_case "stats barrier and drain" `Quick
+          test_server_stats_and_drain;
+      ] );
+    ("server:props", [ QCheck_alcotest.to_alcotest prop_chunks_parity ]);
+  ]
