@@ -1504,7 +1504,7 @@ let e18 () =
         (fun i (preamble, chunks) ->
           let body = if k = 0 then preamble ^ chunks.(k) else chunks.(k) in
           Server.submit srv
-            (Server.Wire.Append { stream = sid i; body })
+            (Server.Wire.Append { stream = sid i; body; ctx = None })
             (function
               | Server.Wire.Verdict_r { accepted; _ } when accepted = expect
                 ->
@@ -1584,7 +1584,7 @@ let e18 () =
           let body = if k = 0 then preamble ^ chunks.(k) else chunks.(k) in
           let t0 = now_wall () in
           let r =
-            Server.request srv (Server.Wire.Append { stream = sid i; body })
+            Server.request srv (Server.Wire.Append { stream = sid i; body; ctx = None })
           in
           Metrics.observe hm "row.append_wall_s" (now_wall () -. t0);
           match r with
@@ -1602,7 +1602,7 @@ let e18 () =
         (fun k c ->
           let body = if k = 0 then preamble ^ c else c in
           let t0 = now_wall () in
-          ignore (Server.request srv (Server.Wire.Append { stream = sid; body }));
+          ignore (Server.request srv (Server.Wire.Append { stream = sid; body; ctx = None }));
           Metrics.observe hm "one.append_wall_s" (now_wall () -. t0))
         chunks;
       ignore (Server.request srv (Server.Wire.Close sid))
@@ -1689,6 +1689,139 @@ let e18 () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* E19: tracing overhead on the serving path                           *)
+(* ------------------------------------------------------------------ *)
+
+module Span = Repro_obs.Span
+
+(* The observability claim: the span layer is free when off (the null
+   collector costs one load and branch per instrumentation point) and
+   cheap when fully on (head-sampling at rate 1.0 — every request traced:
+   decode-less in-process submits still mint queue-wait, engine-append
+   and encode spans).  The workload is E18's bounded-memory serving shape
+   at one fixed concurrency, driven round-robin with one request in
+   flight — the per-append service-latency regime, where a per-request
+   overhead is most visible. *)
+let e19 () =
+  section "e19" "Tracing overhead: request spans on the E18 serving workload";
+  Fmt.pr
+    "  E18's serving shape (window 36, 16 roots/stream), one request in@.\
+    \  flight, null-span server vs every request traced at rate 1.0.@.\
+    \  Gates: null within the e19_ci.json wall baseline, traced p99@.\
+    \  within 1.25x of null.@.";
+  let streams =
+    match Sys.getenv_opt "REPRO_E19_STREAMS" with
+    | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 8)
+    | None -> 8
+  in
+  let roots = 16 and window = 36 in
+  let chunks_of h =
+    let { Server.Chunks.preamble; chunks } = Server.Chunks.of_history h in
+    (preamble, Array.of_list chunks)
+  in
+  let stream_data =
+    Array.init streams (fun i -> chunks_of (e18_history ~roots ~tag:i))
+  in
+  let sid i = Fmt.str "s%d" i in
+  (* One pass: open, feed every stream round-robin timing each append
+     client-side, drain.  [traced] adds a span context to every request —
+     trace ids minted from a client-side collector, exactly the drive
+     client's wiring. *)
+  let pass ~traced =
+    Gc.compact ();
+    let srv =
+      if traced then Server.create ~window ~span_rate:1.0 ()
+      else Server.create ~window ()
+    in
+    let client = if traced then Span.create () else Span.null in
+    Array.iteri
+      (fun i _ ->
+        ignore
+          (Server.request srv
+             (Server.Wire.Open { stream = sid i; window = None })))
+      stream_data;
+    let hm = Metrics.create () in
+    let t_start = now_wall () in
+    for k = 0 to roots - 1 do
+      Array.iteri
+        (fun i (preamble, chunks) ->
+          let body = if k = 0 then preamble ^ chunks.(k) else chunks.(k) in
+          let ctx =
+            if traced then
+              Some { Server.Wire.trace = Span.fresh_trace client; parent = 0 }
+            else None
+          in
+          let t0 = now_wall () in
+          ignore
+            (Server.request srv (Server.Wire.Append { stream = sid i; body; ctx }));
+          Metrics.observe hm "e19.append_wall_s" (now_wall () -. t0))
+        stream_data
+    done;
+    let wall = now_wall () -. t_start in
+    (* Snapshot after the drain: a request's encode span is recorded
+       after its response continuation fires, so quiescence needs the
+       workers joined, not just the responses delivered. *)
+    Server.drain srv;
+    let spans_recorded =
+      if traced then Span.length (Server.spans_snapshot srv) else 0
+    in
+    let p99 =
+      match Metrics.summary hm "e19.append_wall_s" with
+      | Some s -> s.Metrics.p99
+      | None -> nan
+    in
+    (p99, wall, spans_recorded)
+  in
+  (* Best of three per config: scheduler preemptions own an unrepeatable
+     share of any single pass's tail. *)
+  let best ~traced =
+    let p99 = ref infinity and wall = ref infinity and spans = ref 0 in
+    for _ = 1 to 3 do
+      let p, w, s = pass ~traced in
+      p99 := Float.min !p99 p;
+      wall := Float.min !wall w;
+      spans := max !spans s
+    done;
+    (!p99, !wall, !spans)
+  in
+  let null_p99, null_wall, _ = best ~traced:false in
+  let traced_p99, traced_wall, traced_spans = best ~traced:true in
+  let ratio = if null_p99 > 0.0 then traced_p99 /. null_p99 else nan in
+  let appends = streams * roots in
+  Fmt.pr "  %-8s %8s %10s %9s %9s@." "config" "appends" "wall-s" "p99-ms"
+    "spans";
+  Fmt.pr "  %-8s %8d %10.4f %9.3f %9d@." "null" appends null_wall
+    (null_p99 *. 1e3) 0;
+  Fmt.pr "  %-8s %8d %10.4f %9.3f %9d@." "traced" appends traced_wall
+    (traced_p99 *. 1e3) traced_spans;
+  Fmt.pr "  traced/null p99 ratio: %.3f@." ratio;
+  let row ~p99 ~wall ~spans =
+    Json.Obj
+      [
+        ("streams", Json.Int streams);
+        ("roots_per_stream", Json.Int roots);
+        ("window", Json.Int window);
+        ("appends", Json.Int appends);
+        ("serve_wall_s", Json.Float wall);
+        ("p99_append_s", Json.Float p99);
+        ("spans_recorded", Json.Int spans);
+      ]
+  in
+  record_json "e19"
+    (Json.Obj
+       [
+         ("traced_vs_null_p99", Json.Float ratio);
+         ( "rows",
+           Json.Obj
+             [
+               ("null", row ~p99:null_p99 ~wall:null_wall ~spans:0);
+               ( "traced",
+                 row ~p99:traced_p99 ~wall:traced_wall ~spans:traced_spans );
+             ] );
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1746,7 +1879,7 @@ let all =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("perf", perf); ("micro", micro);
+    ("e17", e17); ("e18", e18); ("e19", e19); ("perf", perf); ("micro", micro);
   ]
 
 let () =

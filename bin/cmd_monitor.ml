@@ -18,6 +18,21 @@
 open Repro_model
 module Json = Repro_obs.Json
 module Metrics = Repro_obs.Metrics
+module Span = Repro_obs.Span
+
+(* One monitor append = one trace: mint a fresh trace id and set it as
+   the collector's ambient context around the engine call, so the engine
+   emits its [engine.append] span (path label, node/cluster counts) as
+   the trace's root.  No-op on a disabled collector. *)
+let with_append_trace spans f =
+  if Span.enabled spans then begin
+    let trace = Span.fresh_trace spans in
+    Span.set_ctx spans ~trace ~parent:0;
+    let r = f () in
+    Span.clear_ctx spans;
+    r
+  end
+  else f ()
 
 (* Refresh the memory gauge from the cheap introspection path — counters
    plus the memo/arena byte accounting, no [Obj.reachable_words] walk, so
@@ -60,9 +75,10 @@ let run_stream ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr)
       obs.Repro_obs.Sink.recorder
     else Repro_obs.Recorder.create ()
   in
+  let spans = obs.Repro_obs.Sink.spans in
   let s =
     Repro_core.Engine.create
-      ~obs:(Repro_obs.Sink.v ~metrics ~recorder ())
+      ~obs:(Repro_obs.Sink.v ~metrics ~recorder ~spans ())
       ?window ()
   in
   let text = Buffer.create 4096 in
@@ -122,7 +138,7 @@ let run_stream ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr)
       else begin
         nodes := History.n_nodes h;
         incr appends;
-        match Repro_core.Engine.extend s h with
+        match with_append_trace spans (fun () -> Repro_core.Engine.extend s h) with
         | Repro_core.Engine.Accepted _ ->
           if !appends mod introspect_every = 0 then snapshot_gauges metrics s;
           show_progress ();
@@ -229,9 +245,10 @@ let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr)
     else Repro_obs.Recorder.create ()
   in
   let n = List.length (History.roots h) in
+  let spans = obs.Repro_obs.Sink.spans in
   let s =
     Repro_core.Engine.create
-      ~obs:(Repro_obs.Sink.v ~metrics ~recorder ())
+      ~obs:(Repro_obs.Sink.v ~metrics ~recorder ~spans ())
       ?window ()
   in
   let t0 = Repro_obs.Clock.now_wall () in
@@ -273,7 +290,7 @@ let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr)
     end
     else begin
       let p = History.prefix_by_roots h k in
-      match Repro_core.Engine.extend s p with
+      match with_append_trace spans (fun () -> Repro_core.Engine.extend s p) with
       | Repro_core.Engine.Accepted _ ->
         if k mod introspect_every = 0 then snapshot_gauges metrics s;
         show_progress k;

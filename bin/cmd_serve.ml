@@ -20,6 +20,10 @@
 
 module Server = Repro_runtime.Server
 module Wire = Repro_runtime.Server.Wire
+module Span = Repro_obs.Span
+module Trace = Repro_obs.Trace
+module Clock = Repro_obs.Clock
+module Json = Repro_obs.Json
 
 (* ------------------------------------------------------------------ *)
 (* Daemon                                                              *)
@@ -55,10 +59,15 @@ let close_conn conns c =
   Mutex.unlock c.wmu;
   Hashtbl.remove conns c.fd
 
-(* Drain one connection's input buffer of complete frames. *)
-let pump_requests server c =
+(* Drain one connection's input buffer of complete frames.  [spans] is
+   the transport loop's collector (tag 0): a traced append gets a
+   [serve.decode] root span here covering the frame's time in the input
+   buffer, and its wire context is rewritten so everything downstream —
+   queue wait, engine, encode — parents under that root. *)
+let pump_requests ~spans server c =
   let rec go () =
     let buf = Buffer.contents c.inbuf in
+    let t0 = if Span.enabled spans then Clock.now_wall () else 0.0 in
     match Wire.decode_request buf ~pos:0 with
     | Wire.Need_more -> ()
     | Wire.Malformed (msg, skip) ->
@@ -71,13 +80,40 @@ let pump_requests server c =
       let rest = String.sub buf consumed (String.length buf - consumed) in
       Buffer.clear c.inbuf;
       Buffer.add_string c.inbuf rest;
+      let req =
+        match req with
+        | Wire.Append { stream; body; ctx = Some ctx }
+          when Span.sampled spans ctx.Wire.trace ->
+          let did =
+            Span.emit spans ~parent:ctx.Wire.parent ~cat:"serve"
+              ~labels:(Repro_obs.Labels.v [ ("stream", stream) ])
+              ~trace:ctx.Wire.trace ~t0 ~t1:(Clock.now_wall ()) "serve.decode"
+          in
+          Wire.Append
+            { stream; body; ctx = Some { ctx with Wire.parent = did } }
+        | req -> req
+      in
       Server.submit server req (respond c);
       go ()
   in
   go ()
 
-let serve path shards window =
-  let server = Server.create ?shards ?window () in
+let serve path shards window span_rate slow_ms trace_out spans_out =
+  let span_rate =
+    (* Asking for a trace or span dump implies tracing at full rate
+       unless a rate was given explicitly. *)
+    match (span_rate, trace_out, spans_out) with
+    | Some r, _, _ -> Some r
+    | None, None, None -> None
+    | None, _, _ -> Some 1.0
+  in
+  let slow_s = Option.map (fun ms -> ms /. 1e3) slow_ms in
+  let server = Server.create ?shards ?window ?span_rate ?slow_s () in
+  let spans =
+    match span_rate with
+    | Some rate -> Span.create ~rate ()
+    | None -> Span.null
+  in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX path);
@@ -123,7 +159,7 @@ let serve path shards window =
               | 0 -> close_conn conns c
               | n ->
                 Buffer.add_subbytes c.inbuf chunk 0 n;
-                pump_requests server c))
+                pump_requests ~spans server c))
         readable
   done;
   (* Graceful drain: finish every queued request (responses still flow
@@ -133,6 +169,27 @@ let serve path shards window =
   Hashtbl.iter (fun _ c -> close_conn conns c) (Hashtbl.copy conns);
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (* Post-drain the shards are joined, so combining their collectors with
+     the transport's (shard-index order, transport first) is quiescent
+     and deterministic. *)
+  if Span.enabled spans then begin
+    Span.drain ~into:spans (Server.spans_snapshot server);
+    (match trace_out with
+    | None -> ()
+    | Some file ->
+      let tr = Trace.create () in
+      Trace.set_process_name tr ~pid:0 "compserve";
+      Span.export spans tr;
+      Cli_common.write_json ~tool:"compserve" file (Trace.to_json tr);
+      Fmt.epr "compserve: wrote Chrome trace (%d spans) to %s@."
+        (Span.length spans) file);
+    match spans_out with
+    | None -> ()
+    | Some file ->
+      Cli_common.write_json ~tool:"compserve" file (Span.to_json spans);
+      Fmt.epr "compserve: wrote spans/1 (%d spans) to %s@."
+        (Span.length spans) file
+  end;
   Fmt.epr "compserve: drained@.";
   0
 
@@ -149,6 +206,7 @@ type client_stream = {
   chunks : string array;
   mutable done_ : bool;  (* rejected or exhausted: no more appends *)
   mutable rejected : bool;
+  mutable act : Span.active;  (* in-flight client.append span, if traced *)
 }
 
 let read_response cs =
@@ -171,7 +229,13 @@ let read_response cs =
   in
   go ()
 
-let drive path window files =
+let drive path window files trace_out =
+  (* The client's span collector: one [client.append] span per request,
+     whose trace/span ids ride the wire so the daemon's decode,
+     queue-wait, engine and encode spans all join this root's tree. *)
+  let spans =
+    match trace_out with Some _ -> Span.create () | None -> Span.null
+  in
   let streams =
     List.mapi
       (fun i file ->
@@ -192,6 +256,7 @@ let drive path window files =
             chunks = Array.of_list chunks;
             done_ = false;
             rejected = false;
+            act = Span.none;
           })
       files
   in
@@ -228,12 +293,28 @@ let drive path window files =
         let body =
           if k = 0 then cs.preamble ^ cs.chunks.(k) else cs.chunks.(k)
         in
+        let ctx =
+          let trace = Span.fresh_trace spans in
+          if not (Span.sampled spans trace) then None
+          else begin
+            cs.act <-
+              Span.start spans ~cat:"client"
+                ~labels:
+                  (Repro_obs.Labels.v
+                     [ ("file", cs.file); ("chunk", string_of_int (k + 1)) ])
+                ~trace ~ts:(Clock.now_wall ()) "client.append";
+            Some { Wire.trace; parent = Span.id cs.act }
+          end
+        in
         write_all cs.cfd
-          (Wire.encode_request (Wire.Append { stream = cs.sid; body })))
+          (Wire.encode_request (Wire.Append { stream = cs.sid; body; ctx })))
       active;
     List.iter
       (fun cs ->
-        match read_response cs with
+        let resp = read_response cs in
+        Span.finish spans cs.act ~ts:(Clock.now_wall ());
+        cs.act <- Span.none;
+        match resp with
         | Wire.Verdict_r { accepted; detail; _ } ->
           Fmt.pr "%s: prefix %d/%d: %s@." cs.file (k + 1)
             (Array.length cs.chunks)
@@ -264,7 +345,78 @@ let drive path window files =
       Fmt.pr "%s: monitor: %s@." cs.file
         (if cs.rejected then "reject" else "accept"))
     streams;
+  (match trace_out with
+  | None -> ()
+  | Some file ->
+    let tr = Trace.create () in
+    Trace.set_process_name tr ~pid:0 "compserve-drive";
+    Span.export spans tr;
+    Cli_common.write_json ~tool:"compserve" file (Trace.to_json tr);
+    Fmt.epr "compserve: wrote Chrome trace (%d spans) to %s@."
+      (Span.length spans) file);
   if List.exists (fun cs -> cs.rejected) streams then 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* Admin client                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot admin request against a live daemon; prints the payload. *)
+let admin path cmd =
+  let req =
+    match String.split_on_char ' ' (String.trim cmd) with
+    | [ "stats" ] -> Wire.Stats
+    | [ "metrics" ] -> Wire.Metrics
+    | [ "health" ] -> Wire.Health
+    | [ "slow" ] -> Wire.Slow None
+    | [ "slow"; ms ] -> (
+      match float_of_string_opt ms with
+      | Some v when v >= 0.0 -> Wire.Slow (Some (v /. 1e3))
+      | _ ->
+        Fmt.epr "compserve: --admin: bad slow threshold %S@." ms;
+        exit 2)
+    | _ ->
+      Fmt.epr
+        "compserve: --admin: unknown command %S (expected stats, metrics, \
+         health, or slow [MS])@."
+        cmd;
+      exit 2
+  in
+  let cfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect cfd (Unix.ADDR_UNIX path);
+  write_all cfd (Wire.encode_request req);
+  let rbuf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let rec read_one () =
+    match Wire.decode_response (Buffer.contents rbuf) ~pos:0 with
+    | Wire.Got (resp, _) -> resp
+    | Wire.Malformed (msg, _) -> failwith ("malformed response: " ^ msg)
+    | Wire.Need_more -> (
+      match Unix.read cfd chunk 0 (Bytes.length chunk) with
+      | 0 -> failwith "server closed the connection"
+      | n ->
+        Buffer.add_subbytes rbuf chunk 0 n;
+        read_one ())
+  in
+  let resp = read_one () in
+  Unix.close cfd;
+  match resp with
+  | Wire.Json_r j ->
+    Fmt.pr "%s@." (Json.to_string j);
+    0
+  | Wire.Text_r payload ->
+    print_string payload;
+    if payload = "" || payload.[String.length payload - 1] <> '\n' then
+      print_newline ();
+    0
+  | Wire.Ok ->
+    Fmt.pr "ok@.";
+    0
+  | Wire.Verdict_r _ ->
+    Fmt.epr "compserve: --admin: unexpected verdict response@.";
+    2
+  | Wire.Err e ->
+    Fmt.epr "compserve: --admin: %s@." e;
+    2
 
 (* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
@@ -272,20 +424,43 @@ let drive path window files =
 
 open Cmdliner
 
-let run socket connect shards window files =
+let run socket connect shards window span_rate slow_ms trace_out spans_out
+    admin_cmd files =
+  (match span_rate with
+  | Some r when not (r >= 0.0 && r <= 1.0) ->
+    Fmt.epr "compserve: --trace-rate must be within [0,1]@.";
+    exit 2
+  | _ -> ());
+  (match slow_ms with
+  | Some ms when not (ms >= 0.0) ->
+    Fmt.epr "compserve: --slow-ms must be non-negative@.";
+    exit 2
+  | _ -> ());
   match (socket, connect) with
   | Some path, None ->
     if files <> [] then begin
       Fmt.epr "compserve: --socket mode takes no FILE arguments@.";
       2
     end
-    else serve path shards window
-  | None, Some path ->
-    if files = [] then begin
-      Fmt.epr "compserve: --connect mode needs FILE arguments to stream@.";
+    else if admin_cmd <> None then begin
+      Fmt.epr "compserve: --admin needs --connect@.";
       2
     end
-    else drive path window files
+    else serve path shards window span_rate slow_ms trace_out spans_out
+  | None, Some path -> (
+    match admin_cmd with
+    | Some cmd ->
+      if files <> [] then begin
+        Fmt.epr "compserve: --admin mode takes no FILE arguments@.";
+        2
+      end
+      else admin path cmd
+    | None ->
+      if files = [] then begin
+        Fmt.epr "compserve: --connect mode needs FILE arguments to stream@.";
+        2
+      end
+      else drive path window files trace_out)
   | _ ->
     Fmt.epr "compserve: exactly one of --socket (daemon) or --connect (client) is required@.";
     2
@@ -321,6 +496,48 @@ let window_arg =
   in
   Arg.(value & opt (some int) None & info [ "window" ] ~docv:"NODES" ~doc)
 
+let span_rate_arg =
+  let doc =
+    "Head-sampling rate for request tracing, in [0,1].  The keep/drop \
+     decision is a deterministic hash of each request's trace id, so every \
+     collector the request crosses agrees without coordination.  Daemon \
+     mode only; implies tracing even without $(b,--trace)/$(b,--spans)."
+  in
+  Arg.(value & opt (some float) None & info [ "trace-rate" ] ~docv:"RATE" ~doc)
+
+let slow_ms_arg =
+  let doc =
+    "Daemon mode: appends whose engine wall time reaches $(docv) \
+     milliseconds land in the slow-request log served by the $(b,slow) \
+     admin command (default 100)."
+  in
+  Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON of every sampled request's span tree \
+     to $(docv) — at drain in daemon mode (SIGTERM), at exit in client \
+     mode.  Load it in Perfetto: one async track per request, frame decode \
+     / queue wait / engine append / verdict encode as nested intervals."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let spans_arg =
+  let doc =
+    "Daemon mode: write the compact spans/1 JSON document of every sampled \
+     span to $(docv) at drain."
+  in
+  Arg.(value & opt (some string) None & info [ "spans" ] ~docv:"FILE" ~doc)
+
+let admin_arg =
+  let doc =
+    "With $(b,--connect): send one admin request — $(b,stats), \
+     $(b,metrics) (Prometheus text exposition), $(b,health), or $(b,slow) \
+     [$(i,MS)] (slow-request log, optionally at or above a threshold) — \
+     print the payload and exit."
+  in
+  Arg.(value & opt (some string) None & info [ "admin" ] ~docv:"CMD" ~doc)
+
 let files_arg =
   let doc = "History files to stream (client mode)." in
   Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc)
@@ -336,13 +553,19 @@ let cmd =
          incrementally (Comp-C, per appended chunk) by a monitored engine \
          session pinned to a worker domain, and with $(b,--window) every \
          session runs in bounded memory however long its stream grows.  \
-         The protocol is a length-prefixed line protocol: open/append/\
-         verdict/explain/close per stream id, stats for the whole server.  \
-         SIGTERM drains gracefully.";
+         The protocol is a length-prefixed line protocol (version 2): \
+         open/append/verdict/explain/close per stream id; stats, metrics \
+         (Prometheus), health and slow for the whole server; appends may \
+         carry a trace context so one request yields one connected span \
+         tree across client, transport, shard queue and engine.  SIGTERM \
+         drains gracefully.";
       `S Manpage.s_examples;
       `Pre
-        "  compserve --socket /tmp/comp.sock --shards 4 --window 512 &\n\
+        "  compserve --socket /tmp/comp.sock --shards 4 --window 512 \\\n\
+        \      --trace /tmp/serve.trace.json --slow-ms 50 &\n\
         \  compserve --connect /tmp/comp.sock histories/*.ct\n\
+        \  compserve --connect /tmp/comp.sock --admin metrics\n\
+        \  compserve --connect /tmp/comp.sock --admin 'slow 25'\n\
         \  kill -TERM %1";
     ]
   in
@@ -350,5 +573,6 @@ let cmd =
     (Cmd.info "compserve" ~version:Cli_common.version ~doc ~man)
     Term.(
       const run $ socket_arg $ connect_arg $ shards_arg $ window_arg
+      $ span_rate_arg $ slow_ms_arg $ trace_arg $ spans_arg $ admin_arg
       $ files_arg)
 

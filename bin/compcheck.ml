@@ -13,7 +13,8 @@
 open Cmdliner
 
 let run paths criterion explain format shrink stats skip_validation dot jobs
-    monitor window fail_fast metrics_out metrics_format progress =
+    monitor window fail_fast metrics_out metrics_format trace_out coverage_out
+    progress =
   let monitor_conflict =
     monitor
     && (stats || dot <> None || String.lowercase_ascii criterion <> "comp-c")
@@ -38,17 +39,28 @@ let run paths criterion explain format shrink stats skip_validation dot jobs
     Fmt.epr "compcheck: --format dot requires a single FILE@.";
     2
   end
+  else if trace_out <> None && not monitor then begin
+    Fmt.epr
+      "compcheck: --trace records per-append span trees and requires \
+       --monitor@.";
+    2
+  end
   else begin
-    (* The run-wide registry backing --metrics; also created for a live
-       single-file monitor so the progress line can read the p99 append
-       latency back out of it. *)
+    (* The run-wide registry backing --metrics and --coverage; also
+       created for a live single-file monitor so the progress line can
+       read the p99 append latency back out of it. *)
     let progress_on = Cli_common.Progress.want progress in
     let metrics =
-      if metrics_out <> None || (monitor && progress_on) then
-        Repro_obs.Metrics.create ()
+      if metrics_out <> None || coverage_out <> None || (monitor && progress_on)
+      then Repro_obs.Metrics.create ()
       else Repro_obs.Metrics.null
     in
-    let obs = Repro_obs.Sink.v ~metrics () in
+    let spans =
+      match trace_out with
+      | Some _ -> Repro_obs.Span.create ()
+      | None -> Repro_obs.Span.null
+    in
+    let obs = Repro_obs.Sink.v ~metrics ~spans () in
     let code =
       match paths with
       | [ path ] ->
@@ -94,6 +106,18 @@ let run paths criterion explain format shrink stats skip_validation dot jobs
     | Some path ->
       Cli_common.write_metrics ~tool:"compcheck" ~format:metrics_format path
         metrics
+    | None -> ());
+    (match coverage_out with
+    | Some path ->
+      Cli_common.write_json ~tool:"compcheck" path
+        (Repro_obs.Coverage.to_json metrics)
+    | None -> ());
+    (match trace_out with
+    | Some path ->
+      let tr = Repro_obs.Trace.create () in
+      Repro_obs.Trace.set_process_name tr ~pid:0 "compcheck";
+      Repro_obs.Span.export spans tr;
+      Cli_common.write_json ~tool:"compcheck" path (Repro_obs.Trace.to_json tr)
     | None -> ());
     code
   end
@@ -204,6 +228,26 @@ let metrics_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Monitor mode: write a Chrome trace_event JSON of the run's span trees \
+     to $(docv) — one trace per monitor append, each containing the \
+     engine's append span with its certification path label \
+     (initial/fast/delta/kernel/full) and node/cluster counts.  Load in \
+     Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let coverage_out_arg =
+  let doc =
+    "Write the run's path-coverage document (coverage/1 JSON) to $(docv): \
+     every engine, monitor and reduction decision counter under its \
+     canonical name, with a stable key set — untaken paths appear with \
+     count 0, so diffing two documents shows exactly which decision paths \
+     a workload exercised."
+  in
+  Arg.(value & opt (some string) None & info [ "coverage" ] ~docv:"FILE" ~doc)
+
 let progress_arg =
   let doc =
     "Live single-line progress on stderr (files done and rate in batch \
@@ -258,6 +302,7 @@ let cmd =
       const run $ paths_arg $ criterion_arg $ explain_arg $ format_arg
       $ shrink_arg $ stats_arg $ skip_validation_arg $ dot_arg $ jobs_arg
       $ monitor_arg $ window_arg $ fail_fast_arg $ metrics_out_arg
-      $ Cli_common.metrics_format_arg $ progress_arg)
+      $ Cli_common.metrics_format_arg $ trace_out_arg $ coverage_out_arg
+      $ progress_arg)
 
 let () = exit (Cmd.eval' cmd)

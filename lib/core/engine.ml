@@ -7,6 +7,7 @@ module Clock = Repro_obs.Clock
 module Json = Repro_obs.Json
 module Labels = Repro_obs.Labels
 module Recorder = Repro_obs.Recorder
+module Span = Repro_obs.Span
 
 type verdict = Accepted of id list | Rejected of Reduction.failure
 
@@ -666,7 +667,14 @@ let advance ~monitor t h =
   let recorder = t.obs.Sink.recorder in
   let enabled = monitor && Metrics.enabled metrics in
   let recording = Recorder.enabled recorder in
-  let t0 = if enabled || recording then Clock.now_wall () else 0.0 in
+  let spans = t.obs.Sink.spans in
+  (* The engine traces itself only inside a request: the caller (server
+     shard, monitor CLI) sets the collector's ambient context around the
+     call, and the head-sampling decision rides the context's trace id. *)
+  let tracing = Span.sampled spans (Span.ctx_trace spans) in
+  let t0 =
+    if enabled || recording || tracing then Clock.now_wall () else 0.0
+  in
   (* Which append machinery decided this advance; the flight recorder and
      the labeled [monitor.append{path=...}] counter both report it. *)
   let path = ref "full" in
@@ -884,6 +892,23 @@ let advance ~monitor t h =
            ])
       (if monitor then "append" else "analyze")
   end;
+  if tracing then
+    ignore
+      (Span.emit spans ~parent:(Span.ctx_parent spans) ~cat:"engine"
+         ~labels:
+           (Labels.v
+              [
+                ("path", !path);
+                ("nodes", string_of_int (History.n_nodes frame.h));
+                ( "clusters",
+                  string_of_int (List.length (History.roots frame.h)) );
+                ( "verdict",
+                  match frame.verdict with
+                  | Accepted _ -> "accept"
+                  | Rejected _ -> "reject" );
+              ])
+         ~trace:(Span.ctx_trace spans) ~t0 ~t1:(Clock.now_wall ())
+         (if monitor then "engine.append" else "engine.analyze"));
   frame.verdict
 
 (* The auto-truncation watermark, checked before each monitored append:

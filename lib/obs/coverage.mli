@@ -1,0 +1,31 @@
+(** The path-coverage registry: the engine's, monitor's and reduction's
+    decision counters under canonical, stable names.
+
+    The checker has many fast paths (monitor fast/delta/kernel/full,
+    truncation and restore, the reduction's accept/reject/failure kinds),
+    each already counted in a {!Metrics} registry under its
+    instrumentation-site name.  This module pins that vocabulary down as
+    a {e coverage signal}: a fixed list of points, each mapping a
+    canonical key to the counter series (name + required labels) that
+    feed it, exported as a [coverage/1] JSON whose key set is always the
+    full point list — zeros included — so two dumps diff point-wise and
+    a feedback-driven fuzzer (ROADMAP item 5) can steer toward the paths
+    a workload never hit.
+
+    Counter series carrying extra labels (the server's [shard=i]) are
+    summed into their point; values inherit counter monotonicity. *)
+
+val schema : string
+(** ["coverage/1"]. *)
+
+val keys : string list
+(** The canonical point keys, in declaration order — the stable key set
+    of every export. *)
+
+val of_metrics : Metrics.t -> (string * int) list
+(** Fold a registry into the point list: one [(key, value)] pair per
+    point in {!keys} order, 0 for points the registry never hit. *)
+
+val to_json : Metrics.t -> Json.t
+(** [{"schema":"coverage/1","points":{key: count, ...}}] with every key
+    of {!keys} present. *)

@@ -195,6 +195,10 @@ let summary t ?(labels = Labels.empty) name =
 let sorted_keys tbl =
   Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
 
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort compare
+
 let to_json t =
   let counters =
     List.map (fun k -> (k, Json.Int (counter_value t k))) (sorted_keys t.counters)

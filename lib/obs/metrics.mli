@@ -72,6 +72,12 @@ val merge : into:t -> t -> unit
 val counter_value : t -> ?labels:Labels.t -> string -> int
 (** Current value of a counter (0 when absent). *)
 
+val counters : t -> (string * int) list
+(** Every counter series as [(encoded key, value)], sorted by key —
+    labeled series appear under their canonical [name{k="v"}] key
+    ({!Labels.decode_series} splits them back apart).  This is the
+    enumeration the {!Coverage} registry folds over. *)
+
 val gauge_value : t -> ?labels:Labels.t -> string -> float option
 
 type summary = {

@@ -96,6 +96,10 @@ let event_json e =
       [
         ( "labels",
           Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) pairs) );
+        (* The canonical encoded series form — label values escaped
+           exactly as [Labels.encode] does, so [Labels.decode_series]
+           round-trips the event from any dump. *)
+        ("series", Json.String (Labels.series e.name e.labels));
       ])
 
 let to_json t =

@@ -93,8 +93,11 @@ val absorb : into:t -> t -> unit
 
 val to_json : t -> Json.t
 (** [{"capacity", "recorded", "dropped", "events": [{"seq", "ts",
-    "severity", "cat", "name", "labels"?}]}] — the flight-recorder dump
-    embedded in evidence reports. *)
+    "severity", "cat", "name", "labels"?, "series"?}]}] — the
+    flight-recorder dump.  A labeled event also carries ["series"], its
+    canonical [Labels.series] encoding (label values escaped), so
+    [Labels.decode_series] round-trips it from any dump, including the
+    tail embedded in evidence reports. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable dump, one retained event per line, oldest first. *)

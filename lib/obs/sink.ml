@@ -1,12 +1,22 @@
-type t = { trace : Trace.t; metrics : Metrics.t; recorder : Recorder.t }
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+  recorder : Recorder.t;
+  spans : Span.t;
+}
 
 let null =
-  { trace = Trace.null; metrics = Metrics.null; recorder = Recorder.null }
+  {
+    trace = Trace.null;
+    metrics = Metrics.null;
+    recorder = Recorder.null;
+    spans = Span.null;
+  }
 
 let v ?(trace = Trace.null) ?(metrics = Metrics.null)
-    ?(recorder = Recorder.null) () =
-  { trace; metrics; recorder }
+    ?(recorder = Recorder.null) ?(spans = Span.null) () =
+  { trace; metrics; recorder; spans }
 
 let enabled t =
   Trace.enabled t.trace || Metrics.enabled t.metrics
-  || Recorder.enabled t.recorder
+  || Recorder.enabled t.recorder || Span.enabled t.spans

@@ -1,4 +1,4 @@
-type phase = Instant | Complete
+type phase = Instant | Complete | Async_begin | Async_end
 
 type event = {
   name : string;
@@ -8,6 +8,7 @@ type event = {
   dur : float;
   pid : int;
   tid : int;
+  id : int;
   args : (string * Json.t) list;
 }
 
@@ -31,10 +32,22 @@ let push t ev =
   t.n <- t.n + 1
 
 let instant t ?(cat = "") ?(pid = 0) ?(tid = 0) ?(args = []) ~ts name =
-  if t.on then push t { name; cat; phase = Instant; ts; dur = 0.0; pid; tid; args }
+  if t.on then
+    push t
+      { name; cat; phase = Instant; ts; dur = 0.0; pid; tid; id = 0; args }
 
 let complete t ?(cat = "") ?(pid = 0) ?(tid = 0) ?(args = []) ~ts ~dur name =
-  if t.on then push t { name; cat; phase = Complete; ts; dur; pid; tid; args }
+  if t.on then
+    push t { name; cat; phase = Complete; ts; dur; pid; tid; id = 0; args }
+
+let async_begin t ?(cat = "") ?(pid = 0) ?(tid = 0) ?(args = []) ~id ~ts name =
+  if t.on then
+    push t
+      { name; cat; phase = Async_begin; ts; dur = 0.0; pid; tid; id; args }
+
+let async_end t ?(cat = "") ?(pid = 0) ?(tid = 0) ?(args = []) ~id ~ts name =
+  if t.on then
+    push t { name; cat; phase = Async_end; ts; dur = 0.0; pid; tid; id; args }
 
 let set_process_name t ~pid name =
   if t.on then t.rev_meta <- (pid, None, name) :: t.rev_meta
@@ -51,7 +64,13 @@ let event_json e =
     [
       ("name", Json.String e.name);
       ("cat", Json.String (if e.cat = "" then "default" else e.cat));
-      ("ph", Json.String (match e.phase with Instant -> "i" | Complete -> "X"));
+      ( "ph",
+        Json.String
+          (match e.phase with
+          | Instant -> "i"
+          | Complete -> "X"
+          | Async_begin -> "b"
+          | Async_end -> "e") );
       ("ts", Json.Float e.ts);
       ("pid", Json.Int e.pid);
       ("tid", Json.Int e.tid);
@@ -61,6 +80,10 @@ let event_json e =
     match e.phase with
     | Complete -> base @ [ ("dur", Json.Float e.dur) ]
     | Instant -> base @ [ ("s", Json.String "t") ]
+    | Async_begin | Async_end ->
+      (* Chrome groups async events by (cat, id, name); the id is rendered
+         as a hex string, the viewer's conventional form. *)
+      base @ [ ("id", Json.String (Printf.sprintf "0x%x" e.id)) ]
   in
   let base =
     match e.args with [] -> base | args -> base @ [ ("args", Json.Obj args) ]

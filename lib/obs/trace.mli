@@ -22,7 +22,11 @@
     - [compc]: [observed_order] (span), [reduction_step] (span per level,
       with front sizes and cluster counts), [front_check], [failure]. *)
 
-type phase = Instant | Complete  (** Chrome [ph] "i" / "X". *)
+type phase =
+  | Instant
+  | Complete
+  | Async_begin
+  | Async_end  (** Chrome [ph] "i" / "X" / "b" / "e". *)
 
 type event = {
   name : string;
@@ -32,6 +36,7 @@ type event = {
   dur : float;  (** Microseconds; 0 for instants. *)
   pid : int;
   tid : int;
+  id : int;  (** Async-event grouping id; 0 for other phases. *)
   args : (string * Json.t) list;
 }
 
@@ -72,6 +77,35 @@ val complete :
   string ->
   unit
 (** A span: [ts] is its start, [dur] its length (both µs). *)
+
+val async_begin :
+  t ->
+  ?cat:string ->
+  ?pid:int ->
+  ?tid:int ->
+  ?args:(string * Json.t) list ->
+  id:int ->
+  ts:float ->
+  string ->
+  unit
+(** Open an async (nestable) interval: Chrome phase ["b"].  Async events
+    pair up by (cat, id, name) rather than by thread, so intervals that
+    start on one domain and end on another — a request crossing from the
+    transport to a shard — still render as one bar.  [Span.export] emits
+    one begin/end pair per finished span with [id] = the span's trace id,
+    grouping every span of a request onto one track. *)
+
+val async_end :
+  t ->
+  ?cat:string ->
+  ?pid:int ->
+  ?tid:int ->
+  ?args:(string * Json.t) list ->
+  id:int ->
+  ts:float ->
+  string ->
+  unit
+(** Close an async interval: Chrome phase ["e"]. *)
 
 val set_process_name : t -> pid:int -> string -> unit
 (** Chrome metadata: label a [pid] row in the viewer. *)

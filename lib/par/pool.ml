@@ -1,6 +1,7 @@
 module Metrics = Repro_obs.Metrics
 module Recorder = Repro_obs.Recorder
 module Sink = Repro_obs.Sink
+module Span = Repro_obs.Span
 
 let default_jobs () =
   match Sys.getenv_opt "REPRO_JOBS" with
@@ -94,10 +95,20 @@ let parmap_sink ?jobs ?on_done ~obs f items =
           Recorder.create ~capacity:(Recorder.capacity recorder) ())
     else [||]
   in
+  let spans = obs.Sink.spans in
+  (* Per-item collectors tagged by item index, so a parallel run mints
+     the same span ids as a sequential one and the drain below (input
+     order, like the metrics merge) reassembles an identical list. *)
+  let spns =
+    if Span.enabled spans then
+      Array.init n (fun i -> Span.create ~rate:(Span.rate spans) ~tag:(i + 1) ())
+    else [||]
+  in
   let item_obs i =
     Sink.v
       ~metrics:(if Array.length regs = 0 then Metrics.null else regs.(i))
       ~recorder:(if Array.length recs = 0 then Recorder.null else recs.(i))
+      ~spans:(if Array.length spns = 0 then Span.null else spns.(i))
       ()
   in
   let g i x =
@@ -113,4 +124,5 @@ let parmap_sink ?jobs ?on_done ~obs f items =
   in
   Array.iter (fun r -> Metrics.merge ~into:metrics r) regs;
   Array.iter (fun r -> Recorder.absorb ~into:recorder r) recs;
+  Array.iter (fun r -> Span.drain ~into:spans r) spns;
   results

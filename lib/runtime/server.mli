@@ -35,31 +35,55 @@ module Chunks : sig
       names outside the NAME alphabet. *)
 end
 
-(** The length-prefixed line protocol, both directions.  Requests:
+(** The length-prefixed line protocol (version 2), both directions.
+    Requests:
     {v
     open <stream> [<window>]
-    append <stream> <nbytes>\n<nbytes of history text>
+    append <stream> <nbytes> [t=<trace>:<parent>]\n<nbytes of history text>
     verdict <stream>
     explain <stream>
     close <stream>
     stats
+    metrics
+    health
+    slow [<threshold ms>]
     v}
     Responses: [ok], [verdict <stream> accept <serial ids>],
     [verdict <stream> reject <failure-kind>], [json <nbytes>\n<payload>\n],
-    [err <message>]. *)
+    [text <nbytes>\n<payload>\n], [err <message>].
+
+    Version 1 frames are a strict subset: an [append] without the
+    optional [t=…] trace-context token decodes exactly as before, and
+    every v1 request line is still a v2 request line, so old clients
+    interoperate with new servers (and vice versa — a v2 client that
+    sends no trace context and no admin request speaks pure v1). *)
 module Wire : sig
+  val protocol_version : int
+  (** [2]. *)
+
+  type ctx = { trace : int; parent : int }
+  (** Trace context carried on an append frame: the (non-zero) trace id
+      and the caller's span id, both hex on the wire.  Servers parent the
+      request's span tree under [parent]. *)
+
   type request =
     | Open of { stream : string; window : int option }
-    | Append of { stream : string; body : string }
+    | Append of { stream : string; body : string; ctx : ctx option }
     | Verdict of string
     | Explain of string
     | Close of string
     | Stats
+    | Metrics  (** Prometheus exposition text over a merged snapshot. *)
+    | Health  (** Liveness summary: shards, streams, uptime. *)
+    | Slow of float option
+        (** Slow-request log, optionally filtered to appends at or above
+            the given wall-time threshold (seconds). *)
 
   type response =
     | Ok
     | Verdict_r of { stream : string; accepted : bool; detail : string }
     | Json_r of Repro_obs.Json.t
+    | Text_r of string  (** Length-prefixed opaque text payload. *)
     | Err of string
 
   type 'a decoded =
@@ -80,12 +104,19 @@ end
 
 type t
 
-val create : ?shards:int -> ?window:int -> unit -> t
+val create :
+  ?shards:int -> ?window:int -> ?span_rate:float -> ?slow_s:float -> unit -> t
 (** Start a server with [shards] worker domains (default: capped at the
     machine's recommended domain count, at most 8) and a default
     truncation [window] applied to streams that do not request their own
-    (default: unbounded, no truncation).  Raises [Invalid_argument] on a
-    non-positive value of either. *)
+    (default: unbounded, no truncation).  [span_rate] enables request
+    tracing: each shard gets its own span collector head-sampling traced
+    appends at that rate (default: tracing off — the null collector, no
+    cost on the append path).  Appends whose engine wall time reaches
+    [slow_s] seconds (default 0.1) land in the shard's slow-request log,
+    served by {!Wire.Slow}.  Raises [Invalid_argument] on a non-positive
+    [shards]/[window], a [span_rate] outside [0,1], or a negative
+    [slow_s]. *)
 
 val shard_count : t -> int
 
@@ -93,10 +124,11 @@ val submit : t -> Wire.request -> (Wire.response -> unit) -> unit
 (** Enqueue a request on its stream's home shard; the continuation runs
     on the worker domain once the request executes (so it must be quick
     and thread-safe — typically: push the encoded response onto a locked
-    outbox and wake the transport).  [Stats] fans out to every shard as a
-    synchronous barrier job and the continuation receives the merged
-    per-shard report.  After {!drain} every request answers
-    [Err "server draining"]. *)
+    outbox and wake the transport).  Admin requests ([Stats], [Metrics],
+    [Health], [Slow]) fan a snapshot hook out to every shard — each shard
+    copies its private state on its own domain — and the continuation
+    receives the answer assembled from the merged copies.  After {!drain}
+    every request answers [Err "server draining"]. *)
 
 val request : t -> Wire.request -> Wire.response
 (** Blocking {!submit}: enqueue and wait for the response.  Must not be
@@ -112,3 +144,10 @@ val metrics_snapshot : t -> Repro_obs.Metrics.t
     Shard registries are written without locks on the worker domains, so
     call this only when no requests are in flight — after the responses
     you waited for, or after {!drain}. *)
+
+val spans_snapshot : t -> Repro_obs.Span.t
+(** Drain every shard's span collector, in shard index order, into a
+    fresh collector (recording order preserved per shard, like
+    {!metrics_snapshot}'s merge) and return it.  Draining empties the
+    shard collectors.  Same quiescence requirement as
+    {!metrics_snapshot}. *)

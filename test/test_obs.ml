@@ -486,6 +486,292 @@ let test_parmap_sink_deterministic () =
   Alcotest.(check bool) "recorder drained in input order" true
     (order = List.map (fun i -> Some (string_of_int i)) items)
 
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_basics () =
+  let t = Span.create () in
+  Alcotest.(check bool) "enabled" true (Span.enabled t);
+  let trace = Span.fresh_trace t in
+  Alcotest.(check bool) "trace ids are non-zero" true (trace <> 0);
+  Alcotest.(check bool) "rate 1.0 samples everything" true
+    (Span.sampled t trace);
+  let root = Span.start t ~cat:"test" ~trace ~ts:10.0 "root" in
+  let child =
+    Span.start t ~parent:(Span.id root)
+      ~labels:(Labels.v [ ("k", "v") ])
+      ~trace ~ts:11.0 "child"
+  in
+  Span.finish t child ~ts:12.0;
+  Span.finish t root ~ts:13.0;
+  let eid =
+    Span.emit t ~parent:(Span.id root) ~trace ~t0:12.5 ~t1:12.75 "sibling"
+  in
+  Alcotest.(check bool) "emit returns a fresh id" true
+    (eid <> 0 && eid <> Span.id root && eid <> Span.id child);
+  Alcotest.(check int) "three spans recorded" 3 (Span.length t);
+  let views = Span.spans t in
+  Alcotest.(check (list string)) "recording order"
+    [ "root"; "child"; "sibling" ]
+    (List.map (fun v -> v.Span.v_name) views);
+  let child_v = List.nth views 1 in
+  Alcotest.(check bool) "child parented on root" true
+    (child_v.Span.v_parent = Span.id root);
+  Alcotest.(check bool) "child labels survive" true
+    (Labels.find "k" child_v.Span.v_labels = Some "v");
+  (* Chrome export: one async begin/end pair per span, grouped by trace *)
+  let tr = Trace.create () in
+  Span.export t tr;
+  Alcotest.(check int) "one b/e pair per span" 6 (Trace.length tr);
+  let evs = Trace.events tr in
+  Alcotest.(check bool) "async pairs carry the trace as id" true
+    (List.for_all
+       (fun e ->
+         e.Trace.id = trace
+         &&
+         match e.Trace.phase with
+         | Trace.Async_begin | Trace.Async_end -> true
+         | _ -> false)
+       evs);
+  (* spans/1 JSON: stable schema, hex ids, root's parent omitted *)
+  let j = Json.of_string (Json.to_string (Span.to_json t)) in
+  Alcotest.(check bool) "schema tag" true
+    (Json.member "schema" j = Some (Json.String "spans/1"));
+  (match Json.member "spans" j with
+  | Some (Json.List (r :: c :: _)) ->
+    Alcotest.(check bool) "root has no parent field" true
+      (Json.member "parent" r = None);
+    Alcotest.(check bool) "child parent is the root span, hex" true
+      (Json.member "parent" c
+      = Some (Json.String (Printf.sprintf "%x" (Span.id root))))
+  | _ -> Alcotest.fail "spans/1 without a spans list");
+  (* finish is physical: the [none] handle is inert *)
+  Span.finish t Span.none ~ts:99.0;
+  Alcotest.(check int) "finishing none records nothing" 3 (Span.length t)
+
+let test_span_null_and_sampling () =
+  (* the null collector refuses everything after one branch *)
+  Alcotest.(check bool) "null disabled" false (Span.enabled Span.null);
+  Alcotest.(check int) "null trace id is 0" 0 (Span.fresh_trace Span.null);
+  Alcotest.(check bool) "null never samples" false (Span.sampled Span.null 1);
+  let a = Span.start Span.null ~trace:1 ~ts:0.0 "x" in
+  Alcotest.(check bool) "null start returns none" true (a == Span.none);
+  Alcotest.(check int) "null emit returns 0" 0
+    (Span.emit Span.null ~trace:1 ~t0:0.0 ~t1:1.0 "x");
+  (* the hot path on the null collector allocates nothing *)
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    let h = Span.start Span.null ~trace:1 ~ts:0.0 "hot" in
+    Span.finish Span.null h ~ts:1.0
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Fmt.str "null start/finish allocation-free (%.0f words)" dw)
+    true (dw < 64.0);
+  (* rate 0 never samples; the decision is a pure function of the trace
+     id, so distinct collectors at the same rate always agree *)
+  let z = Span.create ~rate:0.0 () in
+  let some_trace = 12345 in
+  Alcotest.(check bool) "rate 0 drops" false (Span.sampled z some_trace);
+  Alcotest.(check int) "start on unsampled trace records nothing" 0
+    (ignore (Span.start z ~trace:some_trace ~ts:0.0 "x");
+     Span.length z);
+  let a = Span.create ~rate:0.37 ~tag:1 () in
+  let b = Span.create ~rate:0.37 ~tag:2 () in
+  let agree = ref true in
+  for trace = 1 to 1000 do
+    if Span.sampled a trace <> Span.sampled b trace then agree := false
+  done;
+  Alcotest.(check bool) "collectors agree on every sampling decision" true
+    !agree;
+  let kept = ref 0 in
+  for trace = 1 to 1000 do
+    if Span.sampled a trace then incr kept
+  done;
+  Alcotest.(check bool)
+    (Fmt.str "rate 0.37 keeps a similar fraction (%d/1000)" !kept)
+    true
+    (!kept > 250 && !kept < 500);
+  (match Span.create ~rate:1.5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rate 1.5 accepted");
+  match Span.create ~tag:(1 lsl 22) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tag 2^22 accepted"
+
+(* Cross-domain span collection drains back deterministically: a parallel
+   parmap_sink run yields the same span list (ids, parents, names, order)
+   as the sequential one — the spans twin of the parmap_sink metrics/
+   recorder pin above. *)
+let test_span_drain_deterministic () =
+  let items = List.init 12 (fun i -> i) in
+  let run jobs =
+    let spans = Span.create () in
+    let obs = Sink.v ~spans () in
+    let res =
+      Repro_par.Pool.parmap_sink ~jobs ~obs
+        (fun ~obs i ->
+          let spans = obs.Sink.spans in
+          let trace = Span.fresh_trace spans in
+          let root =
+            Span.start spans ~trace
+              ~labels:(Labels.v [ ("i", string_of_int i) ])
+              ~ts:(float_of_int i) "item"
+          in
+          ignore
+            (Span.emit spans ~parent:(Span.id root) ~trace
+               ~t0:(float_of_int i)
+               ~t1:(float_of_int i +. 0.5)
+               "step");
+          Span.finish spans root ~ts:(float_of_int i +. 1.0);
+          i)
+        items
+    in
+    ( res,
+      List.map
+        (fun v -> (v.Span.v_trace, v.Span.v_id, v.Span.v_parent, v.Span.v_name))
+        (Span.spans spans) )
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check bool) "parallel spans = sequential spans" true (seq = par);
+  let _, views = par in
+  Alcotest.(check int) "all spans drained" (2 * List.length items)
+    (List.length views)
+
+(* The two escaping pins of the dump surfaces: a labeled histogram's
+   Prometheus _sum/_count series and a recorder event's canonical series
+   string both round-trip through [Labels.decode_series] even with
+   backslash/quote/newline label values. *)
+let test_dump_escaping_roundtrip () =
+  let nasty = Labels.v [ ("p", "a\\b\"c\nd") ] in
+  let m = Metrics.create () in
+  Metrics.observe m ~labels:nasty ~buckets "lat.s" 1.5;
+  let text = Metrics.to_prometheus m in
+  let sum_line =
+    List.find_opt
+      (fun l ->
+        String.length l > 9 && String.sub l 0 8 = "lat_s_su"
+        && not (contains l "bucket"))
+      (String.split_on_char '\n' text)
+  in
+  (match sum_line with
+  | None -> Alcotest.fail "no _sum line for the labeled histogram"
+  | Some line -> (
+    match String.index_opt line ' ' with
+    | None -> Alcotest.fail "unparseable exposition line"
+    | Some sp ->
+      let series = String.sub line 0 sp in
+      let name, dec = Labels.decode_series series in
+      Alcotest.(check string) "sum series name" "lat_s_sum" name;
+      Alcotest.(check bool) "escaped label value decodes back" true
+        (Labels.equal dec nasty)));
+  let r = Recorder.create () in
+  Recorder.record r ~cat:"t" ~labels:nasty "evt";
+  (* through the actual JSON dump: every labeled event carries its
+     canonical escaped series string *)
+  match Json.member "events" (Recorder.to_json r) with
+  | Some (Json.List [ e ]) -> (
+    match Json.member "series" e with
+    | Some (Json.String series) ->
+      let name, dec = Labels.decode_series series in
+      Alcotest.(check string) "event series name" "evt" name;
+      Alcotest.(check bool) "event labels decode back" true
+        (Labels.equal dec nasty)
+    | _ -> Alcotest.fail "recorder dump without a series string")
+  | _ -> Alcotest.fail "recorder dump without events"
+
+(* qcheck: random span trees built through the API are well-parented
+   (every non-root parent id is an earlier span of the same trace) and
+   properly nested (a child's interval lies within its parent's). *)
+let spans_qcheck =
+  let open QCheck in
+  (* A tree shape: for node i > 0, parent.(i) is some j < i; node 0 is
+     the root.  Spans are opened in preorder and closed in reverse, so
+     nesting holds by construction — the property checks the collector
+     preserves it. *)
+  let arb =
+    make
+      ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+      Gen.(list_size (int_range 1 12) (int_bound 100))
+  in
+  [
+    Test.make ~count:100 ~name:"span trees are well-parented and nested" arb
+      (fun seed ->
+        let n = List.length seed in
+        let parent =
+          Array.of_list (List.mapi (fun i s -> if i = 0 then -1 else s mod i) seed)
+        in
+        let t = Span.create () in
+        let trace = Span.fresh_trace t in
+        let handles = Array.make n Span.none in
+        let t0 = Array.make n 0.0 and t1 = Array.make n 0.0 in
+        (* Open every span at a depth-derived time, close in reverse
+           order at mirrored times: child intervals strictly inside
+           parents. *)
+        let rec depth i = if parent.(i) < 0 then 0 else 1 + depth parent.(i) in
+        Array.iteri
+          (fun i _ ->
+            t0.(i) <- (float_of_int i *. 100.0) +. float_of_int (depth i);
+            t1.(i) <- (float_of_int i *. 100.0) +. 50.0 -. float_of_int (depth i))
+          handles;
+        (* parents must open before and close after their children: use
+           the root's envelope for every subtree by opening in preorder
+           with times nested by depth under a common origin *)
+        let open_order = List.init n (fun i -> i) in
+        List.iter
+          (fun i ->
+            let p = if parent.(i) < 0 then 0 else Span.id handles.(parent.(i)) in
+            let d = float_of_int (depth i) in
+            handles.(i) <-
+              Span.start t ~parent:p ~trace ~ts:d (Fmt.str "s%d" i))
+          open_order;
+        List.iter
+          (fun i ->
+            let d = float_of_int (depth i) in
+            Span.finish t handles.(i) ~ts:(100.0 -. d))
+          (List.rev open_order);
+        let views = Span.spans t in
+        let ids = List.map (fun v -> v.Span.v_id) views in
+        List.length views = n
+        && List.for_all
+             (fun v ->
+               v.Span.v_trace = trace
+               && (v.Span.v_parent = 0 || List.mem v.Span.v_parent ids))
+             views
+        && List.for_all
+             (fun v ->
+               v.Span.v_parent = 0
+               ||
+               let p =
+                 List.find (fun w -> w.Span.v_id = v.Span.v_parent) views
+               in
+               p.Span.v_t0 <= v.Span.v_t0 && v.Span.v_t1 <= p.Span.v_t1)
+             views);
+    Test.make ~count:100 ~name:"drained ids stay unique across collectors"
+      (pair (int_range 1 4) (int_range 1 8))
+      (fun (collectors, per) ->
+        let into = Span.create () in
+        let trace = Span.fresh_trace into in
+        let srcs =
+          List.init collectors (fun c -> Span.create ~tag:(c + 1) ())
+        in
+        List.iter
+          (fun src ->
+            for k = 1 to per do
+              ignore
+                (Span.emit src ~trace ~t0:(float_of_int k)
+                   ~t1:(float_of_int k +. 1.0)
+                   "s")
+            done)
+          srcs;
+        List.iter (fun src -> Span.drain ~into src) srcs;
+        let ids = List.map (fun v -> v.Span.v_id) (Span.spans into) in
+        List.length ids = collectors * per
+        && List.length (List.sort_uniq compare ids) = List.length ids
+        && List.for_all (fun src -> Span.length src = 0) srcs);
+  ]
+
 (* qcheck: the label-set algebra stays canonical under arbitrary
    construction orders and survives the series-key encoding. *)
 let labels_qcheck =
@@ -555,6 +841,14 @@ let suite =
           test_engine_observability;
         Alcotest.test_case "parmap_sink determinism" `Quick
           test_parmap_sink_deterministic;
+        Alcotest.test_case "span collector basics" `Quick test_span_basics;
+        Alcotest.test_case "span null and sampling" `Quick
+          test_span_null_and_sampling;
+        Alcotest.test_case "span drain determinism" `Quick
+          test_span_drain_deterministic;
+        Alcotest.test_case "dump escaping round-trips" `Quick
+          test_dump_escaping_roundtrip;
       ]
-      @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) labels_qcheck );
+      @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) labels_qcheck
+      @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) spans_qcheck );
   ]
