@@ -4,7 +4,7 @@
    output-file helpers.  Every subcommand module builds on these so the
    three binaries agree on behaviour at the edges. *)
 
-let version = "1.4.0"
+let version = "1.5.0"
 
 let read_history path =
   try

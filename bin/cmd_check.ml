@@ -74,6 +74,17 @@ let print_introspection ppf session =
   Fmt.pf ppf "--- engine state (engine-stats/1) ---@.%s@."
     (Repro_obs.Json.to_string (Repro_core.Engine.introspect session))
 
+(* --stats: conflict-spec lints.  A valid history can still feed its spec
+   operation names the spec does not recognize, silently landing on a
+   pessimistic or commuting default; off the certification path, so only
+   computed when stats were asked for. *)
+let print_lint ppf h =
+  match Validate.lint h with
+  | [] -> ()
+  | ws ->
+    Fmt.pf ppf "--- conflict-spec lint ---@.";
+    List.iter (fun w -> Fmt.pf ppf "warning: %a@." Validate.pp_warning w) ws
+
 let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ?(obs = Repro_obs.Sink.null)
     ~brief criterion explain format shrink stats skip_validation dot path =
   (* A forensic request is an explain request: --shrink and the machine
@@ -150,7 +161,8 @@ let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ?(obs = Repro_obs.Sink.null)
     if explain then Cmd_explain.report ppf format shrink session;
     if stats then begin
       print_stats hpf trace metrics;
-      print_introspection hpf session
+      print_introspection hpf session;
+      print_lint hpf h
     end;
     if List.assoc "Comp-C" report then 0 else 1
   | name -> (
@@ -170,6 +182,7 @@ let run ?(ppf = Fmt.stdout) ?(eppf = Fmt.stderr) ?(obs = Repro_obs.Sink.null)
         Cmd_explain.report ppf format shrink session;
       if stats then begin
         print_stats hpf trace metrics;
-        print_introspection hpf session
+        print_introspection hpf session;
+        print_lint hpf h
       end;
       if v then 0 else 1)

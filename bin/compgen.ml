@@ -3,15 +3,22 @@
 open Cmdliner
 open Repro_workload
 
-let run shape seed roots levels branches schedules out =
+let run shape seed roots levels branches schedules conflict out =
+  match
+    Option.map Repro_histlang.Syntax.spec_of_string conflict
+  with
+  | exception Repro_histlang.Syntax.Parse_error e ->
+    Fmt.epr "compgen: --conflict: %a@." Repro_histlang.Syntax.pp_error e;
+    2
+  | conflict ->
   let rng = Prng.create ~seed in
   let history =
     match shape with
-    | "flat" -> Ok (Gen.flat rng ~roots)
-    | "stack" -> Ok (Gen.stack rng ~levels ~roots)
-    | "fork" -> Ok (Gen.fork rng ~branches ~roots)
-    | "join" -> Ok (Gen.join rng ~branches ~roots:(max roots branches))
-    | "general" -> Ok (Gen.general rng ~schedules ~roots)
+    | "flat" -> Ok (Gen.flat rng ?conflict ~roots)
+    | "stack" -> Ok (Gen.stack rng ?conflict ~levels ~roots)
+    | "fork" -> Ok (Gen.fork rng ?conflict ~branches ~roots)
+    | "join" -> Ok (Gen.join rng ?conflict ~branches ~roots:(max roots branches))
+    | "general" -> Ok (Gen.general rng ?conflict ~schedules ~roots)
     | other -> Error other
   in
   match history with
@@ -49,6 +56,21 @@ let schedules_arg =
   let doc = "Schedule count (general shape)." in
   Arg.(value & opt int 4 & info [ "schedules" ] ~docv:"N" ~doc)
 
+let conflict_arg =
+  let doc =
+    "Conflict specification for the generated schedules, in .ct syntax: \
+     never, always, rw, same_item, counter, queue, set, escrow, \
+     table(...), or adt(...).  The shape decides which schedules it \
+     replaces (stack: the bottom store; fork: the branches; join: the \
+     joined store; flat and general: all of them); leaf labels are drawn \
+     from the spec's vocabulary.  Default keeps each generator's stock \
+     specs."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "c"; "conflict" ] ~docv:"SPEC" ~doc)
+
 let out_arg =
   let doc = "Write to $(docv) instead of standard output." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
@@ -59,6 +81,6 @@ let cmd =
     (Cmd.info "compgen" ~version:Cli_common.version ~doc)
     Term.(
       const run $ shape_arg $ seed_arg $ roots_arg $ levels_arg $ branches_arg
-      $ schedules_arg $ out_arg)
+      $ schedules_arg $ conflict_arg $ out_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -15,7 +15,7 @@ let fail line fmt = Fmt.kstr (fun message -> raise (Parse_error { line; message 
 
 type token =
   | Name of string
-  | Punct of char (* @ ( ) , / : < *)
+  | Punct of char (* @ ( ) , / : < = ; *)
   | Bang
 
 type ltoken = { tok : token; line : int }
@@ -54,7 +54,7 @@ let lex src =
       toks := { tok = Bang; line = !line } :: !toks;
       incr i
     end
-    else if String.contains "@(),/:<" c then begin
+    else if String.contains "@(),/:<=;" c then begin
       toks := { tok = Punct c; line = !line } :: !toks;
       incr i
     end
@@ -145,6 +145,67 @@ let parse_name_pairs st =
   in
   go []
 
+let parse_cond line = function
+  | "always" -> Adt.Always
+  | "item" -> Adt.Item
+  | "args" -> Adt.Args
+  | "range" -> Adt.Range
+  | s -> fail line "unknown commutativity condition %S (expected always, item, args or range)" s
+
+(* adt decl := "(" [class ("," class)*] [";" [rule ("," rule)*]] ")"
+   class    := NAME "=" NAME ("/" NAME)*
+   rule     := NAME "/" NAME "=" cond *)
+let parse_adt_decl st =
+  expect_punct st '(';
+  let rec ops acc =
+    let o, _ = expect_name st "an operation name" in
+    match peek st with
+    | Some { tok = Punct '/'; _ } ->
+      ignore (next st);
+      ops (o :: acc)
+    | _ -> List.rev (o :: acc)
+  in
+  let rec classes acc =
+    match peek st with
+    | Some { tok = Punct ')'; _ } ->
+      ignore (next st);
+      (List.rev acc, false)
+    | Some { tok = Punct ';'; _ } ->
+      ignore (next st);
+      (List.rev acc, true)
+    | _ ->
+      let cls, _ = expect_name st "a class name" in
+      expect_punct st '=';
+      let members = ops [] in
+      let acc = (cls, members) :: acc in
+      let t = next st in
+      (match t.tok with
+      | Punct ',' -> classes acc
+      | Punct ';' -> (List.rev acc, true)
+      | Punct ')' -> (List.rev acc, false)
+      | _ -> fail t.line "expected ',', ';' or ')' in adt classes")
+  in
+  let classes, have_rules = classes [] in
+  let rec rules acc =
+    match peek st with
+    | Some { tok = Punct ')'; _ } ->
+      ignore (next st);
+      List.rev acc
+    | _ ->
+      let x, _ = expect_name st "a class name" in
+      expect_punct st '/';
+      let y, _ = expect_name st "a class name" in
+      expect_punct st '=';
+      let c, lc = expect_name st "a commutativity condition" in
+      let acc = (x, y, parse_cond lc c) :: acc in
+      (match peek st with
+      | Some { tok = Punct ','; _ } -> ignore (next st)
+      | _ -> ());
+      rules acc
+  in
+  let rules = if have_rules then rules [] else [] in
+  { Adt.classes; rules }
+
 let parse_spec st line =
   let s, l = expect_name st "a conflict specification" in
   match s with
@@ -154,6 +215,11 @@ let parse_spec st line =
   | "same-item" -> Simple Conflict.Same_item
   | "table" -> Simple (Conflict.Table (parse_name_pairs st))
   | "explicit" -> Explicit_names (parse_name_pairs st, line)
+  | "counter" -> Simple (Conflict.Adt Adt.Counter)
+  | "queue" -> Simple (Conflict.Adt Adt.Queue)
+  | "set" -> Simple (Conflict.Adt Adt.Set)
+  | "escrow" -> Simple (Conflict.Adt Adt.Escrow)
+  | "adt" -> Simple (Conflict.Adt (Adt.Custom (parse_adt_decl st)))
   | _ -> fail (max line l) "unknown conflict specification %S" s
 
 let parse_bang st =
@@ -314,6 +380,22 @@ let parse_file path =
   close_in ic;
   parse src
 
+(* A bare conflict specification, for command lines ([compgen --conflict]).
+   [explicit] is rejected: its pairs reference node names, which do not
+   exist outside a history description. *)
+let spec_of_string src =
+  let st = { toks = lex src } in
+  let spec =
+    match parse_spec st 1 with
+    | Simple c -> c
+    | Explicit_names (_, line) ->
+      fail line "explicit specifications reference nodes of a history and cannot stand alone"
+  in
+  (match st.toks with
+  | [] -> ()
+  | { line; _ } :: _ -> fail line "trailing input after conflict specification");
+  spec
+
 (* ------------------------------------------------------------------ *)
 (* Printer                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -336,6 +418,7 @@ let print_spec h ppf = function
         list ~sep:(any ",")
           (pair ~sep:(any "/") (using node_name string) (using node_name string)))
       pairs
+  | Conflict.Adt f -> Adt.pp ppf f
 
 let print ppf h =
   let sname s = (History.schedule h s).History.sname in

@@ -17,8 +17,13 @@
               | "input!" ":" NAME "<" NAME           # strong root input order
               | "log" NAME ":" NAME*                 # execution log of a schedule
     spec     := "rw" | "never" | "always" | "same-item"
+              | "counter" | "queue" | "set" | "escrow"
               | "table" "(" [NAME "/" NAME ("," NAME "/" NAME)*] ")"
               | "explicit" "(" [NAME "/" NAME ("," NAME "/" NAME)*] ")"
+              | "adt" "(" [class ("," class)*] [";" [rule ("," rule)*]] ")"
+    class    := NAME "=" NAME ("/" NAME)*          # class = member ops
+    rule     := NAME "/" NAME "=" cond             # conflicting class pair
+    cond     := "always" | "item" | "args" | "range"
     label    := NAME [ "(" [ARG ("," ARG)*] ")" ]
     v}
 
@@ -26,7 +31,22 @@
     ([A-Za-z0-9_.'-]+); a node must be declared before it is referenced.
     In an [explicit] conflict specification the names refer to nodes, which
     therefore must be declared before the schedule — in printed output the
-    specification is emitted after all nodes instead.
+    specification is emitted after all nodes instead.  Note that [explicit]
+    specs have no label-level meaning: runtime components that only see
+    labels — the semantic lock tables of {!Repro_runtime.Lock} — fall back
+    to treating {e every} pair as conflicting and emit a one-time
+    [Validate] warning on stderr when they do (see
+    {!Repro_model.Conflict.probe_labels}).
+
+    [counter], [queue], [set] and [escrow] are the canonical ADT
+    commutativity families of {!Repro_model.Adt}; [adt(...)] declares a
+    custom family: operation classes ([class]) and symmetric conflicting
+    class pairs ([rule]), each guarded by an argument condition — [always]
+    (unconditional), [item] (same first argument), [args] (same first
+    argument and intersecting remaining arguments), [range] (same first
+    argument and overlapping numeric intervals from arguments 2 and 3).
+    Class pairs without a rule commute; operation names outside every
+    class conflict pessimistically with anything sharing their item.
 
     Example:
 
@@ -51,6 +71,12 @@ val parse : string -> Repro_model.History.t
     structure (see {!Repro_model.History.Builder.seal}). *)
 
 val parse_file : string -> Repro_model.History.t
+
+val spec_of_string : string -> Repro_model.Conflict.spec
+(** Parse a bare conflict specification ([spec] in the grammar), for
+    command lines such as [compgen --conflict].  Rejects [explicit] — its
+    pairs reference nodes of a history — and trailing input.  Raises
+    {!Parse_error}. *)
 
 val print : Format.formatter -> Repro_model.History.t -> unit
 (** Print a history in the language.  Node names are [n<id>]; the output

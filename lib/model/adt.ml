@@ -1,0 +1,238 @@
+type cond = Always | Item | Args | Range
+
+type decl = {
+  classes : (string * string list) list;
+  rules : (string * string * cond) list;
+}
+
+type family = Counter | Queue | Set | Escrow | Custom of decl
+
+(* Canonical families after Malta & Martinez: update classes that commute
+   internally, observers that conflict with updates on the same item, and
+   escrow ranges that conflict only when the reserved intervals overlap. *)
+
+let counter_decl =
+  {
+    classes =
+      [ ("upd", [ "inc"; "dec" ]);
+        ("get", [ "get"; "read"; "r" ]);
+        ("set", [ "set"; "write"; "w" ]) ];
+    rules =
+      [ ("get", "upd", Item);
+        ("get", "set", Item);
+        ("set", "set", Item);
+        ("set", "upd", Item) ];
+  }
+
+let queue_decl =
+  {
+    classes = [ ("enq", [ "enq"; "push" ]); ("deq", [ "deq"; "pop" ]) ];
+    rules = [ ("enq", "enq", Item); ("deq", "deq", Item) ];
+  }
+
+let set_decl =
+  {
+    classes =
+      [ ("add", [ "add"; "insert" ]);
+        ("remove", [ "remove"; "delete" ]);
+        ("contains", [ "contains"; "member"; "mem" ]) ];
+    rules =
+      [ ("add", "remove", Args);
+        ("add", "contains", Args);
+        ("remove", "contains", Args) ];
+  }
+
+let escrow_decl =
+  {
+    classes =
+      [ ("escrow", [ "escrow"; "reserve" ]);
+        ("move", [ "take"; "put"; "deposit"; "withdraw" ]) ];
+    rules = [ ("escrow", "escrow", Range); ("escrow", "move", Item) ];
+  }
+
+let decl_of = function
+  | Counter -> counter_decl
+  | Queue -> queue_decl
+  | Set -> set_decl
+  | Escrow -> escrow_decl
+  | Custom d -> d
+
+let vocabulary f = List.concat_map snd (decl_of f).classes
+
+let known f name =
+  List.exists (fun (_, ops) -> List.mem name ops) (decl_of f).classes
+
+(* The numeric interval of an escrow label, read from the second and third
+   arguments; [None] when either bound is missing or unparseable. *)
+let range_of (l : Label.t) =
+  match l.args with
+  | _ :: lo :: hi :: _ -> (
+    match (float_of_string_opt lo, float_of_string_opt hi) with
+    | Some l, Some h -> Some (min l h, max l h)
+    | _ -> None)
+  | _ -> None
+
+let cond_holds cond (a : Label.t) (b : Label.t) =
+  match cond with
+  | Always -> true
+  | Item -> (
+    match (Label.item a, Label.item b) with
+    | Some ia, Some ib -> String.equal ia ib
+    | _ -> true (* no item to discriminate on: pessimistic *))
+  | Args -> (
+    match (a.args, b.args) with
+    | ia :: ra, ib :: rb ->
+      String.equal ia ib
+      && (match (ra, rb) with
+         | [], _ | _, [] -> true (* element unknown: pessimistic *)
+         | _ -> List.exists (fun x -> List.mem x rb) ra)
+    | _ -> true)
+  | Range -> (
+    match (Label.item a, Label.item b) with
+    | Some ia, Some ib ->
+      String.equal ia ib
+      && (match (range_of a, range_of b) with
+         | Some (l1, h1), Some (l2, h2) -> l1 <= h2 && l2 <= h1
+         | _ -> true (* unparseable bounds: pessimistic *))
+    | _ -> true)
+
+(* Reference interpreter.  Class resolution scans the declaration list
+   (first declaration wins); unknown names resolve to no class and fall to
+   the pessimistic same-item rule.  [compile]/[probe] must agree with this
+   on every pair — the qcheck parity property pins it. *)
+
+let class_of decl name =
+  let rec go = function
+    | [] -> None
+    | (cls, ops) :: rest -> if List.mem name ops then Some cls else go rest
+  in
+  go decl.classes
+
+let rule_of decl ca cb =
+  let rec go = function
+    | [] -> None
+    | (x, y, cond) :: rest ->
+      if
+        (String.equal x ca && String.equal y cb)
+        || (String.equal x cb && String.equal y ca)
+      then Some cond
+      else go rest
+  in
+  go decl.rules
+
+let eval f (a : Label.t) (b : Label.t) =
+  let decl = decl_of f in
+  match (class_of decl a.name, class_of decl b.name) with
+  | Some ca, Some cb -> (
+    match rule_of decl ca cb with
+    | Some cond -> cond_holds cond a b
+    | None -> false)
+  | _ -> cond_holds Item a b
+
+(* Compiled form: operation names interned to class ids, rules lowered to a
+   dense [(ncls+1)^2] matrix of condition codes.  Class id [ncls] is the
+   pessimistic unknown-name class; its row and column carry the [Item]
+   code everywhere, so the probe needs no unknown-name branch. *)
+
+type compiled = {
+  ids : (string, int) Hashtbl.t;
+  width : int; (* ncls + 1 *)
+  matrix : int array; (* 0 commute, 1 always, 2 item, 3 args, 4 range *)
+}
+
+let code_of = function Always -> 1 | Item -> 2 | Args -> 3 | Range -> 4
+
+let cond_of_code = function
+  | 1 -> Always
+  | 2 -> Item
+  | 3 -> Args
+  | 4 -> Range
+  | c -> invalid_arg (Printf.sprintf "Adt.cond_of_code: %d" c)
+
+let compile f =
+  let decl = decl_of f in
+  let ncls = List.length decl.classes in
+  let width = ncls + 1 in
+  let cls_id = Hashtbl.create 8 in
+  List.iteri (fun i (cls, _) -> if not (Hashtbl.mem cls_id cls) then Hashtbl.add cls_id cls i) decl.classes;
+  let ids = Hashtbl.create 16 in
+  List.iter
+    (fun (cls, ops) ->
+      let i = Hashtbl.find cls_id cls in
+      List.iter
+        (fun op -> if not (Hashtbl.mem ids op) then Hashtbl.add ids op i)
+        ops)
+    decl.classes;
+  let matrix = Array.make (width * width) 0 in
+  (* Unknown names conflict with everything sharing their item. *)
+  let item = code_of Item in
+  for i = 0 to width - 1 do
+    matrix.((i * width) + ncls) <- item;
+    matrix.((ncls * width) + i) <- item
+  done;
+  (* First matching rule wins, like the interpreter's scan. *)
+  let seen = Array.make (width * width) false in
+  List.iter
+    (fun (x, y, cond) ->
+      match (Hashtbl.find_opt cls_id x, Hashtbl.find_opt cls_id y) with
+      | Some i, Some j ->
+        let c = code_of cond in
+        if not seen.((i * width) + j) then begin
+          seen.((i * width) + j) <- true;
+          seen.((j * width) + i) <- true;
+          matrix.((i * width) + j) <- c;
+          matrix.((j * width) + i) <- c
+        end
+      | _ -> () (* rule over undeclared classes: inert *))
+    decl.rules;
+  { ids; width; matrix }
+
+let probe c (a : Label.t) (b : Label.t) =
+  let unknown = c.width - 1 in
+  let ca = match Hashtbl.find_opt c.ids a.name with Some i -> i | None -> unknown in
+  let cb = match Hashtbl.find_opt c.ids b.name with Some i -> i | None -> unknown in
+  match c.matrix.((ca * c.width) + cb) with
+  | 0 -> false
+  | 1 -> true
+  | code -> cond_holds (cond_of_code code) a b
+
+let pp_cond ppf c =
+  Fmt.string ppf
+    (match c with
+    | Always -> "always"
+    | Item -> "item"
+    | Args -> "args"
+    | Range -> "range")
+
+let pp ppf = function
+  | Counter -> Fmt.string ppf "counter"
+  | Queue -> Fmt.string ppf "queue"
+  | Set -> Fmt.string ppf "set"
+  | Escrow -> Fmt.string ppf "escrow"
+  | Custom d ->
+    let pp_class ppf (cls, ops) =
+      Fmt.pf ppf "%s=%a" cls Fmt.(list ~sep:(any "/") string) ops
+    in
+    let pp_rule ppf (x, y, cond) =
+      Fmt.pf ppf "%s/%s=%a" x y pp_cond cond
+    in
+    Fmt.pf ppf "adt(%a;%a)"
+      Fmt.(list ~sep:(any ",") pp_class)
+      d.classes
+      Fmt.(list ~sep:(any ",") pp_rule)
+      d.rules
+
+let equal_decl d1 d2 =
+  List.equal
+    (fun (c1, o1) (c2, o2) -> String.equal c1 c2 && List.equal String.equal o1 o2)
+    d1.classes d2.classes
+  && List.equal
+       (fun (x1, y1, c1) (x2, y2, c2) ->
+         String.equal x1 x2 && String.equal y1 y2 && c1 = c2)
+       d1.rules d2.rules
+
+let equal f1 f2 =
+  match (f1, f2) with
+  | Counter, Counter | Queue, Queue | Set, Set | Escrow, Escrow -> true
+  | Custom d1, Custom d2 -> equal_decl d1 d2
+  | (Counter | Queue | Set | Escrow | Custom _), _ -> false

@@ -1,0 +1,101 @@
+(** ADT commutativity algebra.
+
+    The paper treats a schedule's conflict predicate [CON_S] (Def. 3) as an
+    abstract commutativity relation; Malta & Martinez ("Limits of
+    Commutativity on Abstract Data Types") supply the concrete families this
+    module encodes: operations are grouped into {e classes}, and a symmetric
+    table of class pairs declares which classes conflict, each pair guarded
+    by an argument-sensitive {!cond} (same item, same item and element,
+    overlapping escrow range).  Class pairs not listed commute.
+
+    Two evaluation paths exist on purpose.  {!eval} interprets the
+    declaration lists directly and is the qcheck reference oracle; {!compile}
+    interns the operation vocabulary once and builds a dense class-pair
+    matrix so {!probe} decides a pair with two hash lookups and one array
+    read — that is the form the conflict-memo fill path uses. *)
+
+type cond =
+  | Always  (** The class pair conflicts regardless of arguments. *)
+  | Item
+      (** Conflict iff the operations share their first argument.  Pairs
+          where either side lacks a first argument conflict pessimistically:
+          without an item we cannot prove commutation. *)
+  | Args
+      (** Conflict iff the operations share their first argument {e and}
+          their remaining argument lists intersect (set [add]/[remove] on
+          the same element).  Missing arguments are pessimistic: no first
+          argument, or no remaining arguments on either side, conflicts. *)
+  | Range
+      (** Conflict iff the operations share their first argument and the
+          numeric intervals read from their second and third arguments
+          overlap (escrow reservations).  Unparseable or missing bounds are
+          pessimistic: same item conflicts. *)
+
+type decl = {
+  classes : (string * string list) list;
+      (** Class name to member operation names, in declaration order.  When
+          an operation name appears in several classes the first declaration
+          wins.  Operation names not in any class are pessimistic: they
+          conflict with every operation sharing their first argument (and
+          with argument-free operations). *)
+  rules : (string * string * cond) list;
+      (** Symmetric conflicting class pairs with their argument guard; the
+          first matching rule wins, unlisted pairs commute.  Rules naming
+          undeclared classes are inert. *)
+}
+
+type family =
+  | Counter
+      (** [inc]/[dec] (class [upd]) commute with each other; [get]/[read]/[r]
+          (class [get]) commute with each other; [set]/[write]/[w] (class
+          [set]) conflict with everything on the same item, and [get]
+          conflicts with [upd] on the same item. *)
+  | Queue
+      (** [enq]/[push] conflict with each other on the same queue (order
+          decides queue order), [deq]/[pop] likewise; enqueues and dequeues
+          operate on opposite ends of the FIFO and commute. *)
+  | Set
+      (** [add]/[insert], [remove]/[delete], [contains]/[member]/[mem]:
+          same-class pairs commute, cross-class pairs conflict only on the
+          same set {e and} the same element ({!Args}). *)
+  | Escrow
+      (** [escrow]/[reserve] carry a numeric range over their account:
+          two reservations conflict iff their ranges overlap ({!Range});
+          [take]/[put]/[deposit]/[withdraw] (class [move]) commute with each
+          other but conflict with reservations on the same account. *)
+  | Custom of decl  (** A user-declared table from the [.ct] language. *)
+
+val decl_of : family -> decl
+(** The declaration a family denotes; [Custom d] returns [d]. *)
+
+val vocabulary : family -> string list
+(** All operation names declared by the family's classes, in declaration
+    order, duplicates included. *)
+
+val known : family -> string -> bool
+(** Whether the operation name belongs to a declared class (i.e. is not
+    handled by the pessimistic unknown-name fallback). *)
+
+val eval : family -> Label.t -> Label.t -> bool
+(** Reference interpreter: resolves both labels' classes by scanning the
+    declaration lists and applies the first matching rule.  Symmetric.
+    {!probe} on the compiled family agrees with this on every pair — the
+    qcheck suites pin that equivalence. *)
+
+type compiled
+(** Interned form: operation name -> class id hash table plus a dense
+    [(nclasses+1)^2] matrix of condition codes, the extra row and column
+    holding the pessimistic unknown-name class. *)
+
+val compile : family -> compiled
+
+val probe : compiled -> Label.t -> Label.t -> bool
+(** Same decision as {!eval}, via the dense matrix. *)
+
+val pp : Format.formatter -> family -> unit
+(** Prints the [.ct] concrete syntax: [counter], [queue], [set], [escrow],
+    or [adt(cls=op/op,...;cls/cls=cond,...)]. *)
+
+val pp_cond : Format.formatter -> cond -> unit
+
+val equal : family -> family -> bool

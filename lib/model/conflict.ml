@@ -7,6 +7,7 @@ type spec =
   | Same_item
   | Table of (string * string) list
   | Explicit of (Ids.id * Ids.id) list
+  | Adt of Adt.family
 
 (* Access classes of the read/write model; [Other] behaves like a writer so
    that unknown operation names are treated pessimistically. *)
@@ -53,6 +54,7 @@ let eval_labels spec a b =
     | _ -> false)
   | Table pairs -> table_conflict pairs a b
   | Explicit _ -> true
+  | Adt f -> Adt.eval f a b
 
 (* Process-global count of label interpretations, so tests can pin that a
    memo (or a memo transfer) really prevented re-evaluation.  Atomic: the
@@ -76,6 +78,116 @@ let eval spec ~get_label a b =
     | Table pairs -> table_conflict pairs (get_label a) (get_label b)
     | Explicit pairs ->
       List.exists (fun (x, y) -> (x = a && y = b) || (x = b && y = a)) pairs
+    | Adt f -> Adt.eval f (get_label a) (get_label b)
+
+(* Compiled specifications.  A spec compiles once per schedule; the probes
+   below are what the conflict-memo fill path, the lock tables, and the
+   generators use, so no list is re-interpreted on a hot path.  [Table]
+   lowers to an interned name matrix (unknown names get the extra id
+   [width - 1] and commute, as the interpreter's "not listed" case);
+   [Explicit] lowers to a hash set over (lo, hi) node pairs; [Adt] reuses
+   the family's own dense class matrix. *)
+
+type compiled =
+  | Cnever
+  | Calways
+  | Crw
+  | Csame_item
+  | Ctable of {
+      ids : (string, int) Hashtbl.t;
+      width : int;
+      matrix : Bytes.t; (* row-major booleans; unknown row/column zero *)
+    }
+  | Cexplicit of (Ids.id * Ids.id, unit) Hashtbl.t
+  | Cadt of Adt.compiled
+
+let compile = function
+  | Never -> Cnever
+  | Always -> Calways
+  | Rw -> Crw
+  | Same_item -> Csame_item
+  | Table pairs ->
+    let ids = Hashtbl.create 16 in
+    let intern n =
+      match Hashtbl.find_opt ids n with
+      | Some i -> i
+      | None ->
+        let i = Hashtbl.length ids in
+        Hashtbl.add ids n i;
+        i
+    in
+    List.iter
+      (fun (x, y) ->
+        ignore (intern x);
+        ignore (intern y))
+      pairs;
+    let width = Hashtbl.length ids + 1 in
+    let matrix = Bytes.make (width * width) '\000' in
+    List.iter
+      (fun (x, y) ->
+        let i = Hashtbl.find ids x and j = Hashtbl.find ids y in
+        Bytes.set matrix ((i * width) + j) '\001';
+        Bytes.set matrix ((j * width) + i) '\001')
+      pairs;
+    Ctable { ids; width; matrix }
+  | Explicit pairs ->
+    let tbl = Hashtbl.create (List.length pairs * 2) in
+    List.iter
+      (fun (x, y) ->
+        Hashtbl.replace tbl (if x <= y then (x, y) else (y, x)) ())
+      pairs;
+    Cexplicit tbl
+  | Adt f -> Cadt (Adt.compile f)
+
+(* The one label-level compatibility decision shared by the checker's memo
+   fill and the lock tables; [Explicit] has no label-level meaning and is
+   pessimistic, exactly like [eval_labels]. *)
+let probe_labels_quiet c (a : Label.t) (b : Label.t) =
+  match c with
+  | Cnever -> false
+  | Calways -> true
+  | Crw -> rw_labels a b
+  | Csame_item -> (
+    match (Label.item a, Label.item b) with
+    | Some ia, Some ib -> String.equal ia ib
+    | _ -> false)
+  | Ctable { ids; width; matrix } ->
+    let unknown = width - 1 in
+    let ca =
+      match Hashtbl.find_opt ids a.name with Some i -> i | None -> unknown
+    in
+    let cb =
+      match Hashtbl.find_opt ids b.name with Some i -> i | None -> unknown
+    in
+    Bytes.get matrix ((ca * width) + cb) <> '\000' && share_arg a b
+  | Cexplicit _ -> true
+  | Cadt c -> Adt.probe c a b
+
+let probe_labels c a b =
+  Atomic.incr eval_count;
+  probe_labels_quiet c a b
+
+let probe_ids c ~get_label a b =
+  Atomic.incr eval_count;
+  if a = b then false
+  else
+    match c with
+    | Cexplicit tbl -> Hashtbl.mem tbl (if a <= b then (a, b) else (b, a))
+    | _ -> probe_labels_quiet c (get_label a) (get_label b)
+
+let known_name spec name =
+  match spec with
+  | Never | Always | Same_item | Explicit _ -> true
+  | Rw -> access_of_name name <> Other
+  | Table pairs ->
+    List.exists
+      (fun (x, y) -> String.equal x name || String.equal y name)
+      pairs
+  | Adt f -> Adt.known f name
+
+let discriminates = function
+  | Never | Always | Same_item | Explicit _ -> false
+  | Rw | Table _ | Adt _ -> true
 
 let pp ppf = function
   | Never -> Fmt.string ppf "never"
@@ -90,6 +202,7 @@ let pp ppf = function
     Fmt.pf ppf "explicit{%a}"
       Fmt.(list ~sep:(any ";@ ") (pair ~sep:(any ",") int int))
       pairs
+  | Adt f -> Adt.pp ppf f
 
 let equal s1 s2 =
   match (s1, s2) with
@@ -98,4 +211,6 @@ let equal s1 s2 =
     List.equal (fun (a, b) (c, d) -> String.equal a c && String.equal b d) p1 p2
   | Explicit p1, Explicit p2 ->
     List.equal (fun (a, b) (c, d) -> a = c && b = d) p1 p2
-  | (Never | Always | Rw | Same_item | Table _ | Explicit _), _ -> false
+  | Adt f1, Adt f2 -> Adt.equal f1 f2
+  | (Never | Always | Rw | Same_item | Table _ | Explicit _ | Adt _), _ ->
+    false

@@ -35,11 +35,57 @@ type spec =
       (** Exact conflicting node pairs, interpreted symmetrically.  Used by
           reconstructed paper figures and by generators that draw random
           conflicts. *)
+  | Adt of Adt.family
+      (** Semantic commutativity of an abstract data type: operation
+          classes with argument-sensitive conflict rules — see {!Adt} for
+          the canonical counter/queue/set/escrow families and the
+          user-declared form. *)
 
 val eval : spec -> get_label:(Repro_order.Ids.id -> Label.t) -> Repro_order.Ids.id -> Repro_order.Ids.id -> bool
 (** [eval spec ~get_label a b] decides whether operations [a] and [b]
     conflict under [spec].  Symmetric; [eval spec ~get_label a a] is
-    [false]. *)
+    [false].  This is the interpreted reference; hot paths go through
+    {!compile} and the probes, whose agreement with [eval] the qcheck
+    suites pin. *)
+
+type compiled
+(** A specification compiled for repeated probing: [Table] becomes an
+    interned-name matrix, [Explicit] a hash set over node pairs, [Adt] the
+    family's dense class matrix (see {!Adt.compile}).  Each schedule
+    compiles its spec once; the conflict memo, the lock tables, and the
+    workload generators all probe the same compiled form. *)
+
+val compile : spec -> compiled
+
+val probe_ids :
+  compiled ->
+  get_label:(Repro_order.Ids.id -> Label.t) ->
+  Repro_order.Ids.id ->
+  Repro_order.Ids.id ->
+  bool
+(** Same decision as {!eval} on the originating spec (including exact
+    [Explicit] pairs), without re-interpreting any list.  Counts toward
+    {!evals} exactly like {!eval} so the memo tests keep their meaning. *)
+
+val probe_labels : compiled -> Label.t -> Label.t -> bool
+(** Same decision as {!eval_labels} on the originating spec: the one
+    label-level compatibility function shared by the checker and the
+    semantic 2PL lock tables.  [Explicit] is pessimistically [true] (no
+    node identities exist at the label level); {!Lock} emits a one-time
+    {!Validate} warning when it hits that fallback.  Counts toward
+    {!evals}. *)
+
+val known_name : spec -> string -> bool
+(** Whether the spec recognizes the operation name, i.e. the name does not
+    fall to a pessimistic or silent default: [Rw]'s unknown-names-are-
+    writers, [Table]'s unlisted-names-commute, [Adt]'s unknown-class
+    fallback.  Specs that never discriminate by name ([Never], [Always],
+    [Same_item], [Explicit]) recognize everything.  The {!Validate} lint
+    builds on this. *)
+
+val discriminates : spec -> bool
+(** Whether {!known_name} can ever be [false] for the spec — i.e. whether
+    the unknown-operation lint is meaningful for it. *)
 
 val evals : unit -> int
 (** Process-global count of {!eval} invocations (label interpretations),

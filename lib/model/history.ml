@@ -27,11 +27,13 @@ type schedule = {
 
 (* Per-history memoization of the conflict predicate (see [conflicts]):
    operations get a dense index within their schedule, and each schedule
-   lazily fills a symmetric triangular bitmatrix of [Conflict.eval]
-   results — one "known" bit and one "value" bit per unordered pair.  The
+   lazily fills a symmetric triangular bitmatrix of conflict decisions —
+   one "known" bit and one "value" bit per unordered pair.  The
    observed-order fixpoint probes the same pairs over and over (every
    propagation round re-examines every observed pair), so the label
-   interpretation must run at most once per pair.
+   interpretation must run at most once per pair.  Each schedule's spec is
+   compiled once ([Conflict.compile]) when the cache is built, so the fill
+   itself is a dense matrix probe, never a list re-interpretation.
 
    The cache is created on first use and is invisible in the interface;
    histories remain semantically immutable.  It is not domain-safe: the
@@ -40,6 +42,7 @@ type ccache = {
   op_index : int array; (* node id -> index among its schedule's ops; -1 *)
   op_sched : int array; (* node id -> schedule it is an operation of; -1 *)
   op_count : int array; (* per schedule: number of operations *)
+  compiled : Conflict.compiled array; (* per schedule: compiled spec *)
   floors : int array;
       (* per schedule: ranks below this are released — their memo rows were
          dropped by [memo_release] and those pairs evaluate uncached.  The
@@ -133,6 +136,7 @@ let cache h =
         op_index;
         op_sched;
         op_count;
+        compiled = Array.map (fun s -> Conflict.compile s.conflict) h.scheds;
         floors = Array.make ns 0;
         tables = Array.make ns None;
         donated = false;
@@ -140,6 +144,8 @@ let cache h =
     in
     h.ccache <- Some c;
     c
+
+let compiled_spec h s = (cache h).compiled.(s)
 
 let common_op_schedule_id h a b =
   let c = cache h in
@@ -173,7 +179,7 @@ let conflicts h s a b =
          that respect the Def. 10/11 side conditions only take the first
          branch for cross-schedule probes; the second is the truncated
          monitor touching a boundary pair, which is rare by design.) *)
-      Conflict.eval h.scheds.(s).conflict ~get_label:(label h) a b
+      Conflict.probe_ids c.compiled.(s) ~get_label:(label h) a b
     else begin
       let floor = c.floors.(s) in
       let known, value =
@@ -193,7 +199,7 @@ let conflicts h s a b =
       if Char.code (Bytes.unsafe_get known byte) land mask <> 0 then
         Char.code (Bytes.unsafe_get value byte) land mask <> 0
       else begin
-        let v = Conflict.eval h.scheds.(s).conflict ~get_label:(label h) a b in
+        let v = Conflict.probe_ids c.compiled.(s) ~get_label:(label h) a b in
         Bytes.unsafe_set known byte
           (Char.unsafe_chr (Char.code (Bytes.unsafe_get known byte) lor mask));
         if v then
@@ -317,8 +323,14 @@ let extend_cache ~from h =
             tables.(sid) <- Some (grow known, grow value)
           end)
       tables;
+    (* Specs are recompiled from the extension's own schedules: along a
+       stream an [Explicit] pair list may grow with the appended text, and
+       compiling is O(spec size) — noise next to the table transfer. *)
+    let compiled = Array.map (fun s -> Conflict.compile s.conflict) h.scheds in
     h.ccache <-
-      Some { op_index; op_sched; op_count; floors; tables; donated = false }
+      Some
+        { op_index; op_sched; op_count; compiled; floors; tables;
+          donated = false }
 
 (* Introspection: how much of the conflict-pair space the memo has decided.
    The total counts one slot per unordered pair of same-schedule operations
@@ -687,10 +699,22 @@ module Builder = struct
         end)
       b.bscheds;
     let get_label i = (bnode i).blabel in
+    (* Order completion probes every conflicting pair of each schedule;
+       compile each spec once so the loops below never re-interpret a
+       list.  Lazy: schedules without logs or input orders never pay it. *)
+    let compiled = Hashtbl.create 8 in
+    let compiled_of s =
+      match Hashtbl.find_opt compiled s.bsid with
+      | Some c -> c
+      | None ->
+        let c = Conflict.compile s.bconflict in
+        Hashtbl.add compiled s.bsid c;
+        c
+    in
     let conflict_in s a b' =
       let na = bnode a and nb = bnode b' in
       if na.bparent = nb.bparent then false
-      else Conflict.eval s.bconflict ~get_label a b'
+      else Conflict.probe_ids (compiled_of s) ~get_label a b'
     in
     (* Process schedules from the highest level down, completing output
        orders (Def. 3) and pushing them to invoked schedules' input orders

@@ -107,15 +107,25 @@ val conflicts : t -> sched_id -> id -> id -> bool
     operations of the same transaction.
 
     Results are memoized per history in a lazily filled symmetric bitmatrix
-    (one bit pair per unordered operation pair of [s]), so repeated probes —
-    the observed-order fixpoint revisits every pair each round — interpret
-    the labels at most once.  The cache is invisible semantically but makes
-    histories unsafe to probe from several domains at once; batch checkers
-    must give each domain its own history. *)
+    (one bit pair per unordered operation pair of [s]), filled by probing
+    the schedule's {e compiled} spec ({!Conflict.compile}, built once per
+    history alongside the memo), so repeated probes — the observed-order
+    fixpoint revisits every pair each round — interpret the labels at most
+    once and never re-scan a spec's lists.  The cache is invisible
+    semantically but makes histories unsafe to probe from several domains
+    at once; batch checkers must give each domain its own history. *)
 
 val conflicts_uncached : t -> sched_id -> id -> id -> bool
-(** The direct, non-memoizing evaluation path.  Slow; exists as the
-    reference implementation for equivalence tests. *)
+(** The direct, non-memoizing evaluation path through the {e interpreted}
+    {!Conflict.eval}.  Slow; exists as the reference implementation for
+    equivalence tests (which thereby also cross-check the compiled form
+    against the interpreter). *)
+
+val compiled_spec : t -> sched_id -> Conflict.compiled
+(** The schedule's conflict spec in compiled form, shared with the conflict
+    memo (compiled once per history, on first use).  The lock tables and
+    the workload generators probe this instead of re-interpreting the
+    spec. *)
 
 val extend_cache : from:t -> t -> unit
 (** [extend_cache ~from h] seeds [h]'s conflict memo with every pair

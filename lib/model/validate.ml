@@ -179,3 +179,59 @@ let check h =
   List.rev errs
 
 let is_valid h = check h = []
+
+(* ------------------------------------------------------------------ *)
+(* Lints: legal histories that silently hit a pessimistic default      *)
+(* ------------------------------------------------------------------ *)
+
+type warning =
+  | Unknown_op_name of { sched : string; name : string; count : int }
+  | Explicit_lock_fallback
+
+let pp_warning ppf = function
+  | Unknown_op_name { sched; name; count } ->
+    Fmt.pf ppf
+      "schedule %s: operation name %S is not recognized by its conflict \
+       specification (%d occurrence%s fall%s to the pessimistic default)"
+      sched name count
+      (if count = 1 then "" else "s")
+      (if count = 1 then "s" else "")
+  | Explicit_lock_fallback ->
+    Fmt.pf ppf
+      "lock table over an 'explicit' conflict specification: node pairs \
+       have no label-level meaning, so every label pair is treated as \
+       conflicting and the component serializes completely"
+
+let lint h =
+  List.concat_map
+    (fun (s : History.schedule) ->
+      if not (Conflict.discriminates s.conflict) then []
+      else begin
+        let counts = Hashtbl.create 8 in
+        let order = ref [] in
+        List.iter
+          (fun o ->
+            let name = (History.label h o).Label.name in
+            if not (Conflict.known_name s.conflict name) then
+              match Hashtbl.find_opt counts name with
+              | Some n -> Hashtbl.replace counts name (n + 1)
+              | None ->
+                Hashtbl.add counts name 1;
+                order := name :: !order)
+          (History.ops_of_schedule h s.sid);
+        List.rev_map
+          (fun name ->
+            Unknown_op_name
+              { sched = s.sname; name; count = Hashtbl.find counts name })
+          !order
+      end)
+    (History.schedules h)
+
+(* One process-wide warning the first time a lock table is built over an
+   [Explicit] spec (see [Lock.create]); [Atomic] because the simulator's
+   components are driven from several domains. *)
+let explicit_fallback_warned = Atomic.make false
+
+let warn_explicit_fallback () =
+  if not (Atomic.exchange explicit_fallback_warned true) then
+    Fmt.epr "validate: warning: %a@." pp_warning Explicit_lock_fallback

@@ -51,3 +51,33 @@ val check : History.t -> error list
     composite execution in the sense of the paper. *)
 
 val is_valid : History.t -> bool
+
+(** {1 Lints}
+
+    Histories that are {e valid} but silently hit a pessimistic default of
+    their conflict specification.  Off the certification hot path: surfaced
+    by [compcheck --stats] and the server's [stats] frame. *)
+
+type warning =
+  | Unknown_op_name of { sched : string; name : string; count : int }
+      (** The schedule's operations use a name its spec does not recognize
+          — [Rw] treats it as a writer, [Table] as commuting with
+          everything, an ADT family as conflicting with anything sharing
+          its item (see {!Conflict.known_name}).  Usually a typo in the
+          workload or a spec that lags the workload's vocabulary. *)
+  | Explicit_lock_fallback
+      (** A lock table was built over an [Explicit] spec, whose node pairs
+          have no label-level meaning: every label pair is treated as
+          conflicting, so the component serializes completely. *)
+
+val pp_warning : Format.formatter -> warning -> unit
+
+val lint : History.t -> warning list
+(** Unknown-operation warnings for every schedule whose spec discriminates
+    by name, in schedule order (first-occurrence order within one
+    schedule), with occurrence counts. *)
+
+val warn_explicit_fallback : unit -> unit
+(** Print {!Explicit_lock_fallback} to stderr — once per process, further
+    calls are free and silent.  {!Repro_runtime.Lock.create} calls this
+    when given an [Explicit] spec. *)

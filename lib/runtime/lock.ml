@@ -5,19 +5,29 @@ type key = int
 type entry = { owner : int; label : Label.t; since : float }
 
 type t = {
-  spec : Conflict.spec;
+  compiled : Conflict.compiled;
+      (* lock modes are the compiled spec's label probe — the same
+         compatibility function the checker's memo fill uses, so runtime
+         and checker agree on what commutes by construction *)
   entries : (key, entry) Hashtbl.t;
   mutable next : key;
 }
 
-let create spec = { spec; entries = Hashtbl.create 32; next = 0 }
+let create spec =
+  (* [Explicit] pairs reference nodes, which a lock table never sees: the
+     label probe is pessimistically total and the component serializes.
+     Say so once instead of silently degrading. *)
+  (match spec with
+  | Conflict.Explicit _ -> Validate.warn_explicit_fallback ()
+  | _ -> ());
+  { compiled = Conflict.compile spec; entries = Hashtbl.create 32; next = 0 }
 
 let try_acquire ?(now = 0.0) t ~owner ~permits label =
   let blockers =
     Hashtbl.fold
       (fun _ e acc ->
-        if (not (permits e.owner)) && Conflict.eval_labels t.spec e.label label then
-          e.owner :: acc
+        if (not (permits e.owner)) && Conflict.probe_labels t.compiled e.label label
+        then e.owner :: acc
         else acc)
       t.entries []
   in

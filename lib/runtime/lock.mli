@@ -19,6 +19,14 @@ open Repro_model
 type t
 
 val create : Conflict.spec -> t
+(** Compiles the spec once ({!Conflict.compile}); every grant decision is
+    a {!Conflict.probe_labels} against the held labels — the same
+    compatibility function the checker's conflict memo probes, so the
+    runtime's lock modes and the checker agree on what commutes by
+    construction.  An [Explicit] spec has no label-level meaning: the
+    table treats every pair as conflicting (complete serialization) and
+    emits a one-time {!Repro_model.Validate.warn_explicit_fallback}
+    warning on stderr. *)
 
 type key = int
 (** Identifies one granted lock. *)

@@ -44,6 +44,7 @@ module Chunks = struct
       Fmt.str "table(%a)"
         Fmt.(list ~sep:(any ",") (pair ~sep:(any "/") string string))
         pairs
+    | Conflict.Adt f -> Fmt.str "%a" Repro_model.Adt.pp f
     | Conflict.Explicit _ ->
       invalid_arg
         "Server.Chunks.of_history: explicit conflict specifications reference \
@@ -654,6 +655,31 @@ let snapshot t k =
                      ("shard", Json.Int sh.index);
                      ("streams", Json.Int (Hashtbl.length sh.streams));
                      ("metrics", Metrics.to_json sh.metrics);
+                     (* Conflict-spec lints of the shard's live streams
+                        (unknown operation names falling to a spec's
+                        pessimistic default).  Computed here on the shard's
+                        own domain — the admin plane, never the append
+                        path. *)
+                     ( "lint",
+                       Json.List
+                         (Hashtbl.fold
+                            (fun sid (s : stream) acc ->
+                              match Engine.history s.eng with
+                              | None -> acc
+                              | Some h ->
+                                List.fold_left
+                                  (fun acc w ->
+                                    Json.Obj
+                                      [
+                                        ("stream", Json.String sid);
+                                        ( "warning",
+                                          Json.String
+                                            (Fmt.str "%a" Validate.pp_warning
+                                               w) );
+                                      ]
+                                    :: acc)
+                                  acc (Validate.lint h))
+                            sh.streams []) );
                    ];
              }
        with _ -> ());

@@ -2,12 +2,17 @@ open Repro_order
 open Repro_model
 module B = History.Builder
 
-let rebuild h ~drop_logs ~logs ~keep_explicit_outputs =
+let rebuild ?spec h ~drop_logs ~logs ~keep_explicit_outputs =
+  let spec =
+    match spec with
+    | Some f -> f
+    | None -> fun (s : History.schedule) -> s.History.conflict
+  in
   let b = B.create () in
   (* Recreate schedules in sid order so identifiers are preserved. *)
   List.iter
     (fun (s : History.schedule) ->
-      let sid = B.schedule b ~conflict:s.History.conflict s.History.sname in
+      let sid = B.schedule b ~conflict:(spec s) s.History.sname in
       assert (sid = s.History.sid))
     (History.schedules h);
   (* Recreate nodes in id order: a parent always has a smaller id than its
@@ -64,3 +69,13 @@ let copy h =
 
 let strip_logs h =
   rebuild h ~drop_logs:true ~logs:(fun _ -> None) ~keep_explicit_outputs:(fun _ -> false)
+
+let with_conflicts h ~conflicts =
+  rebuild h
+    ~spec:(fun (s : History.schedule) ->
+      match conflicts s.History.sid with
+      | Some c -> c
+      | None -> s.History.conflict)
+    ~drop_logs:false
+    ~logs:(fun _ -> None)
+    ~keep_explicit_outputs:(fun _ -> false)

@@ -25,3 +25,14 @@ val strip_logs : History.t -> History.t
     intra-transaction orders, and root input orders survive, and the derived
     orders are recomputed from those.  {!Gen.populate} uses this to start
     from a structurally clean slate. *)
+
+val with_conflicts :
+  History.t -> conflicts:(History.sched_id -> Conflict.spec option) -> History.t
+(** [with_conflicts h ~conflicts] is [h] with schedule [sid]'s conflict
+    spec replaced by [conflicts sid] ([None] keeps the existing spec):
+    same forest, labels, intra-transaction orders, root input orders and
+    logs, with explicit output orders dropped so [seal] re-derives them
+    under the new specs.  Changing to a spec with {e more} conflicts can
+    make the kept logs inconsistent with newly derived obligations;
+    compose with {!Gen.populate} to redraw the logs under the new specs —
+    the matched-topology recipe of the semantic-acceptance experiment. *)

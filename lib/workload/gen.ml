@@ -164,6 +164,50 @@ let add_leaves b ~parent ~read_only ~it =
     B.intra_weak b ~a:r ~b:w
   end
 
+(* A leaf label from an ADT family's own vocabulary: observers when
+   [ro], updates otherwise, with element/range arguments drawn small so
+   argument-sensitive rules ([args], [range]) actually discriminate. *)
+let adt_leaf_label rng p f ~ro ~it =
+  let value () = Fmt.str "v%d" (Prng.int rng (max 1 p.items)) in
+  match f with
+  | Adt.Counter ->
+    if ro then Label.v ~args:[ it ] "get"
+    else Label.v ~args:[ it ] (if Prng.chance rng 0.5 then "inc" else "dec")
+  | Adt.Queue ->
+    if ro then Label.v ~args:[ it ] "deq"
+    else Label.v ~args:[ it; value () ] "enq"
+  | Adt.Set ->
+    let e = value () in
+    if ro then Label.v ~args:[ it; e ] "contains"
+    else Label.v ~args:[ it; e ] (if Prng.chance rng 0.5 then "add" else "remove")
+  | Adt.Escrow ->
+    if ro then Label.v ~args:[ it ] (if Prng.chance rng 0.5 then "put" else "take")
+    else
+      let lo = Prng.int rng 8 in
+      let hi = lo + 1 + Prng.int rng 4 in
+      Label.v ~args:[ it; string_of_int lo; string_of_int hi ] "escrow"
+  | Adt.Custom d -> (
+    match Adt.vocabulary (Adt.Custom d) with
+    | [] -> if ro then Label.read it else Label.write it
+    | ops -> Label.v ~args:[ it ] (Prng.pick rng ops))
+
+(* One leaf label under [conflict]: the classical read/write draw for the
+   page-level specs (byte-compatible with the pre-ADT generators — same
+   PRNG draws, so seeds reproduce), the family vocabulary for ADT specs. *)
+let leaf_label rng p conflict ~it =
+  match conflict with
+  | Conflict.Adt f -> adt_leaf_label rng p f ~ro:(reader rng p) ~it
+  | _ -> if reader rng p then Label.read it else Label.write it
+
+(* Leaves implementing one service call on [it]: the read/write pair of
+   [add_leaves] for page-level specs, a single family operation for ADT
+   specs (a semantic operation is atomic at its own level). *)
+let add_spec_leaves b rng p ~parent ~conflict ~read_only ~it =
+  match conflict with
+  | Conflict.Adt f ->
+    ignore (B.leaf b ~parent (adt_leaf_label rng p f ~ro:read_only ~it))
+  | _ -> add_leaves b ~parent ~read_only ~it
+
 let add_root_inputs b rng p roots =
   let arr = Array.of_list roots in
   let n = Array.length arr in
@@ -188,17 +232,18 @@ let chain_children b rng p kids =
       else B.intra_weak b ~a:arr.(i) ~b:arr.(i + 1)
   done
 
-let flat ?(profile = default_profile) ?(stream = false) rng ~roots =
+let flat ?(profile = default_profile) ?(stream = false)
+    ?(conflict = Conflict.Rw) rng ~roots =
   let p = profile in
   let b = B.create () in
-  let s = B.schedule b ~conflict:Conflict.Rw "S" in
+  let s = B.schedule b ~conflict "S" in
   let rs =
     List.init roots (fun i ->
         let r = B.root b ~sched:s (Label.v (Fmt.str "T%d" (i + 1))) in
         let kids =
           List.init (n_ops rng p) (fun _ ->
               let it = item rng ~pool:"x" ~n:p.items in
-              let lbl = if reader rng p then Label.read it else Label.write it in
+              let lbl = leaf_label rng p conflict ~it in
               B.leaf b ~parent:r lbl)
         in
         chain_children b rng p kids;
@@ -207,14 +252,17 @@ let flat ?(profile = default_profile) ?(stream = false) rng ~roots =
   add_root_inputs b rng p rs;
   populate ~stream rng (B.seal b)
 
-let stack ?(profile = default_profile) ?(stream = false) rng ~levels ~roots =
+let stack ?(profile = default_profile) ?(stream = false)
+    ?(conflict = Conflict.Rw) rng ~levels ~roots =
   if levels < 1 then invalid_arg "Gen.stack: levels must be >= 1";
   let p = profile in
   let b = B.create () in
   let scheds =
     Array.init levels (fun i ->
-        (* index 0 = bottom (level 1). *)
-        let conflict = if i = 0 then Conflict.Rw else Conflict.Table service_table in
+        (* index 0 = bottom (level 1); [conflict] overrides the bottom,
+           operation-level spec only, so an ADT family slots in under the
+           unchanged service levels — matched topology by construction. *)
+        let conflict = if i = 0 then conflict else Conflict.Table service_table in
         B.schedule b ~conflict (Fmt.str "S%d" (i + 1)))
   in
   (* Transactions of schedule at index [i] have children that are
@@ -228,7 +276,9 @@ let stack ?(profile = default_profile) ?(stream = false) rng ~levels ~roots =
           let ro = reader rng p in
           let name = if ro then "get" else "add" in
           let t = B.tx b ~parent ~sched:scheds.(i - 1) (Label.v ~args:[ it ] name) in
-          (if i - 1 = 0 then add_leaves b ~parent:t ~read_only:ro ~it else fill t (i - 1));
+          (if i - 1 = 0 then
+             add_spec_leaves b rng p ~parent:t ~conflict ~read_only:ro ~it
+           else fill t (i - 1));
           t)
     in
     chain_children b rng p kids
@@ -240,7 +290,7 @@ let stack ?(profile = default_profile) ?(stream = false) rng ~levels ~roots =
            let kids =
              List.init (n_ops rng p) (fun _ ->
                  let it = item rng ~pool:"x" ~n:p.items in
-                 let lbl = if reader rng p then Label.read it else Label.write it in
+                 let lbl = leaf_label rng p conflict ~it in
                  B.leaf b ~parent:r lbl)
            in
            chain_children b rng p kids
@@ -251,13 +301,14 @@ let stack ?(profile = default_profile) ?(stream = false) rng ~levels ~roots =
   add_root_inputs b rng p rs;
   populate ~stream rng (B.seal b)
 
-let fork ?(profile = default_profile) ?(stream = false) rng ~branches ~roots =
+let fork ?(profile = default_profile) ?(stream = false)
+    ?(conflict = Conflict.Rw) rng ~branches ~roots =
   if branches < 2 then invalid_arg "Gen.fork: need at least two branches";
   let p = profile in
   let b = B.create () in
   let top = B.schedule b ~conflict:(Conflict.Table service_table) "Fork" in
   let bs =
-    Array.init branches (fun i -> B.schedule b ~conflict:Conflict.Rw (Fmt.str "B%d" (i + 1)))
+    Array.init branches (fun i -> B.schedule b ~conflict (Fmt.str "B%d" (i + 1)))
   in
   let rs =
     List.init roots (fun j ->
@@ -271,7 +322,7 @@ let fork ?(profile = default_profile) ?(stream = false) rng ~branches ~roots =
               let ro = reader rng p in
               let name = if ro then "get" else "add" in
               let t = B.tx b ~parent:r ~sched:bs.(branch) (Label.v ~args:[ it ] name) in
-              add_leaves b ~parent:t ~read_only:ro ~it;
+              add_spec_leaves b rng p ~parent:t ~conflict ~read_only:ro ~it;
               t)
         in
         chain_children b rng p kids;
@@ -280,7 +331,8 @@ let fork ?(profile = default_profile) ?(stream = false) rng ~branches ~roots =
   add_root_inputs b rng p rs;
   populate ~stream rng (B.seal b)
 
-let join ?(profile = default_profile) ?(stream = false) rng ~branches ~roots =
+let join ?(profile = default_profile) ?(stream = false)
+    ?(conflict = Conflict.Rw) rng ~branches ~roots =
   if branches < 2 then invalid_arg "Gen.join: need at least two branches";
   if roots < branches then invalid_arg "Gen.join: need at least one root per branch";
   let p = profile in
@@ -289,7 +341,7 @@ let join ?(profile = default_profile) ?(stream = false) rng ~branches ~roots =
     Array.init branches (fun i ->
         B.schedule b ~conflict:(Conflict.Table service_table) (Fmt.str "J%d" (i + 1)))
   in
-  let bottom = B.schedule b ~conflict:Conflict.Rw "SJ" in
+  let bottom = B.schedule b ~conflict "SJ" in
   let root_lists = Array.make branches [] in
   for j = 0 to roots - 1 do
     (* Ensure every branch holds at least one root, then spread randomly. *)
@@ -301,7 +353,7 @@ let join ?(profile = default_profile) ?(stream = false) rng ~branches ~roots =
           let ro = reader rng p in
           let name = if ro then "get" else "add" in
           let t = B.tx b ~parent:r ~sched:bottom (Label.v ~args:[ it ] name) in
-          add_leaves b ~parent:t ~read_only:ro ~it;
+          add_spec_leaves b rng p ~parent:t ~conflict ~read_only:ro ~it;
           t)
     in
     chain_children b rng p kids;
@@ -310,13 +362,17 @@ let join ?(profile = default_profile) ?(stream = false) rng ~branches ~roots =
   Array.iter (fun rs -> add_root_inputs b rng p (List.rev rs)) root_lists;
   populate ~stream rng (B.seal b)
 
-let general ?(profile = default_profile) ?(stream = false) rng ~schedules ~roots =
+let general ?(profile = default_profile) ?(stream = false) ?conflict rng
+    ~schedules ~roots =
   if schedules < 1 then invalid_arg "Gen.general: need at least one schedule";
   let p = profile in
   let b = B.create () in
+  let leaf_spec =
+    Option.value conflict ~default:(Conflict.Table service_table)
+  in
   let scheds =
     Array.init schedules (fun i ->
-        B.schedule b ~conflict:(Conflict.Table service_table) (Fmt.str "S%d" (i + 1)))
+        B.schedule b ~conflict:leaf_spec (Fmt.str "S%d" (i + 1)))
   in
   (* Random invocation DAG on indices: edges only from smaller to larger
      index; every non-source index gets at least one predecessor. *)
@@ -333,7 +389,7 @@ let general ?(profile = default_profile) ?(stream = false) rng ~schedules ~roots
       List.init (n_ops rng p) (fun _ ->
           let make_leaf () =
             let it = item rng ~pool:(Fmt.str "s%d_" i) ~n:p.items in
-            let lbl = if reader rng p then Label.read it else Label.write it in
+            let lbl = leaf_label rng p leaf_spec ~it in
             B.leaf b ~parent lbl
           in
           match succs.(i) with

@@ -58,20 +58,42 @@ val populate : ?stream:bool -> Prng.t -> History.t -> History.t
     {!Repro_core.Monitor} is built for — rather than a batch
     interleaving.  All generators below pass [stream] through. *)
 
-val flat : ?profile:profile -> ?stream:bool -> Prng.t -> roots:int -> History.t
-(** One read/write leaf schedule holding all roots. *)
+val flat :
+  ?profile:profile -> ?stream:bool -> ?conflict:Conflict.spec -> Prng.t ->
+  roots:int -> History.t
+(** One leaf schedule holding all roots.  [conflict] (default {!Conflict.Rw})
+    is the schedule's spec; leaf labels are drawn from its vocabulary —
+    read/write for the page-level specs (identical PRNG draws to the
+    pre-ADT generators, so seeds reproduce), family operations for
+    {!Conflict.Adt} specs (counter [inc]/[dec]/[get], queue [enq]/[deq],
+    set [add]/[remove]/[contains], escrow [escrow]/[put]/[take]). *)
 
-val stack : ?profile:profile -> ?stream:bool -> Prng.t -> levels:int -> roots:int -> History.t
-(** An n-level stack (Def. 21). *)
+val stack :
+  ?profile:profile -> ?stream:bool -> ?conflict:Conflict.spec -> Prng.t ->
+  levels:int -> roots:int -> History.t
+(** An n-level stack (Def. 21).  [conflict] overrides the {e bottom}
+    (operation-level) schedule's spec only; the service levels above keep
+    {!service_table}, so swapping a page-level spec for an ADT family
+    compares at a matched topology. *)
 
-val fork : ?profile:profile -> ?stream:bool -> Prng.t -> branches:int -> roots:int -> History.t
+val fork :
+  ?profile:profile -> ?stream:bool -> ?conflict:Conflict.spec -> Prng.t ->
+  branches:int -> roots:int -> History.t
 (** A fork (Def. 23): the branches own disjoint item pools, so operations of
-    different branches commute as the definition requires. *)
+    different branches commute as the definition requires.  [conflict]
+    (default {!Conflict.Rw}) is the branch schedules' spec. *)
 
-val join : ?profile:profile -> ?stream:bool -> Prng.t -> branches:int -> roots:int -> History.t
-(** A join (Def. 25): all branches delegate to one shared leaf schedule. *)
+val join :
+  ?profile:profile -> ?stream:bool -> ?conflict:Conflict.spec -> Prng.t ->
+  branches:int -> roots:int -> History.t
+(** A join (Def. 25): all branches delegate to one shared leaf schedule,
+    whose spec [conflict] (default {!Conflict.Rw}) overrides. *)
 
-val general : ?profile:profile -> ?stream:bool -> Prng.t -> schedules:int -> roots:int -> History.t
+val general :
+  ?profile:profile -> ?stream:bool -> ?conflict:Conflict.spec -> Prng.t ->
+  schedules:int -> roots:int -> History.t
 (** An arbitrary recursion-free configuration: a random invocation DAG whose
     source schedules hold the roots and whose transactions mix leaf
-    operations with subtransactions on randomly chosen invoked schedules. *)
+    operations with subtransactions on randomly chosen invoked schedules.
+    [conflict] (default {!service_table}) replaces {e every} schedule's
+    spec. *)

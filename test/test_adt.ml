@@ -1,0 +1,445 @@
+(* Tests for the ADT commutativity algebra and the compiled conflict-spec
+   layer: the interpreted/compiled equivalence (the memo fill path runs
+   the compiled probe; [Conflict.eval] is the reference oracle), the .ct
+   grammar round-trip for every spec form, the lock/checker agreement on
+   the shared compatibility function, and the Validate lints. *)
+open Repro_model
+module B = History.Builder
+module Syntax = Repro_histlang.Syntax
+module Lock = Repro_runtime.Lock
+
+let l name args = Label.v ~args name
+
+(* ------------------------------------------------------------------ *)
+(* The algebra, interpreted                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter () =
+  let c = Adt.eval Adt.Counter in
+  Alcotest.(check bool) "inc/inc commute" false (c (l "inc" [ "x" ]) (l "inc" [ "x" ]));
+  Alcotest.(check bool) "inc/dec commute" false (c (l "inc" [ "x" ]) (l "dec" [ "x" ]));
+  Alcotest.(check bool) "get/get commute" false (c (l "get" [ "x" ]) (l "get" [ "x" ]));
+  Alcotest.(check bool) "get/inc same item" true (c (l "get" [ "x" ]) (l "inc" [ "x" ]));
+  Alcotest.(check bool) "get/inc other item" false (c (l "get" [ "x" ]) (l "inc" [ "y" ]));
+  Alcotest.(check bool) "set/inc same item" true (c (l "set" [ "x" ]) (l "inc" [ "x" ]));
+  Alcotest.(check bool) "set/set same item" true (c (l "set" [ "x" ]) (l "set" [ "x" ]));
+  Alcotest.(check bool) "symmetric" true (c (l "inc" [ "x" ]) (l "get" [ "x" ]));
+  (* Unknown names fall back to same-item pessimism. *)
+  Alcotest.(check bool) "unknown same item" true (c (l "frob" [ "x" ]) (l "inc" [ "x" ]));
+  Alcotest.(check bool) "unknown other item" false (c (l "frob" [ "y" ]) (l "inc" [ "x" ]));
+  Alcotest.(check bool) "unknown no item" true (c (l "frob" []) (l "inc" [ "x" ]))
+
+let test_queue () =
+  let c = Adt.eval Adt.Queue in
+  Alcotest.(check bool) "enq/enq same queue" true (c (l "enq" [ "q" ]) (l "enq" [ "q" ]));
+  Alcotest.(check bool) "deq/deq same queue" true (c (l "deq" [ "q" ]) (l "pop" [ "q" ]));
+  Alcotest.(check bool) "enq/deq opposite ends" false (c (l "enq" [ "q" ]) (l "deq" [ "q" ]));
+  Alcotest.(check bool) "enq/enq other queue" false (c (l "enq" [ "q" ]) (l "enq" [ "p" ]))
+
+let test_set () =
+  let c = Adt.eval Adt.Set in
+  Alcotest.(check bool) "add/add commute" false
+    (c (l "add" [ "s"; "e" ]) (l "add" [ "s"; "e" ]));
+  Alcotest.(check bool) "add/remove same elem" true
+    (c (l "add" [ "s"; "e" ]) (l "remove" [ "s"; "e" ]));
+  Alcotest.(check bool) "add/remove other elem" false
+    (c (l "add" [ "s"; "e1" ]) (l "remove" [ "s"; "e2" ]));
+  Alcotest.(check bool) "add/contains same elem" true
+    (c (l "add" [ "s"; "e" ]) (l "contains" [ "s"; "e" ]));
+  Alcotest.(check bool) "other set" false
+    (c (l "add" [ "s"; "e" ]) (l "remove" [ "t"; "e" ]));
+  (* No element argument: cannot prove disjointness, conflict. *)
+  Alcotest.(check bool) "missing elem pessimistic" true
+    (c (l "add" [ "s" ]) (l "remove" [ "s"; "e" ]))
+
+let test_escrow () =
+  let c = Adt.eval Adt.Escrow in
+  Alcotest.(check bool) "overlapping ranges" true
+    (c (l "escrow" [ "a"; "0"; "10" ]) (l "escrow" [ "a"; "5"; "15" ]));
+  Alcotest.(check bool) "disjoint ranges" false
+    (c (l "escrow" [ "a"; "0"; "4" ]) (l "escrow" [ "a"; "5"; "9" ]));
+  Alcotest.(check bool) "other account" false
+    (c (l "escrow" [ "a"; "0"; "10" ]) (l "escrow" [ "b"; "5"; "15" ]));
+  Alcotest.(check bool) "unparseable bounds pessimistic" true
+    (c (l "escrow" [ "a"; "lo"; "hi" ]) (l "escrow" [ "a"; "5"; "9" ]));
+  Alcotest.(check bool) "missing bounds pessimistic" true
+    (c (l "escrow" [ "a" ]) (l "escrow" [ "a"; "5"; "9" ]));
+  Alcotest.(check bool) "take/put commute" false (c (l "take" [ "a" ]) (l "put" [ "a" ]));
+  Alcotest.(check bool) "escrow/take same account" true
+    (c (l "escrow" [ "a"; "0"; "9" ]) (l "take" [ "a" ]))
+
+let test_custom () =
+  let d =
+    {
+      Adt.classes = [ ("m", [ "f"; "g" ]); ("n", [ "f"; "h" ]) ];
+      rules = [ ("m", "n", Adt.Item); ("m", "n", Adt.Always); ("z", "m", Adt.Always) ];
+    }
+  in
+  let c = Adt.eval (Adt.Custom d) in
+  (* "f" belongs to class m: the first declaration wins. *)
+  Alcotest.(check bool) "first class wins" true (c (l "f" [ "x" ]) (l "h" [ "x" ]));
+  (* m/n is guarded by Item (first rule), not Always (second). *)
+  Alcotest.(check bool) "first rule wins" false (c (l "g" [ "x" ]) (l "h" [ "y" ]));
+  (* Rules naming undeclared classes are inert. *)
+  Alcotest.(check bool) "undeclared class rule inert" false
+    (c (l "f" [ "x" ]) (l "g" [ "x" ]));
+  Alcotest.(check bool) "vocabulary" true
+    (Adt.vocabulary (Adt.Custom d) = [ "f"; "g"; "f"; "h" ]);
+  Alcotest.(check bool) "known" true (Adt.known (Adt.Custom d) "h");
+  Alcotest.(check bool) "not known" false (Adt.known (Adt.Custom d) "q")
+
+(* ------------------------------------------------------------------ *)
+(* Compiled = interpreted (qcheck)                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic generators over a name pool that mixes every family's
+   vocabulary with page-level and unknown names, and argument shapes that
+   exercise all four condition guards (no args, item only, item+element,
+   item+numeric range). *)
+let name_pool =
+  [|
+    "inc"; "dec"; "get"; "set"; "w"; "r"; "enq"; "deq"; "push"; "pop";
+    "add"; "remove"; "contains"; "escrow"; "reserve"; "take"; "put";
+    "f"; "g"; "h"; "frob"; "zzz";
+  |]
+
+let gen_label =
+  QCheck.Gen.(
+    let* name = oneofa name_pool in
+    let* item = map (Fmt.str "x%d") (int_bound 2) in
+    let* shape = int_bound 3 in
+    let* e = map (Fmt.str "e%d") (int_bound 2) in
+    let* lo = int_bound 9 in
+    let* len = int_bound 4 in
+    return
+      (match shape with
+      | 0 -> Label.v name
+      | 1 -> Label.v ~args:[ item ] name
+      | 2 -> Label.v ~args:[ item; e ] name
+      | _ ->
+        Label.v ~args:[ item; string_of_int lo; string_of_int (lo + len) ] name))
+
+let gen_cond =
+  QCheck.Gen.oneofl [ Adt.Always; Adt.Item; Adt.Args; Adt.Range ]
+
+let gen_decl =
+  QCheck.Gen.(
+    let class_names = [ "a"; "b"; "c" ] in
+    let* classes =
+      flatten_l
+        (List.map
+           (fun cn ->
+             let* ops = list_size (int_range 1 3) (oneofa name_pool) in
+             return (cn, ops))
+           class_names)
+    in
+    let* rules =
+      list_size (int_range 0 5)
+        (let* x = oneofl ("z" :: class_names) in
+         let* y = oneofl ("z" :: class_names) in
+         let* c = gen_cond in
+         return (x, y, c))
+    in
+    return { Adt.classes; rules })
+
+let gen_family =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Adt.Counter); (1, return Adt.Queue); (1, return Adt.Set);
+        (1, return Adt.Escrow); (2, map (fun d -> Adt.Custom d) gen_decl);
+      ])
+
+let arb_adt_case =
+  QCheck.make
+    ~print:(fun (f, a, b) ->
+      Fmt.str "%a | %a | %a" Adt.pp f Label.pp a Label.pp b)
+    QCheck.Gen.(
+      let* f = gen_family in
+      let* a = gen_label in
+      let* b = gen_label in
+      return (f, a, b))
+
+let adt_probe_matches_eval =
+  QCheck.Test.make ~name:"Adt.probe (compiled) = Adt.eval (interpreted)"
+    ~count:500 arb_adt_case (fun (f, a, b) ->
+      let c = Adt.compile f in
+      Adt.probe c a b = Adt.eval f a b
+      && Adt.probe c b a = Adt.eval f a b (* symmetric *))
+
+(* The full spec layer: [Conflict.probe_ids] on the compiled spec agrees
+   with the interpreted [Conflict.eval] for every spec form, [Explicit]
+   included (the id-level probe resolves its pairs exactly). *)
+let gen_spec n_labels =
+  QCheck.Gen.(
+    let* k = int_bound 6 in
+    match k with
+    | 0 -> return Conflict.Never
+    | 1 -> return Conflict.Always
+    | 2 -> return Conflict.Rw
+    | 3 -> return Conflict.Same_item
+    | 4 ->
+      let* pairs =
+        list_size (int_range 0 4)
+          (let* x = oneofa name_pool in
+           let* y = oneofa name_pool in
+           return (x, y))
+      in
+      return (Conflict.Table pairs)
+    | 5 ->
+      let* pairs =
+        list_size (int_range 0 4)
+          (let* x = int_bound (n_labels - 1) in
+           let* y = int_bound (n_labels - 1) in
+           return (x, y))
+      in
+      return (Conflict.Explicit pairs)
+    | _ -> map (fun f -> Conflict.Adt f) gen_family)
+
+let arb_spec_case =
+  let n = 6 in
+  QCheck.make
+    ~print:(fun (spec, labels) ->
+      Fmt.str "%a | %a" Conflict.pp spec (Fmt.Dump.array Label.pp) labels)
+    QCheck.Gen.(
+      let* spec = gen_spec n in
+      let* labels = array_size (return n) gen_label in
+      return (spec, labels))
+
+let compiled_spec_matches_eval =
+  QCheck.Test.make ~name:"Conflict.probe_ids (compiled) = Conflict.eval"
+    ~count:500 arb_spec_case (fun (spec, labels) ->
+      let get_label i = labels.(i) in
+      let c = Conflict.compile spec in
+      let n = Array.length labels in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if
+            Conflict.probe_ids c ~get_label a b
+            <> Conflict.eval spec ~get_label a b
+          then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Lock/checker agreement                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The lock table's admission decision must be exactly the compiled
+   spec's label probe against the held entries of other owners — the
+   single compatibility function shared with the conflict-memo fill.
+   ([Explicit] is excluded: the lock table serializes it completely,
+   which the unit test below pins separately.) *)
+let gen_lock_spec =
+  QCheck.Gen.(
+    let* k = int_bound 5 in
+    match k with
+    | 0 -> return Conflict.Never
+    | 1 -> return Conflict.Always
+    | 2 -> return Conflict.Rw
+    | 3 -> return Conflict.Same_item
+    | 4 -> return (Conflict.Table [ ("add", "add"); ("add", "get") ])
+    | _ -> map (fun f -> Conflict.Adt f) gen_family)
+
+let arb_lock_case =
+  QCheck.make
+    ~print:(fun (spec, labels) ->
+      Fmt.str "%a | %a" Conflict.pp spec (Fmt.Dump.list Label.pp) labels)
+    QCheck.Gen.(
+      let* spec = gen_lock_spec in
+      let* labels = list_size (int_range 1 8) gen_label in
+      return (spec, labels))
+
+let lock_agrees_with_spec =
+  QCheck.Test.make
+    ~name:"Lock.try_acquire refuses iff the compiled spec conflicts"
+    ~count:300 arb_lock_case (fun (spec, labels) ->
+      let t = Lock.create spec in
+      let compiled = Conflict.compile spec in
+      let held = ref [] in
+      List.for_all
+        (fun (i, label) ->
+          let owner = i mod 3 in
+          let expect_block =
+            List.exists
+              (fun (o, l') ->
+                o <> owner && Conflict.probe_labels compiled l' label)
+              !held
+          in
+          let r =
+            Lock.try_acquire t ~owner ~permits:(fun o -> o = owner) label
+          in
+          match r with
+          | Ok _ ->
+            held := (owner, label) :: !held;
+            not expect_block
+          | Error _ -> expect_block)
+        (List.mapi (fun i x -> (i, x)) labels))
+
+let test_lock_explicit_serializes () =
+  (* [Explicit] references node ids a lock table never sees: every pair
+     of distinct owners conflicts (and the one-time Validate warning has
+     fired; firing it again here must be a no-op). *)
+  Validate.warn_explicit_fallback ();
+  let t = Lock.create (Conflict.Explicit [ (0, 1) ]) in
+  (match Lock.try_acquire t ~owner:0 ~permits:(fun o -> o = 0) (l "a" []) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "empty table must admit");
+  (match Lock.try_acquire t ~owner:1 ~permits:(fun o -> o = 1) (l "b" []) with
+  | Ok _ -> Alcotest.fail "explicit spec must serialize distinct owners"
+  | Error blockers -> Alcotest.(check (list int)) "blocked by holder" [ 0 ] blockers);
+  match Lock.try_acquire t ~owner:0 ~permits:(fun o -> o = 0) (l "c" []) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "same owner re-enters"
+
+(* ------------------------------------------------------------------ *)
+(* .ct grammar round-trip                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all_spec_forms =
+  [
+    Conflict.Never; Conflict.Always; Conflict.Rw; Conflict.Same_item;
+    Conflict.Table [ ("add", "get"); ("add", "add") ];
+    (* References the two nodes of the round-trip history below. *)
+    Conflict.Explicit [ (0, 1) ];
+    Conflict.Adt Adt.Counter; Conflict.Adt Adt.Queue; Conflict.Adt Adt.Set;
+    Conflict.Adt Adt.Escrow;
+    Conflict.Adt
+      (Adt.Custom
+         {
+           Adt.classes = [ ("m", [ "f"; "g" ]); ("n", [ "h" ]) ];
+           rules = [ ("m", "m", Adt.Args); ("m", "n", Adt.Item); ("n", "n", Adt.Range) ];
+         });
+    (* Degenerate declarations must survive the round trip too. *)
+    Conflict.Adt (Adt.Custom { Adt.classes = [ ("m", [ "f" ]) ]; rules = [] });
+    Conflict.Adt (Adt.Custom { Adt.classes = []; rules = [] });
+  ]
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun spec ->
+      let b = B.create () in
+      let s = B.schedule b ~conflict:spec "S" in
+      let t = B.root b ~sched:s (Label.v "T1") in
+      let o = B.leaf b ~parent:t (l "f" [ "x" ]) in
+      B.log b ~sched:s [ o ];
+      let h = B.seal b in
+      let h' = Syntax.parse (Syntax.to_string h) in
+      Alcotest.(check bool)
+        (Fmt.str "round-trips %a" Conflict.pp spec)
+        true
+        (Conflict.equal (History.schedule h' 0).History.conflict spec))
+    all_spec_forms
+
+let test_spec_of_string () =
+  List.iter
+    (fun (text, spec) ->
+      Alcotest.(check bool) (Fmt.str "parses %S" text) true
+        (Conflict.equal (Syntax.spec_of_string text) spec))
+    [
+      ("never", Conflict.Never);
+      ("rw", Conflict.Rw);
+      ("same-item", Conflict.Same_item);
+      ("counter", Conflict.Adt Adt.Counter);
+      ("queue", Conflict.Adt Adt.Queue);
+      ("set", Conflict.Adt Adt.Set);
+      ("escrow", Conflict.Adt Adt.Escrow);
+      ("table(add/get)", Conflict.Table [ ("add", "get") ]);
+      ( "adt(m=f/g;m/m=range)",
+        Conflict.Adt
+          (Adt.Custom
+             { Adt.classes = [ ("m", [ "f"; "g" ]) ]; rules = [ ("m", "m", Adt.Range) ] })
+      );
+    ];
+  let rejects text =
+    match Syntax.spec_of_string text with
+    | exception Syntax.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "rejects explicit" true (rejects "explicit(a/b)");
+  Alcotest.(check bool) "rejects trailing input" true (rejects "rw rw");
+  Alcotest.(check bool) "rejects unknown" true (rejects "bogus")
+
+(* ------------------------------------------------------------------ *)
+(* Validate lints                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_lint_unknown_names () =
+  let b = B.create () in
+  let s_rw = B.schedule b ~conflict:Conflict.Rw "SR" in
+  let s_adt = B.schedule b ~conflict:(Conflict.Adt Adt.Counter) "SC" in
+  let s_never = B.schedule b ~conflict:Conflict.Never "SN" in
+  let t1 = B.root b ~sched:s_rw (Label.v "T1") in
+  let a = B.tx b ~parent:t1 ~sched:s_adt (l "frob" [ "x" ]) in
+  let o1 = B.leaf b ~parent:a (l "inc" [ "x" ]) in
+  let o2 = B.leaf b ~parent:a (l "mystery" [ "x" ]) in
+  let t2 = B.root b ~sched:s_never (Label.v "T2") in
+  let o3 = B.leaf b ~parent:t2 (l "whatever" [ "y" ]) in
+  B.log b ~sched:s_rw [ a ];
+  B.log b ~sched:s_adt [ o1; o2 ];
+  B.log b ~sched:s_never [ o3 ];
+  let h = B.seal b in
+  let ws = Validate.lint h in
+  let unknowns =
+    List.filter_map
+      (function
+        | Validate.Unknown_op_name { sched; name; count } -> Some (sched, name, count)
+        | _ -> None)
+      ws
+  in
+  (* "frob" is an op of the rw schedule (unrecognized there) and a
+     transaction of the counter schedule; "mystery" is unknown to the
+     counter family; "inc" is known; Never does not discriminate, so its
+     schedule is not linted at all. *)
+  Alcotest.(check bool) "rw flags frob" true
+    (List.mem ("SR", "frob", 1) unknowns);
+  Alcotest.(check bool) "counter flags mystery" true
+    (List.mem ("SC", "mystery", 1) unknowns);
+  Alcotest.(check bool) "known name not flagged" true
+    (not (List.exists (fun (_, n, _) -> n = "inc") unknowns));
+  Alcotest.(check bool) "never not linted" true
+    (not (List.exists (fun (s, _, _) -> s = "SN") unknowns))
+
+let test_lint_clean () =
+  let b = B.create () in
+  let s = B.schedule b ~conflict:Conflict.Rw "S" in
+  let t = B.root b ~sched:s (Label.v "T1") in
+  let o = B.leaf b ~parent:t (Label.read "x") in
+  B.log b ~sched:s [ o ];
+  Alcotest.(check bool) "no warnings" true (Validate.lint (B.seal b) = [])
+
+let test_lint_pp () =
+  let w = Validate.Unknown_op_name { sched = "S"; name = "frob"; count = 2 } in
+  let s = Fmt.str "%a" Validate.pp_warning w in
+  Alcotest.(check bool) "mentions name" true (Astring.String.is_infix ~affix:"frob" s);
+  Alcotest.(check bool) "mentions schedule" true (Astring.String.is_infix ~affix:"S" s);
+  let s' = Fmt.str "%a" Validate.pp_warning Validate.Explicit_lock_fallback in
+  Alcotest.(check bool) "explicit fallback prints" true (String.length s' > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let qtest = QCheck_alcotest.to_alcotest ~verbose:false
+
+let suite =
+  [
+    ( "adt",
+      [
+        Alcotest.test_case "algebra: counter" `Quick test_counter;
+        Alcotest.test_case "algebra: queue" `Quick test_queue;
+        Alcotest.test_case "algebra: set" `Quick test_set;
+        Alcotest.test_case "algebra: escrow" `Quick test_escrow;
+        Alcotest.test_case "algebra: custom declarations" `Quick test_custom;
+        qtest adt_probe_matches_eval;
+        qtest compiled_spec_matches_eval;
+        qtest lock_agrees_with_spec;
+        Alcotest.test_case "lock: explicit serializes" `Quick
+          test_lock_explicit_serializes;
+        Alcotest.test_case "ct: spec round-trip" `Quick test_spec_roundtrip;
+        Alcotest.test_case "ct: spec_of_string" `Quick test_spec_of_string;
+        Alcotest.test_case "lint: unknown op names" `Quick test_lint_unknown_names;
+        Alcotest.test_case "lint: clean history" `Quick test_lint_clean;
+        Alcotest.test_case "lint: warning formatting" `Quick test_lint_pp;
+      ] );
+  ]
